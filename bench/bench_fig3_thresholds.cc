@@ -1,0 +1,131 @@
+// Reproduces Figure 3 of the paper: "Saturation thresholds: quantifying
+// the amortization of saturation."
+//
+// For each query of the standard workload (Q1..Q10, spanning leaf lookups
+// to hierarchy-top and class-variable queries), measures on a LUBM-style
+// graph:
+//   - the one-time saturation cost and per-run evaluation costs (q over
+//     G∞ vs. the reformulated q_ref over G), and
+//   - the per-update closure maintenance cost for the four update kinds
+//     (instance/schema x insert/delete),
+// then prints the five Fig. 3 series: the minimum number of query runs
+// after which paying the one-time cost beats always reformulating.
+//
+// The absolute numbers depend on the machine; the paper's claims that this
+// bench reproduces are about shape:
+//   (i)  thresholds spread over orders of magnitude across queries,
+//   (ii) some queries never amortize saturation ("never"),
+//   (iii) schema updates have costlier maintenance than instance updates,
+//        hence lower thresholds favoring saturation less.
+//
+// Environment knobs: WDR_FIG3_UNIVERSITIES (default 6) scales the dataset.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/measure.h"
+#include "analysis/thresholds.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "reformulation/reformulator.h"
+#include "workload/queries.h"
+#include "workload/university.h"
+#include "workload/updates.h"
+
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::atoi(value);
+}
+
+// Renders a threshold on the figure's log scale as a bar of '#'.
+std::string LogBar(double threshold) {
+  if (std::isinf(threshold)) return "never ----------------------------";
+  double magnitude = threshold < 1 ? 0 : std::log10(threshold) + 1;
+  std::string bar(static_cast<size_t>(magnitude * 3), '#');
+  return wdr::FormatWithCommas(static_cast<long long>(threshold)) + " " + bar;
+}
+
+}  // namespace
+
+int main() {
+  wdr::workload::UniversityConfig config;
+  config.universities = EnvInt("WDR_FIG3_UNIVERSITIES", 16);
+  config.departments_per_university = 5;
+  wdr::workload::UniversityData data =
+      wdr::workload::GenerateUniversityData(config);
+  wdr::reformulation::CloseSchema(data.graph, data.vocab);
+
+  std::printf(
+      "=== Fig. 3 — saturation thresholds ===\n"
+      "dataset: %s triples (%zu schema), %d universities\n\n",
+      wdr::FormatWithCommas(static_cast<long long>(data.graph.size())).c_str(),
+      data.ontology_triples, config.universities);
+
+  wdr::Rng rng(20150413);  // ICDE'15 opening day
+  wdr::workload::UpdateSet wl_updates =
+      wdr::workload::MakeUpdateSet(data.graph, data.vocab, 4, rng);
+  wdr::analysis::UpdateSample updates;
+  updates.instance_insertions = wl_updates.instance_insertions;
+  updates.instance_deletions = wl_updates.instance_deletions;
+  updates.schema_insertions = wl_updates.schema_insertions;
+  updates.schema_deletions = wl_updates.schema_deletions;
+
+  std::printf(
+      "%-4s %8s %12s %12s %9s | %10s %10s %10s %10s %10s\n", "q", "CQs",
+      "eval(G∞)", "eval(ref)", "answers", "sat", "inst-ins", "inst-del",
+      "sch-ins", "sch-del");
+  std::printf("%.*s\n", 118,
+              "----------------------------------------------------------"
+              "------------------------------------------------------------");
+
+  struct RowData {
+    std::string name;
+    wdr::analysis::Thresholds thresholds;
+  };
+  std::vector<RowData> rows;
+
+  for (const wdr::workload::NamedQuery& nq :
+       wdr::workload::StandardQuerySet(data.graph.dict())) {
+    auto report = wdr::analysis::MeasureCostProfile(data.graph, data.vocab,
+                                                    nq.query, updates);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s: measurement failed: %s\n", nq.name.c_str(),
+                   report.status().ToString().c_str());
+      continue;
+    }
+    wdr::analysis::Thresholds t =
+        wdr::analysis::ComputeThresholds(report->costs);
+    rows.push_back({nq.name, t});
+    std::printf(
+        "%-4s %8zu %10.3fms %10.3fms %9zu | %10s %10s %10s %10s %10s\n",
+        nq.name.c_str(), report->reformulation_cqs,
+        report->costs.eval_saturated_seconds * 1e3,
+        report->costs.eval_reformulated_seconds * 1e3, report->answers,
+        wdr::analysis::FormatThreshold(t.saturation).c_str(),
+        wdr::analysis::FormatThreshold(t.instance_insert).c_str(),
+        wdr::analysis::FormatThreshold(t.instance_delete).c_str(),
+        wdr::analysis::FormatThreshold(t.schema_insert).c_str(),
+        wdr::analysis::FormatThreshold(t.schema_delete).c_str());
+  }
+
+  std::printf("\nthreshold chart (log scale, as in the paper's figure):\n");
+  for (const RowData& row : rows) {
+    std::printf("  %-4s saturation %s\n", row.name.c_str(),
+                LogBar(row.thresholds.saturation).c_str());
+    std::printf("       schema-del %s\n",
+                LogBar(row.thresholds.schema_delete).c_str());
+  }
+
+  std::printf(
+      "\nReading the figure: large/never bars are queries whose\n"
+      "reformulation is as fast as evaluating over G∞ — saturation's\n"
+      "one-time cost is never repaid (paper: 'saturation is not always\n"
+      "the best solution'). Small bars amortize within a handful of\n"
+      "runs. The spread across queries on one database is the paper's\n"
+      "headline observation.\n");
+  return EXIT_SUCCESS;
+}

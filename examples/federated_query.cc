@@ -1,0 +1,84 @@
+// Federated query answering over autonomous endpoints (§I): three
+// independently-authored RDF repositories, each with its own schema, are
+// queried as one — without copying or saturating anything. Constraints
+// from any endpoint apply to facts from any other.
+#include <cstdlib>
+#include <iostream>
+
+#include "federation/federation.h"
+
+namespace {
+
+constexpr const char* kMuseum = R"(
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix mus: <http://museum.org/> .
+mus:Painting rdfs:subClassOf mus:Artwork .
+mus:Sculpture rdfs:subClassOf mus:Artwork .
+mus:monaLisa a mus:Painting .
+mus:david a mus:Sculpture .
+)";
+
+constexpr const char* kAuctionHouse = R"(
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix mus: <http://museum.org/> .
+@prefix auc: <http://auction.org/> .
+auc:soldFor rdfs:domain mus:Artwork .
+auc:theScream auc:soldFor auc:lot42 .
+)";
+
+constexpr const char* kArchive = R"(
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix mus: <http://museum.org/> .
+@prefix arc: <http://archive.org/> .
+arc:Fresco rdfs:subClassOf mus:Painting .
+arc:lastSupper a arc:Fresco .
+)";
+
+constexpr const char* kArtworksQuery = R"(
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX mus: <http://museum.org/>
+SELECT ?x WHERE { ?x rdf:type mus:Artwork }
+)";
+
+}  // namespace
+
+int main() {
+  wdr::federation::Federation fed;
+  struct Source {
+    const char* name;
+    const char* data;
+  };
+  const Source sources[] = {{"museum", kMuseum},
+                            {"auction-house", kAuctionHouse},
+                            {"archive", kArchive}};
+  for (const Source& source : sources) {
+    wdr::federation::EndpointId id = fed.AddEndpoint(source.name);
+    auto loaded = fed.LoadTurtle(id, source.data);
+    if (!loaded.ok()) {
+      std::cerr << source.name << ": " << loaded.status() << "\n";
+      return EXIT_FAILURE;
+    }
+    std::cout << "endpoint '" << source.name << "' publishes " << *loaded
+              << " triples\n";
+  }
+
+  wdr::federation::FederationQueryInfo info;
+  auto result = fed.Query(kArtworksQuery, &info);
+  if (!result.ok()) {
+    std::cerr << "query failed: " << result.status() << "\n";
+    return EXIT_FAILURE;
+  }
+
+  std::cout << "\nAll artworks across the federation (reformulated into "
+            << info.union_size << " conjunctive queries, "
+            << info.endpoints_scanned << " endpoints scanned, nothing "
+            << "materialized):\n";
+  for (const wdr::query::Row& row : result->rows) {
+    std::cout << "  " << fed.dict().term(row[0]).ToNTriples() << "\n";
+  }
+  std::cout << "\nNote the cross-endpoint entailments: theScream is an "
+               "Artwork because the\nauction house declares soldFor's "
+               "domain; lastSupper because the archive's\nFresco class "
+               "plugs into the museum's hierarchy.\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,221 @@
+// wdr_shell — a small command-line front end over ReasoningStore, the
+// shape of tool a downstream user runs first.
+//
+// Usage:
+//   wdr_shell [--mode=saturation|reformulation|backward|none] [file.ttl ...]
+//
+// Reads commands from stdin (one per line):
+//   SELECT ...          run a SPARQL query
+//   INSERT DATA {...}   / DELETE DATA {...}   run an update
+//   .load FILE          load a Turtle/N-Triples file
+//   .mode MODE          switch reasoning technique at run time
+//   .stats              triples / closure size
+//   .help               this text
+//
+// Without stdin input (or with --demo) runs a scripted demonstration so
+// the binary is exercisable non-interactively.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "store/reasoning_store.h"
+
+namespace {
+
+using wdr::store::ReasoningMode;
+using wdr::store::ReasoningStore;
+
+bool ParseMode(const std::string& name, ReasoningMode* mode) {
+  if (name == "saturation") {
+    *mode = ReasoningMode::kSaturation;
+  } else if (name == "reformulation") {
+    *mode = ReasoningMode::kReformulation;
+  } else if (name == "backward") {
+    *mode = ReasoningMode::kBackward;
+  } else if (name == "none") {
+    *mode = ReasoningMode::kNone;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void PrintHelp() {
+  std::cout << "commands:\n"
+               "  SELECT ...            SPARQL BGP/UNION query\n"
+               "  INSERT DATA { ... }   add ground triples\n"
+               "  DELETE DATA { ... }   remove ground triples\n"
+               "  .load FILE            load Turtle (.ttl) or N-Triples\n"
+               "  .explain <s> <p> <o> .  prove why a triple is entailed\n"
+               "  .mode MODE            saturation|reformulation|backward|none\n"
+               "  .stats                store statistics\n"
+               "  .help                 this text\n"
+               "  .quit                 exit\n";
+}
+
+int LoadFile(ReasoningStore& store, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return -1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto loaded = wdr::EndsWith(path, ".nt")
+                    ? store.LoadNTriples(buffer.str())
+                    : store.LoadTurtle(buffer.str());
+  if (!loaded.ok()) {
+    std::cerr << path << ": " << loaded.status() << "\n";
+    return -1;
+  }
+  std::cout << "loaded " << *loaded << " triples from " << path << "\n";
+  return static_cast<int>(*loaded);
+}
+
+void RunCommand(ReasoningStore& store, const std::string& line) {
+  if (line.empty()) return;
+  if (line[0] == '.') {
+    std::istringstream words(line);
+    std::string command, argument;
+    words >> command >> argument;
+    if (command == ".explain") {
+      // Everything after ".explain " is one N-Triples statement.
+      std::string statement = line.substr(std::string(".explain").size());
+      auto proof = store.ExplainTriple(statement);
+      if (proof.ok()) {
+        std::cout << *proof;
+      } else {
+        std::cerr << proof.status() << "\n";
+      }
+      return;
+    }
+    if (command == ".load") {
+      LoadFile(store, argument);
+    } else if (command == ".mode") {
+      ReasoningMode mode;
+      if (ParseMode(argument, &mode)) {
+        store.SetMode(mode);
+        std::cout << "mode = " << ReasoningModeName(mode) << "\n";
+      } else {
+        std::cerr << "unknown mode '" << argument << "'\n";
+      }
+    } else if (command == ".stats") {
+      std::cout << "triples: " << store.size()
+                << "  effective (with closure): " << store.effective_size()
+                << "  mode: " << ReasoningModeName(store.mode()) << "\n";
+    } else if (command == ".help") {
+      PrintHelp();
+    } else if (command == ".quit") {
+      std::exit(EXIT_SUCCESS);
+    } else {
+      std::cerr << "unknown command; try .help\n";
+    }
+    return;
+  }
+
+  // Updates start with INSERT/DELETE (case-insensitive); otherwise query.
+  std::string upper;
+  for (char c : line) upper += static_cast<char>(std::toupper(c));
+  if (upper.rfind("INSERT", 0) == 0 || upper.rfind("DELETE", 0) == 0 ||
+      upper.rfind("PREFIX", 0) == 0 || upper.rfind("SELECT", 0) == 0) {
+    if (upper.find("SELECT") != std::string::npos) {
+      wdr::store::QueryInfo info;
+      auto result = store.Query(line, &info);
+      if (!result.ok()) {
+        std::cerr << result.status() << "\n";
+        return;
+      }
+      for (const wdr::query::Row& row : result->rows) {
+        std::cout << "  " << wdr::Join(store.DecodeRow(row), "  ") << "\n";
+      }
+      std::cout << result->rows.size() << " answer(s) in "
+                << static_cast<long long>(info.seconds * 1e6) << "us via "
+                << ReasoningModeName(info.mode);
+      if (info.mode == ReasoningMode::kReformulation) {
+        std::cout << " (" << info.union_size << " CQs)";
+      }
+      std::cout << "\n";
+    } else {
+      auto info = store.Update(line);
+      if (!info.ok()) {
+        std::cerr << info.status() << "\n";
+        return;
+      }
+      std::cout << "+" << info->inserted << " -" << info->deleted
+                << " triple(s), closure delta " << info->closure_delta
+                << "\n";
+    }
+    return;
+  }
+  std::cerr << "unrecognized input; try .help\n";
+}
+
+void RunDemo(ReasoningStore& store) {
+  const char* script[] = {
+      "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> "
+      "PREFIX ex: <http://ex.org/> "
+      "INSERT DATA { ex:Cat rdfs:subClassOf ex:Mammal . ex:tom a ex:Cat }",
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+      "PREFIX ex: <http://ex.org/> "
+      "SELECT ?x WHERE { ?x rdf:type ex:Mammal }",
+      ".explain <http://ex.org/tom> "
+      "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+      "<http://ex.org/Mammal> .",
+      ".mode reformulation",
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+      "PREFIX ex: <http://ex.org/> "
+      "SELECT ?x WHERE { ?x rdf:type ex:Mammal }",
+      ".stats",
+  };
+  std::cout << "(no stdin input — running the scripted demo; pipe commands "
+               "or use a terminal for interactive use)\n";
+  for (const char* line : script) {
+    std::cout << "wdr> " << line << "\n";
+    RunCommand(store, line);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wdr::store::ReasoningStoreOptions options;
+  bool demo = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--mode=", 0) == 0) {
+      if (!ParseMode(arg.substr(7), &options.mode)) {
+        std::cerr << "unknown mode in " << arg << "\n";
+        return EXIT_FAILURE;
+      }
+    } else if (arg == "--demo") {
+      demo = true;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  ReasoningStore store(options);
+  for (const std::string& file : files) {
+    if (LoadFile(store, file) < 0) return EXIT_FAILURE;
+  }
+
+  // With no piped input, run the scripted demo so the binary always
+  // demonstrates something.
+  if (!demo && std::cin.peek() == std::char_traits<char>::eof()) {
+    demo = true;
+  }
+  if (demo) {
+    RunDemo(store);
+    return EXIT_SUCCESS;
+  }
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    RunCommand(store, line);
+  }
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,44 @@
+#include "analysis/advisor.h"
+
+#include <cmath>
+
+namespace wdr::analysis {
+
+Recommendation Recommend(const CostProfile& costs,
+                         const WorkloadForecast& forecast) {
+  Recommendation rec;
+  rec.saturation_total_seconds =
+      costs.saturation_seconds +
+      forecast.query_runs * costs.eval_saturated_seconds +
+      forecast.instance_inserts * costs.maintain_instance_insert_seconds +
+      forecast.instance_deletes * costs.maintain_instance_delete_seconds +
+      forecast.schema_inserts * costs.maintain_schema_insert_seconds +
+      forecast.schema_deletes * costs.maintain_schema_delete_seconds;
+  rec.reformulation_total_seconds =
+      forecast.query_runs * costs.eval_reformulated_seconds;
+
+  if (rec.saturation_total_seconds <= rec.reformulation_total_seconds) {
+    rec.technique = Technique::kSaturation;
+    double ratio = rec.saturation_total_seconds > 0
+                       ? rec.reformulation_total_seconds /
+                             rec.saturation_total_seconds
+                       : INFINITY;
+    rec.rationale =
+        "saturate: the workload re-runs queries often enough relative to "
+        "updates that maintaining the closure is " +
+        std::to_string(ratio) + "x cheaper than always reformulating";
+  } else {
+    rec.technique = Technique::kReformulation;
+    double ratio = rec.reformulation_total_seconds > 0
+                       ? rec.saturation_total_seconds /
+                             rec.reformulation_total_seconds
+                       : INFINITY;
+    rec.rationale =
+        "reformulate: updates dominate query repetition, so keeping the "
+        "graph unsaturated is " +
+        std::to_string(ratio) + "x cheaper than maintaining the closure";
+  }
+  return rec;
+}
+
+}  // namespace wdr::analysis

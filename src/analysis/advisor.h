@@ -1,0 +1,45 @@
+#ifndef WDR_ANALYSIS_ADVISOR_H_
+#define WDR_ANALYSIS_ADVISOR_H_
+
+#include <string>
+
+#include "analysis/thresholds.h"
+
+namespace wdr::analysis {
+
+// Expected workload over some horizon (counts, not rates — the horizon
+// cancels out of the comparison).
+struct WorkloadForecast {
+  double query_runs = 0;
+  double instance_inserts = 0;
+  double instance_deletes = 0;
+  double schema_inserts = 0;
+  double schema_deletes = 0;
+};
+
+enum class Technique {
+  kSaturation,
+  kReformulation,
+};
+
+struct Recommendation {
+  Technique technique = Technique::kReformulation;
+  // Predicted total costs (seconds) over the forecast horizon.
+  double saturation_total_seconds = 0;
+  double reformulation_total_seconds = 0;
+  std::string rationale;
+};
+
+// The §II-D open issue "automatizing ... the choice between these two
+// techniques, based on a quantitative evaluation of the application
+// setting": given a measured cost profile and a forecast, predicts the
+// total cost of each technique and recommends the cheaper one.
+//
+//   saturation total   = C_sat + Σ_u n_u * C_maint(u) + n_q * C_eval(q,G∞)
+//   reformulation total = n_q * C_eval(q_ref, G)
+Recommendation Recommend(const CostProfile& costs,
+                         const WorkloadForecast& forecast);
+
+}  // namespace wdr::analysis
+
+#endif  // WDR_ANALYSIS_ADVISOR_H_

@@ -1,0 +1,49 @@
+#include "analysis/thresholds.h"
+
+#include <cmath>
+
+namespace wdr::analysis {
+namespace {
+
+double AmortizationThreshold(double one_time_cost, double per_run_saturated,
+                             double per_run_reformulated) {
+  double gain_per_run = per_run_reformulated - per_run_saturated;
+  if (gain_per_run <= 0) return INFINITY;
+  if (one_time_cost <= 0) return 0;
+  return std::ceil(one_time_cost / gain_per_run);
+}
+
+}  // namespace
+
+Thresholds ComputeThresholds(const CostProfile& costs) {
+  Thresholds t;
+  t.saturation =
+      AmortizationThreshold(costs.saturation_seconds,
+                            costs.eval_saturated_seconds,
+                            costs.eval_reformulated_seconds);
+  t.instance_insert =
+      AmortizationThreshold(costs.maintain_instance_insert_seconds,
+                            costs.eval_saturated_seconds,
+                            costs.eval_reformulated_seconds);
+  t.instance_delete =
+      AmortizationThreshold(costs.maintain_instance_delete_seconds,
+                            costs.eval_saturated_seconds,
+                            costs.eval_reformulated_seconds);
+  t.schema_insert =
+      AmortizationThreshold(costs.maintain_schema_insert_seconds,
+                            costs.eval_saturated_seconds,
+                            costs.eval_reformulated_seconds);
+  t.schema_delete =
+      AmortizationThreshold(costs.maintain_schema_delete_seconds,
+                            costs.eval_saturated_seconds,
+                            costs.eval_reformulated_seconds);
+  return t;
+}
+
+std::string FormatThreshold(double threshold) {
+  if (std::isinf(threshold)) return "never";
+  long long n = static_cast<long long>(threshold);
+  return std::to_string(n);
+}
+
+}  // namespace wdr::analysis

@@ -1,0 +1,51 @@
+#ifndef WDR_ANALYSIS_THRESHOLDS_H_
+#define WDR_ANALYSIS_THRESHOLDS_H_
+
+#include <string>
+
+namespace wdr::analysis {
+
+// Measured costs for one query on one graph (seconds). This is the input
+// of the Fig. 3 threshold computation.
+struct CostProfile {
+  // One-time cost of saturating the graph (independent of the query).
+  double saturation_seconds = 0;
+  // One-time cost of rewriting q into q_ref (re-done after schema changes;
+  // typically tiny, reported separately as in the EDBT'13 setup).
+  double reformulation_seconds = 0;
+  // Per-run cost of evaluating q over the saturated graph G∞.
+  double eval_saturated_seconds = 0;
+  // Per-run cost of evaluating the (already rewritten) q_ref over G.
+  double eval_reformulated_seconds = 0;
+  // Per-update cost of maintaining the saturation, by update kind.
+  double maintain_instance_insert_seconds = 0;
+  double maintain_instance_delete_seconds = 0;
+  double maintain_schema_insert_seconds = 0;
+  double maintain_schema_delete_seconds = 0;
+};
+
+// The five Fig. 3 series. Each threshold is the minimum number of query
+// runs n such that (one-time cost) + n * eval_saturated <= n *
+// eval_reformulated, i.e. the number of runs needed to amortize paying
+// that one-time cost instead of always reformulating. Infinity (INFINITY)
+// when reformulated evaluation is at least as fast as saturated evaluation
+// — then saturation never pays off for this query, one of the paper's key
+// observations.
+struct Thresholds {
+  double saturation = 0;
+  double instance_insert = 0;
+  double instance_delete = 0;
+  double schema_insert = 0;
+  double schema_delete = 0;
+};
+
+// Computes the Fig. 3 thresholds from a measured cost profile.
+Thresholds ComputeThresholds(const CostProfile& costs);
+
+// Renders a threshold as the figure's axis does: an integer count, or
+// "never" for infinity.
+std::string FormatThreshold(double threshold);
+
+}  // namespace wdr::analysis
+
+#endif  // WDR_ANALYSIS_THRESHOLDS_H_

@@ -1,0 +1,50 @@
+#ifndef WDR_COMMON_RNG_H_
+#define WDR_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace wdr {
+
+// Deterministic pseudo-random source. All generators and property tests in
+// the project draw from this wrapper so runs are reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // Uniform real in [0, 1).
+  double UniformReal() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  // Bernoulli draw with success probability `p`.
+  bool Chance(double p) { return UniformReal() < p; }
+
+  // Zipf-like skewed pick in [0, n): smaller indexes are more likely.
+  // Used by workload generators to model popularity skew.
+  int64_t Skewed(int64_t n) {
+    if (n <= 1) return 0;
+    double u = UniformReal();
+    // Quadratic skew: density ~ 2(1-x); cheap and monotone.
+    double x = 1.0 - std::sqrt(1.0 - u);
+    int64_t index = static_cast<int64_t>(x * static_cast<double>(n));
+    return index >= n ? n - 1 : index;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace wdr
+
+#endif  // WDR_COMMON_RNG_H_

@@ -1,0 +1,120 @@
+#ifndef WDR_COMMON_STATUS_H_
+#define WDR_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace wdr {
+
+// Error taxonomy for all fallible operations in the library. The project
+// does not use exceptions; fallible functions return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kOutOfRange,
+  kResourceExhausted,
+  kInternal,
+};
+
+// Returns a stable human-readable name for `code`, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the success path (no message
+// allocation), and carries a diagnostic message on the error path.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience factories mirroring the StatusCode enumerators.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status ParseError(std::string message);
+Status OutOfRangeError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InternalError(std::string message);
+
+// Holds either a value of type T or an error Status. Accessing the value of
+// an error Result is a programming bug and aborts via assert in debug
+// builds; callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : data_(std::move(value)) {}
+  Result(Status status) : data_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+// Propagates an error Status from an expression that yields a Status.
+#define WDR_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::wdr::Status wdr_status_tmp_ = (expr);      \
+    if (!wdr_status_tmp_.ok()) return wdr_status_tmp_; \
+  } while (false)
+
+// Evaluates a Result<T> expression, propagating errors, else binds `lhs`.
+#define WDR_STATUS_CONCAT_INNER_(a, b) a##b
+#define WDR_STATUS_CONCAT_(a, b) WDR_STATUS_CONCAT_INNER_(a, b)
+#define WDR_ASSIGN_OR_RETURN(lhs, expr) \
+  WDR_ASSIGN_OR_RETURN_IMPL_(WDR_STATUS_CONCAT_(wdr_result_tmp_, __LINE__), \
+                             lhs, expr)
+#define WDR_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+}  // namespace wdr
+
+#endif  // WDR_COMMON_STATUS_H_

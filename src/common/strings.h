@@ -1,0 +1,29 @@
+#ifndef WDR_COMMON_STRINGS_H_
+#define WDR_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wdr {
+
+// Splits `input` on `delimiter`, keeping empty pieces.
+std::vector<std::string_view> Split(std::string_view input, char delimiter);
+
+// Removes ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view input);
+
+// True if `input` begins with / ends with the given affix.
+bool StartsWith(std::string_view input, std::string_view prefix);
+bool EndsWith(std::string_view input, std::string_view suffix);
+
+// Joins `pieces` with `separator`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+// Formats `value` with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string FormatWithCommas(long long value);
+
+}  // namespace wdr
+
+#endif  // WDR_COMMON_STRINGS_H_

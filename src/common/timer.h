@@ -1,0 +1,31 @@
+#ifndef WDR_COMMON_TIMER_H_
+#define WDR_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace wdr {
+
+// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  // Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  // Microseconds elapsed since construction or the last Reset().
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace wdr
+
+#endif  // WDR_COMMON_TIMER_H_

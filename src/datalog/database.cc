@@ -1,0 +1,34 @@
+#include "datalog/database.h"
+
+namespace wdr::datalog {
+
+bool Relation::Insert(const Tuple& tuple) {
+  if (!set_.insert(tuple).second) return false;
+  uint32_t position = static_cast<uint32_t>(tuples_.size());
+  tuples_.push_back(tuple);
+  for (size_t col = 0; col < arity_; ++col) {
+    indexes_[col][tuple[col]].push_back(position);
+  }
+  return true;
+}
+
+const std::vector<uint32_t>& Relation::Probe(size_t col, Sym value) const {
+  static const std::vector<uint32_t> kEmpty;
+  auto it = indexes_[col].find(value);
+  return it == indexes_[col].end() ? kEmpty : it->second;
+}
+
+Database::Database(const DlProgram& program) {
+  relations_.reserve(program.pred_count());
+  for (PredId p = 0; p < program.pred_count(); ++p) {
+    relations_.emplace_back(program.pred_arity(p));
+  }
+}
+
+size_t Database::TotalTuples() const {
+  size_t total = 0;
+  for (const Relation& r : relations_) total += r.size();
+  return total;
+}
+
+}  // namespace wdr::datalog

@@ -1,0 +1,179 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+#include <string>
+#include <unordered_map>
+
+namespace wdr::datalog {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<DlProgram> Run() {
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) break;
+      WDR_RETURN_IF_ERROR(ParseClause());
+    }
+    WDR_RETURN_IF_ERROR(program_.Validate());
+    return std::move(program_);
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : text_[pos_]; }
+  char Next() {
+    char c = Peek();
+    if (c == '\n') ++line_;
+    ++pos_;
+    return c;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Next();
+      } else if (c == '%' || c == '#') {
+        while (!AtEnd() && Peek() != '\n') Next();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status Error(const std::string& message) const {
+    return ParseError("line " + std::to_string(line_) + ": " + message);
+  }
+
+  Status ParseClause() {
+    var_ids_.clear();
+    var_names_.clear();
+    WDR_ASSIGN_OR_RETURN(DlAtom head, ParseAtom());
+    SkipWhitespaceAndComments();
+    if (Peek() == '.') {
+      Next();
+      if (!var_names_.empty()) {
+        // A headless clause with variables would be unsafe; report clearly.
+        return Error("fact contains variables");
+      }
+      program_.AddFact(std::move(head));
+      return Status::Ok();
+    }
+    if (!(Peek() == ':' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '-')) {
+      return Error("expected '.' or ':-' after atom");
+    }
+    Next();
+    Next();
+    DlRule rule;
+    rule.head = std::move(head);
+    while (true) {
+      SkipWhitespaceAndComments();
+      WDR_ASSIGN_OR_RETURN(DlAtom atom, ParseAtom());
+      rule.body.push_back(std::move(atom));
+      SkipWhitespaceAndComments();
+      if (Peek() == ',') {
+        Next();
+        continue;
+      }
+      break;
+    }
+    if (Peek() != '.') return Error("expected '.' terminating the rule");
+    Next();
+    rule.var_names = var_names_;
+    program_.AddRule(std::move(rule));
+    return Status::Ok();
+  }
+
+  Result<DlAtom> ParseAtom() {
+    SkipWhitespaceAndComments();
+    WDR_ASSIGN_OR_RETURN(std::string name, ParseIdentifier());
+    if (std::isupper(static_cast<unsigned char>(name[0]))) {
+      return Error("predicate name '" + name + "' must not be capitalized");
+    }
+    SkipWhitespaceAndComments();
+    if (Peek() != '(') return Error("expected '(' after predicate name");
+    Next();
+    DlAtom atom;
+    std::vector<DlTerm> args;
+    while (true) {
+      SkipWhitespaceAndComments();
+      WDR_ASSIGN_OR_RETURN(DlTerm term, ParseTerm());
+      args.push_back(term);
+      SkipWhitespaceAndComments();
+      if (Peek() == ',') {
+        Next();
+        continue;
+      }
+      break;
+    }
+    if (Peek() != ')') return Error("expected ')' closing the atom");
+    Next();
+    atom.pred = program_.InternPred(name, args.size());
+    if (program_.pred_arity(atom.pred) != args.size()) {
+      return Error("predicate '" + name + "' used with arity " +
+                   std::to_string(args.size()) + " but declared with " +
+                   std::to_string(program_.pred_arity(atom.pred)));
+    }
+    atom.args = std::move(args);
+    return atom;
+  }
+
+  Result<DlTerm> ParseTerm() {
+    char c = Peek();
+    if (c == '\'') {
+      Next();
+      std::string value;
+      while (!AtEnd() && Peek() != '\'') value += Next();
+      if (AtEnd()) return Error("unterminated quoted constant");
+      Next();
+      return DlTerm::Constant(program_.InternSym(value));
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string digits;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        digits += Next();
+      }
+      return DlTerm::Constant(program_.InternSym(digits));
+    }
+    WDR_ASSIGN_OR_RETURN(std::string name, ParseIdentifier());
+    if (std::isupper(static_cast<unsigned char>(name[0])) || name[0] == '_') {
+      auto it = var_ids_.find(name);
+      if (it == var_ids_.end()) {
+        DlVarId id = static_cast<DlVarId>(var_names_.size());
+        var_names_.push_back(name);
+        it = var_ids_.emplace(name, id).first;
+      }
+      return DlTerm::Variable(it->second);
+    }
+    return DlTerm::Constant(program_.InternSym(name));
+  }
+
+  Result<std::string> ParseIdentifier() {
+    std::string name;
+    while (!AtEnd() && IsIdentChar(Peek())) name += Next();
+    if (name.empty()) return Error("expected an identifier");
+    return name;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  DlProgram program_;
+  std::unordered_map<std::string, DlVarId> var_ids_;
+  std::vector<std::string> var_names_;
+};
+
+}  // namespace
+
+Result<DlProgram> ParseDatalog(std::string_view text) {
+  return Parser(text).Run();
+}
+
+}  // namespace wdr::datalog

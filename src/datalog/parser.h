@@ -1,0 +1,24 @@
+#ifndef WDR_DATALOG_PARSER_H_
+#define WDR_DATALOG_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "datalog/program.h"
+
+namespace wdr::datalog {
+
+// Parses textual Datalog into a program:
+//
+//   parent(tom, bob).                      % a fact
+//   ancestor(X, Y) :- parent(X, Y).        % rules; variables are capitalized
+//   ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
+//
+// Constants are lower-case identifiers, digits, or 'quoted strings' (which
+// may contain any character except the quote). `%` and `#` start comments.
+// The parsed program is Validate()d before being returned.
+Result<DlProgram> ParseDatalog(std::string_view text);
+
+}  // namespace wdr::datalog
+
+#endif  // WDR_DATALOG_PARSER_H_

@@ -1,0 +1,98 @@
+#include "federation/federation.h"
+
+#include "common/timer.h"
+#include "io/turtle.h"
+#include "query/sparql_parser.h"
+#include "reasoning/saturation.h"
+#include "reformulation/reformulator.h"
+#include "rdf/graph.h"
+#include "schema/schema.h"
+
+namespace wdr::federation {
+
+Federation::Federation() : vocab_(schema::Vocabulary::Intern(dict_)) {}
+
+EndpointId Federation::AddEndpoint(std::string name) {
+  endpoints_.push_back(Endpoint{std::move(name), rdf::TripleStore()});
+  return endpoints_.size() - 1;
+}
+
+Result<size_t> Federation::LoadTurtle(EndpointId id, std::string_view text) {
+  if (id >= endpoints_.size()) {
+    return InvalidArgumentError("unknown endpoint id");
+  }
+  rdf::Graph scratch;
+  WDR_ASSIGN_OR_RETURN(size_t parsed, io::ParseTurtle(text, scratch));
+  (void)parsed;
+  size_t added = 0;
+  rdf::TripleStore& store = endpoints_[id].store;
+  scratch.store().Match(0, 0, 0, [&](const rdf::Triple& t) {
+    rdf::Triple encoded(dict_.Intern(scratch.dict().term(t.s)),
+                        dict_.Intern(scratch.dict().term(t.p)),
+                        dict_.Intern(scratch.dict().term(t.o)));
+    if (store.Insert(encoded)) ++added;
+  });
+  return added;
+}
+
+bool Federation::Insert(EndpointId id, const rdf::Triple& t) {
+  return endpoints_[id].store.Insert(t);
+}
+
+bool Federation::Erase(EndpointId id, const rdf::Triple& t) {
+  return endpoints_[id].store.Erase(t);
+}
+
+size_t Federation::size() const {
+  size_t total = 0;
+  for (const Endpoint& endpoint : endpoints_) total += endpoint.store.size();
+  return total;
+}
+
+rdf::TripleStore Federation::ClosedFederatedSchemaStore() const {
+  rdf::TripleStore merged;
+  for (const Endpoint& endpoint : endpoints_) {
+    endpoint.store.Match(0, 0, 0, [&](const rdf::Triple& t) {
+      if (vocab_.IsSchemaProperty(t.p)) merged.Insert(t);
+    });
+  }
+  reasoning::Saturator saturator(vocab_, &dict_);
+  return saturator.Saturate(merged);
+}
+
+Result<query::ResultSet> Federation::Query(std::string_view sparql,
+                                           FederationQueryInfo* info) {
+  WDR_ASSIGN_OR_RETURN(query::UnionQuery q,
+                       query::ParseSparql(sparql, dict_));
+  return Query(q, info);
+}
+
+Result<query::ResultSet> Federation::Query(const query::UnionQuery& q,
+                                           FederationQueryInfo* info) {
+  Timer timer;
+  // The schemas of all endpoints combine: constraints from any endpoint
+  // apply to facts from any other. The merged schema is tiny; closing it
+  // per query is the price of endpoint autonomy.
+  rdf::TripleStore closed_schema = ClosedFederatedSchemaStore();
+  schema::Schema schema = schema::Schema::FromStore(closed_schema, vocab_);
+  reformulation::Reformulator reformulator(schema, vocab_);
+  WDR_ASSIGN_OR_RETURN(query::UnionQuery reformulated,
+                       reformulator.Reformulate(q));
+
+  // Evaluate over closed schema ∪ endpoints, copying nothing.
+  rdf::UnionStore view;
+  view.AddMember(&closed_schema);
+  for (const Endpoint& endpoint : endpoints_) {
+    view.AddMember(&endpoint.store);
+  }
+  query::FederatedEvaluator evaluator(view);
+  query::ResultSet result = evaluator.Evaluate(reformulated);
+  if (info != nullptr) {
+    info->union_size = reformulated.size();
+    info->endpoints_scanned = endpoints_.size();
+    info->seconds = timer.ElapsedSeconds();
+  }
+  return result;
+}
+
+}  // namespace wdr::federation

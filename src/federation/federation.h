@@ -1,0 +1,96 @@
+#ifndef WDR_FEDERATION_FEDERATION_H_
+#define WDR_FEDERATION_FEDERATION_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "query/evaluator.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+#include "rdf/union_store.h"
+#include "schema/vocabulary.h"
+
+namespace wdr::federation {
+
+using EndpointId = size_t;
+
+// Per-query diagnostics.
+struct FederationQueryInfo {
+  size_t union_size = 1;        // reformulation disjuncts evaluated
+  size_t endpoints_scanned = 0;
+  double seconds = 0;
+};
+
+// A federation of autonomous RDF endpoints — the paper's §I scenario:
+// "typical Semantic Web scenarios involve integrating data from several
+// RDF repositories ... authored independently, [with] their own sets of
+// semantic constraints; computing prior to query answering all the
+// consequences of facts from any endpoint and constraints from any
+// (other) endpoint is not feasible."
+//
+// Accordingly the federation answers queries by REFORMULATION only: each
+// query is rewritten against the current union of all endpoint schemas
+// and evaluated over the set-union of endpoint stores (no endpoint's data
+// is copied or saturated). Constraints from one endpoint apply to facts
+// from any other, which is exactly the cross-endpoint entailment the
+// quote is about: q over the federation returns q(G∞) of the merged
+// graph (property-tested against merging + saturating).
+//
+// Terms are interned in one shared dictionary (a real deployment would
+// ship mappings; dictionary mechanics are orthogonal to the algorithms).
+class Federation {
+ public:
+  Federation();
+
+  // Registers an empty endpoint and returns its id.
+  EndpointId AddEndpoint(std::string name);
+
+  size_t endpoint_count() const { return endpoints_.size(); }
+  const std::string& endpoint_name(EndpointId id) const {
+    return endpoints_[id].name;
+  }
+  const rdf::TripleStore& endpoint_store(EndpointId id) const {
+    return endpoints_[id].store;
+  }
+
+  // Loads Turtle data into one endpoint. Returns new-triple count.
+  Result<size_t> LoadTurtle(EndpointId id, std::string_view text);
+
+  // Single-triple endpoint updates (terms must be interned via dict()).
+  bool Insert(EndpointId id, const rdf::Triple& t);
+  bool Erase(EndpointId id, const rdf::Triple& t);
+
+  // Answers a SPARQL query over the federation (reformulation + federated
+  // evaluation; set semantics across endpoints).
+  Result<query::ResultSet> Query(std::string_view sparql,
+                                 FederationQueryInfo* info = nullptr);
+
+  // Programmatic variant; constants must be interned via dict().
+  Result<query::ResultSet> Query(const query::UnionQuery& q,
+                                 FederationQueryInfo* info = nullptr);
+
+  rdf::Dictionary& dict() { return dict_; }
+  const schema::Vocabulary& vocab() const { return vocab_; }
+
+  // Total triples across endpoints (duplicates counted per endpoint).
+  size_t size() const;
+
+ private:
+  struct Endpoint {
+    std::string name;
+    rdf::TripleStore store;
+  };
+
+  // The union of all endpoints' schema triples, closed (rdfs5/rdfs11).
+  rdf::TripleStore ClosedFederatedSchemaStore() const;
+
+  rdf::Dictionary dict_;
+  schema::Vocabulary vocab_;
+  std::vector<Endpoint> endpoints_;
+};
+
+}  // namespace wdr::federation
+
+#endif  // WDR_FEDERATION_FEDERATION_H_

@@ -1,0 +1,61 @@
+#include "io/ntriples.h"
+
+#include "io/term_lexer.h"
+
+namespace wdr::io {
+
+using internal::Cursor;
+
+Result<size_t> ParseNTriples(std::string_view text, rdf::Graph& graph) {
+  Cursor cursor(text);
+  size_t parsed = 0;
+  while (true) {
+    cursor.SkipWhitespaceAndComments();
+    if (cursor.AtEnd()) break;
+
+    // Subject: IRI or blank node.
+    rdf::Term subject;
+    if (cursor.Peek() == '<') {
+      WDR_ASSIGN_OR_RETURN(subject, cursor.ParseIriRef());
+    } else if (cursor.Peek() == '_') {
+      WDR_ASSIGN_OR_RETURN(subject, cursor.ParseBlankNode());
+    } else {
+      return cursor.Error("subject must be an IRI or blank node");
+    }
+
+    cursor.SkipWhitespaceAndComments();
+    // Predicate: IRI only.
+    WDR_ASSIGN_OR_RETURN(rdf::Term predicate, cursor.ParseIriRef());
+
+    cursor.SkipWhitespaceAndComments();
+    // Object: IRI, blank node or literal.
+    rdf::Term object;
+    if (cursor.Peek() == '<') {
+      WDR_ASSIGN_OR_RETURN(object, cursor.ParseIriRef());
+    } else if (cursor.Peek() == '_') {
+      WDR_ASSIGN_OR_RETURN(object, cursor.ParseBlankNode());
+    } else if (cursor.Peek() == '"') {
+      WDR_ASSIGN_OR_RETURN(object, cursor.ParseLiteral());
+    } else {
+      return cursor.Error("object must be an IRI, blank node or literal");
+    }
+
+    cursor.SkipWhitespaceAndComments();
+    if (!cursor.Consume(".")) {
+      return cursor.Error("expected '.' terminating the statement");
+    }
+    if (graph.Insert(subject, predicate, object)) ++parsed;
+  }
+  return parsed;
+}
+
+std::string WriteNTriples(const rdf::Graph& graph) {
+  std::string out;
+  graph.store().Match(0, 0, 0, [&](const rdf::Triple& t) {
+    out += graph.Decode(t);
+    out += '\n';
+  });
+  return out;
+}
+
+}  // namespace wdr::io

@@ -1,0 +1,23 @@
+#ifndef WDR_IO_NTRIPLES_H_
+#define WDR_IO_NTRIPLES_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "rdf/graph.h"
+
+namespace wdr::io {
+
+// Parses N-Triples text (one `<s> <p> <o> .` statement per line, `#`
+// comments, blank nodes `_:label`, literals with `^^<dt>` / `@lang`) into
+// `graph`. Reports the first error with its line number. Returns the number
+// of triples parsed (duplicates count once).
+Result<size_t> ParseNTriples(std::string_view text, rdf::Graph& graph);
+
+// Serializes the whole graph in SPO order.
+std::string WriteNTriples(const rdf::Graph& graph);
+
+}  // namespace wdr::io
+
+#endif  // WDR_IO_NTRIPLES_H_

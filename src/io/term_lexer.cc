@@ -1,0 +1,129 @@
+#include "io/term_lexer.h"
+
+#include <cctype>
+
+namespace wdr::io::internal {
+
+void Cursor::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Next();
+    } else if (c == '#') {
+      while (!AtEnd() && Peek() != '\n') Next();
+    } else {
+      break;
+    }
+  }
+}
+
+bool Cursor::Consume(std::string_view token) {
+  if (text_.substr(pos_, token.size()) != token) return false;
+  for (size_t i = 0; i < token.size(); ++i) Next();
+  return true;
+}
+
+Status Cursor::Error(const std::string& message) const {
+  return ParseError("line " + std::to_string(line_) + ": " + message);
+}
+
+Result<rdf::Term> Cursor::ParseIriRef() {
+  if (Peek() != '<') return Error("expected '<' starting an IRI");
+  Next();
+  std::string iri;
+  while (!AtEnd() && Peek() != '>') {
+    char c = Next();
+    if (c == '\n') return Error("newline inside IRI");
+    iri += c;
+  }
+  if (AtEnd()) return Error("unterminated IRI");
+  Next();  // consume '>'
+  if (iri.empty()) return Error("empty IRI");
+  return rdf::Term::Iri(std::move(iri));
+}
+
+Result<rdf::Term> Cursor::ParseBlankNode() {
+  if (Peek() != '_' || PeekAt(1) != ':') {
+    return Error("expected '_:' starting a blank node");
+  }
+  Next();
+  Next();
+  std::string label;
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+        c == '.') {
+      label += Next();
+    } else {
+      break;
+    }
+  }
+  // A trailing '.' belongs to the statement terminator, not the label.
+  while (!label.empty() && label.back() == '.') {
+    label.pop_back();
+    --pos_;
+  }
+  if (label.empty()) return Error("empty blank node label");
+  return rdf::Term::Blank(std::move(label));
+}
+
+Result<rdf::Term> Cursor::ParseLiteral() {
+  if (Peek() != '"') return Error("expected '\"' starting a literal");
+  Next();
+  std::string lexical;
+  while (true) {
+    if (AtEnd()) return Error("unterminated literal");
+    char c = Next();
+    if (c == '"') break;
+    if (c == '\\') {
+      if (AtEnd()) return Error("dangling escape in literal");
+      char e = Next();
+      switch (e) {
+        case 't':
+          lexical += '\t';
+          break;
+        case 'n':
+          lexical += '\n';
+          break;
+        case 'r':
+          lexical += '\r';
+          break;
+        case '"':
+          lexical += '"';
+          break;
+        case '\\':
+          lexical += '\\';
+          break;
+        default:
+          return Error(std::string("unsupported escape '\\") + e + "'");
+      }
+    } else {
+      lexical += c;
+    }
+  }
+  std::string datatype;
+  std::string language;
+  if (Peek() == '@') {
+    Next();
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '-') {
+        language += Next();
+      } else {
+        break;
+      }
+    }
+    if (language.empty()) return Error("empty language tag");
+  } else if (Peek() == '^' && PeekAt(1) == '^' && PeekAt(2) == '<') {
+    // `^^pfx:name` datatypes are left unconsumed for dialect parsers
+    // (Turtle) that know the prefix table.
+    Next();
+    Next();
+    WDR_ASSIGN_OR_RETURN(rdf::Term dt, ParseIriRef());
+    datatype = dt.lexical;
+  }
+  return rdf::Term::Literal(std::move(lexical), std::move(datatype),
+                            std::move(language));
+}
+
+}  // namespace wdr::io::internal

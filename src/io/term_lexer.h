@@ -1,0 +1,55 @@
+#ifndef WDR_IO_TERM_LEXER_H_
+#define WDR_IO_TERM_LEXER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "rdf/term.h"
+
+namespace wdr::io::internal {
+
+// Character-level cursor shared by the N-Triples and Turtle parsers.
+// Tracks line numbers for error messages.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : text_[pos_]; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset >= text_.size() ? '\0' : text_[pos_ + offset];
+  }
+  char Next() {
+    char c = Peek();
+    if (c == '\n') ++line_;
+    ++pos_;
+    return c;
+  }
+  size_t line() const { return line_; }
+
+  // Skips whitespace and `#` comments (to end of line).
+  void SkipWhitespaceAndComments();
+
+  // True (and consumes) if the next characters are exactly `token`.
+  bool Consume(std::string_view token);
+
+  // Parses `<iri>`. Cursor must be at '<'.
+  Result<rdf::Term> ParseIriRef();
+  // Parses `_:label`. Cursor must be at '_'.
+  Result<rdf::Term> ParseBlankNode();
+  // Parses `"lexical"` with optional `@lang` or `^^<dt>`. Cursor at '"'.
+  Result<rdf::Term> ParseLiteral();
+
+  // Formats an error with the current line number.
+  Status Error(const std::string& message) const;
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+}  // namespace wdr::io::internal
+
+#endif  // WDR_IO_TERM_LEXER_H_

@@ -1,0 +1,238 @@
+#include "io/turtle.h"
+
+#include <cctype>
+#include <string>
+#include <unordered_map>
+
+#include "io/term_lexer.h"
+#include "schema/vocabulary.h"
+
+namespace wdr::io {
+namespace {
+
+using internal::Cursor;
+
+// Characters allowed inside the local part of a prefixed name.
+bool IsLocalNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+class TurtleParser {
+ public:
+  TurtleParser(std::string_view text, rdf::Graph& graph)
+      : cursor_(text), graph_(graph) {}
+
+  Result<size_t> Run() {
+    while (true) {
+      cursor_.SkipWhitespaceAndComments();
+      if (cursor_.AtEnd()) break;
+      WDR_RETURN_IF_ERROR(ParseStatement());
+    }
+    return added_;
+  }
+
+ private:
+  Status ParseStatement() {
+    if (cursor_.Peek() == '@') {
+      return ParseAtDirective();
+    }
+    // SPARQL-style PREFIX (case-insensitive, no trailing dot).
+    if ((cursor_.Peek() == 'P' || cursor_.Peek() == 'p') &&
+        LooksLikePrefixKeyword()) {
+      return ParsePrefixBody(/*expect_dot=*/false);
+    }
+    return ParseTriples();
+  }
+
+  bool LooksLikePrefixKeyword() {
+    static constexpr std::string_view kUpper = "PREFIX";
+    for (size_t i = 0; i < kUpper.size(); ++i) {
+      char c = cursor_.PeekAt(i);
+      if (std::toupper(static_cast<unsigned char>(c)) != kUpper[i]) {
+        return false;
+      }
+    }
+    char after = cursor_.PeekAt(kUpper.size());
+    if (!std::isspace(static_cast<unsigned char>(after))) return false;
+    for (size_t i = 0; i < kUpper.size(); ++i) cursor_.Next();
+    return true;
+  }
+
+  Status ParseAtDirective() {
+    cursor_.Next();  // '@'
+    if (cursor_.Consume("prefix")) {
+      return ParsePrefixBody(/*expect_dot=*/true);
+    }
+    if (cursor_.Consume("base")) {
+      return cursor_.Error("@base is not supported; use absolute IRIs");
+    }
+    return cursor_.Error("unknown @ directive");
+  }
+
+  Status ParsePrefixBody(bool expect_dot) {
+    cursor_.SkipWhitespaceAndComments();
+    std::string prefix;
+    while (!cursor_.AtEnd() && cursor_.Peek() != ':') {
+      char c = cursor_.Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) break;
+      prefix += cursor_.Next();
+    }
+    if (cursor_.Peek() != ':') {
+      return cursor_.Error("expected ':' in prefix declaration");
+    }
+    cursor_.Next();
+    cursor_.SkipWhitespaceAndComments();
+    WDR_ASSIGN_OR_RETURN(rdf::Term iri, cursor_.ParseIriRef());
+    prefixes_[prefix] = iri.lexical;
+    if (expect_dot) {
+      cursor_.SkipWhitespaceAndComments();
+      if (!cursor_.Consume(".")) {
+        return cursor_.Error("expected '.' after @prefix directive");
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status ParseTriples() {
+    WDR_ASSIGN_OR_RETURN(rdf::Term subject, ParseSubject());
+    while (true) {
+      cursor_.SkipWhitespaceAndComments();
+      WDR_ASSIGN_OR_RETURN(rdf::Term predicate, ParsePredicate());
+      while (true) {
+        cursor_.SkipWhitespaceAndComments();
+        WDR_ASSIGN_OR_RETURN(rdf::Term object, ParseObject());
+        if (graph_.Insert(subject, predicate, object)) ++added_;
+        cursor_.SkipWhitespaceAndComments();
+        if (!cursor_.Consume(",")) break;
+      }
+      if (cursor_.Consume(";")) {
+        cursor_.SkipWhitespaceAndComments();
+        // A ';' may be trailing before the final '.'.
+        if (cursor_.Peek() == '.') break;
+        continue;
+      }
+      break;
+    }
+    cursor_.SkipWhitespaceAndComments();
+    if (!cursor_.Consume(".")) {
+      return cursor_.Error("expected '.' terminating the statement");
+    }
+    return Status::Ok();
+  }
+
+  Result<rdf::Term> ParseSubject() {
+    char c = cursor_.Peek();
+    if (c == '<') return cursor_.ParseIriRef();
+    if (c == '_') return cursor_.ParseBlankNode();
+    if (c == '[' || c == '(') {
+      return cursor_.Error("anonymous nodes / collections not supported");
+    }
+    return ParsePrefixedName();
+  }
+
+  Result<rdf::Term> ParsePredicate() {
+    char c = cursor_.Peek();
+    if (c == 'a' && IsKeywordBoundary(cursor_.PeekAt(1))) {
+      cursor_.Next();
+      return rdf::Term::Iri(schema::iri::kType);
+    }
+    if (c == '<') return cursor_.ParseIriRef();
+    return ParsePrefixedName();
+  }
+
+  Result<rdf::Term> ParseObject() {
+    char c = cursor_.Peek();
+    if (c == '<') return cursor_.ParseIriRef();
+    if (c == '_') return cursor_.ParseBlankNode();
+    if (c == '"') return ParseLiteralWithPrefixedDatatype();
+    if (c == '[' || c == '(') {
+      return cursor_.Error("anonymous nodes / collections not supported");
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '+' || c == '-') {
+      return ParseNumericLiteral();
+    }
+    return ParsePrefixedName();
+  }
+
+  // After the `a` keyword comes a term, never ':' (which would make it a
+  // prefixed name with prefix "a") nor a local-name character.
+  static bool IsKeywordBoundary(char c) {
+    return std::isspace(static_cast<unsigned char>(c)) || c == '<' ||
+           c == '_' || c == '"' || c == '\0';
+  }
+
+  Result<rdf::Term> ParseLiteralWithPrefixedDatatype() {
+    // Cursor::ParseLiteral handles `^^<iri>`; handle `^^p:name` here by
+    // parsing the quoted part first, then checking for a prefixed datatype.
+    WDR_ASSIGN_OR_RETURN(rdf::Term literal, cursor_.ParseLiteral());
+    if (literal.datatype.empty() && literal.language.empty() &&
+        cursor_.Peek() == '^' && cursor_.PeekAt(1) == '^') {
+      cursor_.Next();
+      cursor_.Next();
+      WDR_ASSIGN_OR_RETURN(rdf::Term dt, ParsePrefixedName());
+      literal.datatype = dt.lexical;
+    }
+    return literal;
+  }
+
+  Result<rdf::Term> ParseNumericLiteral() {
+    std::string digits;
+    bool is_decimal = false;
+    if (cursor_.Peek() == '+' || cursor_.Peek() == '-') {
+      digits += cursor_.Next();
+    }
+    while (!cursor_.AtEnd()) {
+      char c = cursor_.Peek();
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        digits += cursor_.Next();
+      } else if (c == '.' &&
+                 std::isdigit(static_cast<unsigned char>(cursor_.PeekAt(1)))) {
+        is_decimal = true;
+        digits += cursor_.Next();
+      } else {
+        break;
+      }
+    }
+    if (digits.empty() || digits == "+" || digits == "-") {
+      return cursor_.Error("malformed numeric literal");
+    }
+    const char* xsd = is_decimal ? "http://www.w3.org/2001/XMLSchema#decimal"
+                                 : "http://www.w3.org/2001/XMLSchema#integer";
+    return rdf::Term::Literal(std::move(digits), xsd);
+  }
+
+  Result<rdf::Term> ParsePrefixedName() {
+    std::string prefix;
+    while (!cursor_.AtEnd() && cursor_.Peek() != ':') {
+      char c = cursor_.Peek();
+      if (!IsLocalNameChar(c)) break;
+      prefix += cursor_.Next();
+    }
+    if (cursor_.Peek() != ':') {
+      return cursor_.Error("expected a prefixed name");
+    }
+    cursor_.Next();
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) {
+      return cursor_.Error("undeclared prefix '" + prefix + ":'");
+    }
+    std::string local;
+    while (!cursor_.AtEnd() && IsLocalNameChar(cursor_.Peek())) {
+      local += cursor_.Next();
+    }
+    return rdf::Term::Iri(it->second + local);
+  }
+
+  Cursor cursor_;
+  rdf::Graph& graph_;
+  std::unordered_map<std::string, std::string> prefixes_;
+  size_t added_ = 0;
+};
+
+}  // namespace
+
+Result<size_t> ParseTurtle(std::string_view text, rdf::Graph& graph) {
+  return TurtleParser(text, graph).Run();
+}
+
+}  // namespace wdr::io

@@ -1,0 +1,23 @@
+#ifndef WDR_IO_TURTLE_H_
+#define WDR_IO_TURTLE_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "rdf/graph.h"
+
+namespace wdr::io {
+
+// Parses a practical Turtle subset into `graph`:
+//   - `@prefix p: <iri> .` and SPARQL-style `PREFIX p: <iri>` directives
+//   - `@base <iri> .` is rejected (absolute IRIs only)
+//   - prefixed names (`p:local`), IRIs, blank nodes, literals
+//   - the `a` keyword for rdf:type
+//   - predicate lists with `;` and object lists with `,`
+// Collections `( ... )` and anonymous nodes `[ ... ]` are not supported and
+// produce a ParseError. Returns the number of distinct triples added.
+Result<size_t> ParseTurtle(std::string_view text, rdf::Graph& graph);
+
+}  // namespace wdr::io
+
+#endif  // WDR_IO_TURTLE_H_

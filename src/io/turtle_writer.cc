@@ -1,0 +1,112 @@
+#include "io/turtle_writer.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "rdf/triple.h"
+#include "schema/vocabulary.h"
+
+namespace wdr::io {
+namespace {
+
+// A local name must be a plain identifier for the prefixed form to
+// round-trip through our parser.
+bool IsSafeLocalName(std::string_view local) {
+  if (local.empty()) return false;
+  for (char c : local) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+class TurtleWriter {
+ public:
+  TurtleWriter(const rdf::Graph& graph,
+               std::vector<std::pair<std::string, std::string>> prefixes)
+      : graph_(graph), prefixes_(std::move(prefixes)) {
+    // Longest namespace first so the most specific prefix wins.
+    std::sort(prefixes_.begin(), prefixes_.end(),
+              [](const auto& a, const auto& b) {
+                return a.second.size() > b.second.size();
+              });
+    type_id_ = graph.dict().LookupIri(schema::iri::kType);
+  }
+
+  std::string Run() {
+    std::string out;
+    for (const auto& [label, ns] : prefixes_) {
+      out += "@prefix " + label + ": <" + ns + "> .\n";
+    }
+    if (!prefixes_.empty()) out += "\n";
+
+    // Group by subject (the SPO scan is already subject-ordered) and by
+    // predicate within the subject.
+    rdf::TermId current_subject = rdf::kNullTermId;
+    rdf::TermId current_predicate = rdf::kNullTermId;
+    bool open = false;
+    graph_.store().Match(0, 0, 0, [&](const rdf::Triple& t) {
+      if (t.s != current_subject) {
+        if (open) out += " .\n";
+        out += Render(t.s);
+        out += ' ';
+        out += RenderPredicate(t.p);
+        out += ' ';
+        out += Render(t.o);
+        current_subject = t.s;
+        current_predicate = t.p;
+        open = true;
+      } else if (t.p != current_predicate) {
+        out += " ;\n    ";
+        out += RenderPredicate(t.p);
+        out += ' ';
+        out += Render(t.o);
+        current_predicate = t.p;
+      } else {
+        out += " , ";
+        out += Render(t.o);
+      }
+    });
+    if (open) out += " .\n";
+    return out;
+  }
+
+ private:
+  std::string RenderPredicate(rdf::TermId id) {
+    if (id == type_id_) return "a";
+    return Render(id);
+  }
+
+  std::string Render(rdf::TermId id) {
+    const rdf::Term& term = graph_.dict().term(id);
+    if (term.is_iri()) {
+      for (const auto& [label, ns] : prefixes_) {
+        if (term.lexical.size() > ns.size() &&
+            term.lexical.compare(0, ns.size(), ns) == 0) {
+          std::string local = term.lexical.substr(ns.size());
+          if (IsSafeLocalName(local)) return label + ":" + local;
+        }
+      }
+    }
+    return term.ToNTriples();
+  }
+
+  const rdf::Graph& graph_;
+  std::vector<std::pair<std::string, std::string>> prefixes_;
+  rdf::TermId type_id_ = rdf::kNullTermId;
+};
+
+}  // namespace
+
+std::string WriteTurtle(
+    const rdf::Graph& graph,
+    const std::vector<std::pair<std::string, std::string>>& prefixes) {
+  std::vector<std::pair<std::string, std::string>> all = prefixes;
+  all.emplace_back("rdf", schema::iri::kRdfNs);
+  all.emplace_back("rdfs", schema::iri::kRdfsNs);
+  return TurtleWriter(graph, std::move(all)).Run();
+}
+
+}  // namespace wdr::io

@@ -1,0 +1,23 @@
+#ifndef WDR_IO_TURTLE_WRITER_H_
+#define WDR_IO_TURTLE_WRITER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace wdr::io {
+
+// Serializes `graph` as Turtle: declares the given prefixes (pairs of
+// prefix label and namespace IRI) plus rdf:/rdfs: by default, compacts
+// IRIs under them, abbreviates rdf:type as `a`, and groups triples by
+// subject with `;` predicate lists and `,` object lists. The output parses
+// back to the same graph (round-trip tested).
+std::string WriteTurtle(
+    const rdf::Graph& graph,
+    const std::vector<std::pair<std::string, std::string>>& prefixes = {});
+
+}  // namespace wdr::io
+
+#endif  // WDR_IO_TURTLE_WRITER_H_

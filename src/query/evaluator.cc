@@ -1,0 +1,231 @@
+#include "query/evaluator.h"
+
+#include <algorithm>
+#include <set>
+
+namespace wdr::query {
+namespace {
+
+using rdf::kNullTermId;
+using rdf::Triple;
+using rdf::TripleStore;
+using rdf::UnionStore;
+
+// Resolves a pattern position under the current bindings: a constant, a
+// bound variable's value, or 0 (wildcard) for an unbound variable.
+TermId Resolve(const PatternTerm& t, const std::vector<TermId>& bindings) {
+  if (t.is_const()) return t.id;
+  return bindings[t.var];
+}
+
+// Recursive bound-first join over the atoms of `q`. Store is any type
+// with the TripleStore Match/EstimateCount surface (TripleStore itself or
+// the federation's UnionStore).
+template <typename Store>
+class BgpJoin {
+ public:
+  BgpJoin(const Store& store, const BgpQuery& q, bool greedy = true)
+      : store_(store),
+        q_(q),
+        greedy_(greedy),
+        bindings_(q.var_count(), kNullTermId) {
+    for (const auto& [var, value] : q.preset()) bindings_[var] = value;
+  }
+
+  // Runs the join; `emit` returns false to stop enumeration early (used
+  // by ASK and LIMIT, where computing further solutions is wasted work).
+  template <typename EmitFn>
+  void Run(EmitFn&& emit) {
+    remaining_.resize(q_.atoms().size());
+    for (size_t i = 0; i < remaining_.size(); ++i) remaining_[i] = i;
+    Recurse(emit);
+  }
+
+  const std::vector<TermId>& bindings() const { return bindings_; }
+
+ private:
+  template <typename EmitFn>
+  void Recurse(EmitFn&& emit) {
+    if (stopped_) return;
+    if (remaining_.empty()) {
+      if (!internal_emit(emit)) stopped_ = true;
+      return;
+    }
+    // Pick the cheapest atom under current bindings (or the first
+    // remaining one when greedy ordering is disabled).
+    size_t best_pos = 0;
+    if (greedy_) {
+      size_t best_cost = SIZE_MAX;
+      for (size_t i = 0; i < remaining_.size(); ++i) {
+        const TriplePattern& a = q_.atoms()[remaining_[i]];
+        size_t cost = store_.EstimateCount(Resolve(a.s, bindings_),
+                                           Resolve(a.p, bindings_),
+                                           Resolve(a.o, bindings_));
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_pos = i;
+        }
+      }
+    }
+    size_t atom_index = remaining_[best_pos];
+    remaining_.erase(remaining_.begin() + best_pos);
+    const TriplePattern& atom = q_.atoms()[atom_index];
+
+    TermId s = Resolve(atom.s, bindings_);
+    TermId p = Resolve(atom.p, bindings_);
+    TermId o = Resolve(atom.o, bindings_);
+    store_.Match(s, p, o, [&](const Triple& t) {
+      // Bind unbound variable positions, enforcing repeated-variable
+      // consistency (e.g. ?x ?p ?x).
+      std::vector<std::pair<VarId, TermId>> bound_here;
+      bool ok = TryBind(atom.s, t.s, bound_here) &&
+                TryBind(atom.p, t.p, bound_here) &&
+                TryBind(atom.o, t.o, bound_here);
+      if (ok) Recurse(emit);
+      for (auto it = bound_here.rbegin(); it != bound_here.rend(); ++it) {
+        bindings_[it->first] = kNullTermId;
+      }
+      return !stopped_;
+    });
+
+    remaining_.insert(remaining_.begin() + best_pos, atom_index);
+  }
+
+  // Adapts emit callbacks returning void (never stop) or bool.
+  template <typename EmitFn>
+  bool internal_emit(EmitFn&& emit) {
+    if constexpr (std::is_void_v<decltype(emit(bindings_))>) {
+      emit(bindings_);
+      return true;
+    } else {
+      return emit(bindings_);
+    }
+  }
+
+  bool TryBind(const PatternTerm& term, TermId value,
+               std::vector<std::pair<VarId, TermId>>& bound_here) {
+    if (term.is_const()) return term.id == value;
+    TermId& slot = bindings_[term.var];
+    if (slot == kNullTermId) {
+      slot = value;
+      bound_here.emplace_back(term.var, value);
+      return true;
+    }
+    return slot == value;
+  }
+
+  const Store& store_;
+  const BgpQuery& q_;
+  bool greedy_;
+  bool stopped_ = false;
+  std::vector<TermId> bindings_;
+  std::vector<size_t> remaining_;
+};
+
+Row ProjectRow(const BgpQuery& q, const std::vector<TermId>& bindings) {
+  Row row;
+  row.reserve(q.projection().size());
+  for (VarId v : q.projection()) row.push_back(bindings[v]);
+  return row;
+}
+
+template <typename Store>
+ResultSet EvaluateBgp(const Store& store, const BgpQuery& q,
+                      bool greedy = true) {
+  ResultSet result;
+  result.var_names = q.ProjectionNames();
+  if (q.distinct()) {
+    std::set<Row> seen;
+    BgpJoin<Store> join(store, q, greedy);
+    join.Run([&](const std::vector<TermId>& bindings) {
+      Row row = ProjectRow(q, bindings);
+      if (seen.insert(row).second) result.rows.push_back(std::move(row));
+    });
+  } else {
+    BgpJoin<Store> join(store, q, greedy);
+    join.Run([&](const std::vector<TermId>& bindings) {
+      result.rows.push_back(ProjectRow(q, bindings));
+    });
+  }
+  return result;
+}
+
+// Distinct rows needed before enumeration may stop: one for ASK,
+// offset + limit when a LIMIT is set, otherwise unbounded.
+size_t MaxRowsNeeded(const UnionQuery& q) {
+  if (q.ask()) return 1;
+  if (q.limit() == UnionQuery::kNoLimit) return SIZE_MAX;
+  size_t cap = q.offset() + q.limit();
+  return cap < q.limit() ? SIZE_MAX : cap;  // overflow guard
+}
+
+template <typename Store>
+ResultSet EvaluateUnionQuery(const Store& store, const UnionQuery& q,
+                             bool greedy = true) {
+  ResultSet result;
+  const size_t max_rows = MaxRowsNeeded(q);
+  std::set<Row> seen;
+  for (const BgpQuery& branch : q.branches()) {
+    if (result.var_names.empty()) {
+      result.var_names = branch.ProjectionNames();
+    }
+    if (result.rows.size() >= max_rows) break;
+    BgpJoin<Store> join(store, branch, greedy);
+    join.Run([&](const std::vector<TermId>& bindings) {
+      Row row = ProjectRow(branch, bindings);
+      if (seen.insert(row).second) result.rows.push_back(std::move(row));
+      return result.rows.size() < max_rows;
+    });
+  }
+  return result;
+}
+
+}  // namespace
+
+void ApplySolutionModifiers(const UnionQuery& q, ResultSet& result) {
+  if (q.ask()) {
+    bool any = !result.rows.empty();
+    result.var_names.clear();
+    result.rows.clear();
+    if (any) result.rows.push_back({});
+    return;
+  }
+  if (q.offset() > 0) {
+    size_t drop = std::min(q.offset(), result.rows.size());
+    result.rows.erase(result.rows.begin(), result.rows.begin() + drop);
+  }
+  if (q.limit() != UnionQuery::kNoLimit && result.rows.size() > q.limit()) {
+    result.rows.resize(q.limit());
+  }
+}
+
+void ResultSet::Normalize(bool dedup) {
+  std::sort(rows.begin(), rows.end());
+  if (dedup) rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+}
+
+ResultSet Evaluator::Evaluate(const BgpQuery& q) const {
+  return EvaluateBgp(*store_, q, options_.greedy_join_order);
+}
+
+ResultSet Evaluator::Evaluate(const UnionQuery& q) const {
+  ResultSet result = EvaluateUnionQuery(*store_, q, options_.greedy_join_order);
+  ApplySolutionModifiers(q, result);
+  return result;
+}
+
+ResultSet FederatedEvaluator::Evaluate(const BgpQuery& q) const {
+  return EvaluateBgp(*store_, q);
+}
+
+ResultSet FederatedEvaluator::Evaluate(const UnionQuery& q) const {
+  ResultSet result = EvaluateUnionQuery(*store_, q);
+  ApplySolutionModifiers(q, result);
+  return result;
+}
+
+size_t Evaluator::CountAnswers(const BgpQuery& q) const {
+  return Evaluate(q).rows.size();
+}
+
+}  // namespace wdr::query

@@ -1,0 +1,89 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <map>
+
+namespace wdr::query {
+
+VarId BgpQuery::AddVar(const std::string& name) {
+  auto it = var_index_.find(name);
+  if (it != var_index_.end()) return it->second;
+  VarId id = static_cast<VarId>(var_names_.size());
+  var_names_.push_back(name);
+  var_index_.emplace(name, id);
+  return id;
+}
+
+Result<VarId> BgpQuery::VarByName(const std::string& name) const {
+  auto it = var_index_.find(name);
+  if (it == var_index_.end()) {
+    return NotFoundError("no variable named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> BgpQuery::ProjectionNames() const {
+  std::vector<std::string> names;
+  names.reserve(projection_.size());
+  for (VarId v : projection_) names.push_back(var_names_[v]);
+  return names;
+}
+
+std::string BgpQuery::CanonicalKey() const {
+  // Projected variables keep their role index; every other variable is
+  // renamed to its first-occurrence order so fresh-variable identity does
+  // not distinguish otherwise identical rewritings.
+  auto tagged = [](char tag, size_t n) {
+    std::string s(1, tag);
+    s += std::to_string(n);
+    return s;
+  };
+  std::map<VarId, std::string> rename;
+  for (size_t i = 0; i < projection_.size(); ++i) {
+    rename[projection_[i]] = tagged('#', i);
+  }
+  size_t next_fresh = 0;
+  auto term_key = [&](const PatternTerm& t) -> std::string {
+    if (t.is_const()) return tagged('c', t.id);
+    auto it = rename.find(t.var);
+    if (it == rename.end()) {
+      it = rename.emplace(t.var, tagged('f', next_fresh++)).first;
+    }
+    return it->second;
+  };
+  std::vector<std::string> atom_keys;
+  atom_keys.reserve(atoms_.size());
+  for (const TriplePattern& a : atoms_) {
+    atom_keys.push_back(term_key(a.s) + " " + term_key(a.p) + " " +
+                        term_key(a.o));
+  }
+  // Sorting atom keys canonicalizes atom order. Renaming depends on the
+  // original order, so two CQs equal up to atom permutation may still get
+  // different keys; the dedup is conservative (never merges distinct CQs).
+  std::sort(atom_keys.begin(), atom_keys.end());
+  std::string key;
+  for (const std::string& a : atom_keys) {
+    key += a;
+    key += " . ";
+  }
+  std::vector<std::pair<VarId, TermId>> presets(preset_.begin(),
+                                                preset_.end());
+  std::sort(presets.begin(), presets.end());
+  for (const auto& [var, value] : presets) {
+    auto it = rename.find(var);
+    std::string var_key = it == rename.end() ? tagged('v', var) : it->second;
+    key += '|';
+    key += var_key;
+    key += '=';
+    key += std::to_string(value);
+  }
+  return key;
+}
+
+size_t UnionQuery::TotalAtoms() const {
+  size_t total = 0;
+  for (const BgpQuery& q : branches_) total += q.atoms().size();
+  return total;
+}
+
+}  // namespace wdr::query

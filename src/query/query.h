@@ -1,0 +1,151 @@
+#ifndef WDR_QUERY_QUERY_H_
+#define WDR_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/term.h"
+
+namespace wdr::query {
+
+using rdf::TermId;
+
+// Index of a variable within one BgpQuery's variable table.
+using VarId = uint32_t;
+
+// One position of a triple pattern: a constant term or a variable.
+struct PatternTerm {
+  enum class Kind : uint8_t { kConstant, kVariable };
+
+  Kind kind = Kind::kConstant;
+  TermId id = rdf::kNullTermId;  // valid when kind == kConstant
+  VarId var = 0;                 // valid when kind == kVariable
+
+  static PatternTerm Constant(TermId id) {
+    PatternTerm t;
+    t.kind = Kind::kConstant;
+    t.id = id;
+    return t;
+  }
+  static PatternTerm Variable(VarId var) {
+    PatternTerm t;
+    t.kind = Kind::kVariable;
+    t.var = var;
+    return t;
+  }
+
+  bool is_var() const { return kind == Kind::kVariable; }
+  bool is_const() const { return kind == Kind::kConstant; }
+
+  friend bool operator==(const PatternTerm& a, const PatternTerm& b) {
+    if (a.kind != b.kind) return false;
+    return a.is_var() ? a.var == b.var : a.id == b.id;
+  }
+};
+
+// A SPARQL triple pattern (one atom of a BGP).
+struct TriplePattern {
+  PatternTerm s;
+  PatternTerm p;
+  PatternTerm o;
+
+  friend bool operator==(const TriplePattern&, const TriplePattern&) = default;
+};
+
+// A basic graph pattern query (SPARQL conjunctive query): a set of triple
+// patterns, a projection, and an optional set of preset variable bindings
+// (used by reformulation, which may bind an answer variable to a schema
+// constant in some disjuncts of the rewriting).
+class BgpQuery {
+ public:
+  BgpQuery() = default;
+
+  // Returns the id for variable `name`, registering it if new.
+  VarId AddVar(const std::string& name);
+
+  // Returns the id of `name` or an error if the query has no such variable.
+  Result<VarId> VarByName(const std::string& name) const;
+
+  void AddAtom(const TriplePattern& atom) { atoms_.push_back(atom); }
+
+  // Appends `var` to the projected (answer) variables.
+  void Project(VarId var) { projection_.push_back(var); }
+
+  void SetDistinct(bool distinct) { distinct_ = distinct; }
+
+  // Fixes `var` to the constant `value` (applies before evaluation).
+  void Preset(VarId var, TermId value) { preset_[var] = value; }
+
+  size_t var_count() const { return var_names_.size(); }
+  const std::string& var_name(VarId var) const { return var_names_[var]; }
+  const std::vector<TriplePattern>& atoms() const { return atoms_; }
+  std::vector<TriplePattern>& mutable_atoms() { return atoms_; }
+  const std::vector<VarId>& projection() const { return projection_; }
+  bool distinct() const { return distinct_; }
+  const std::unordered_map<VarId, TermId>& preset() const { return preset_; }
+
+  // Projected variable names, in projection order.
+  std::vector<std::string> ProjectionNames() const;
+
+  // A canonical textual form used for de-duplicating reformulations:
+  // atoms sorted, non-projected variables renamed by first occurrence.
+  std::string CanonicalKey() const;
+
+ private:
+  std::vector<std::string> var_names_;
+  std::unordered_map<std::string, VarId> var_index_;
+  std::vector<TriplePattern> atoms_;
+  std::vector<VarId> projection_;
+  std::unordered_map<VarId, TermId> preset_;
+  bool distinct_ = false;
+};
+
+// A union of conjunctive queries (the shape reformulation produces). All
+// branches must project the same number of variables, in the same role
+// order; evaluation takes the set-union of branch answers. Carries the
+// query-level modifiers: ASK form, LIMIT and OFFSET.
+class UnionQuery {
+ public:
+  UnionQuery() = default;
+
+  static UnionQuery Single(BgpQuery q) {
+    UnionQuery u;
+    u.AddBranch(std::move(q));
+    return u;
+  }
+
+  void AddBranch(BgpQuery q) { branches_.push_back(std::move(q)); }
+
+  const std::vector<BgpQuery>& branches() const { return branches_; }
+  size_t size() const { return branches_.size(); }
+
+  // ASK form: evaluation stops at the first answer and reports a boolean
+  // (a result set with one empty row, or none).
+  void SetAsk(bool ask) { ask_ = ask; }
+  bool ask() const { return ask_; }
+
+  // LIMIT / OFFSET solution modifiers (applied after de-duplication).
+  // kNoLimit means unlimited.
+  static constexpr size_t kNoLimit = static_cast<size_t>(-1);
+  void SetLimit(size_t limit) { limit_ = limit; }
+  void SetOffset(size_t offset) { offset_ = offset; }
+  size_t limit() const { return limit_; }
+  size_t offset() const { return offset_; }
+
+  // Total number of atoms across branches — the paper's measure of how
+  // much "syntactically larger" a reformulated query is.
+  size_t TotalAtoms() const;
+
+ private:
+  std::vector<BgpQuery> branches_;
+  bool ask_ = false;
+  size_t limit_ = kNoLimit;
+  size_t offset_ = 0;
+};
+
+}  // namespace wdr::query
+
+#endif  // WDR_QUERY_QUERY_H_

@@ -1,0 +1,26 @@
+#ifndef WDR_QUERY_SPARQL_PARSER_H_
+#define WDR_QUERY_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "query/query.h"
+#include "rdf/dictionary.h"
+
+namespace wdr::query {
+
+// Parses the BGP dialect of SPARQL the paper considers (§II-A):
+//
+//   PREFIX p: <iri> ...
+//   SELECT [DISTINCT] (?v ... | *) WHERE { pattern }
+//
+// where `pattern` is triple patterns separated by '.', or a top-level
+// `{ bgp } UNION { bgp } ...`. Terms: <iri>, prefixed names, ?vars,
+// "literals" (with @lang / ^^<dt>), the keyword `a`, and _:blank nodes
+// (treated as constants). Constants are interned into `dict` so the query
+// can mention terms absent from the data (they simply match nothing).
+Result<UnionQuery> ParseSparql(std::string_view text, rdf::Dictionary& dict);
+
+}  // namespace wdr::query
+
+#endif  // WDR_QUERY_SPARQL_PARSER_H_

@@ -1,0 +1,33 @@
+#include "rdf/dictionary.h"
+
+namespace wdr::rdf {
+
+std::string Dictionary::MakeKey(const Term& term) {
+  std::string key;
+  key.reserve(term.lexical.size() + term.datatype.size() +
+              term.language.size() + 4);
+  key += static_cast<char>('0' + static_cast<int>(term.kind));
+  key += term.lexical;
+  key += '\x01';
+  key += term.datatype;
+  key += '\x01';
+  key += term.language;
+  return key;
+}
+
+TermId Dictionary::Intern(const Term& term) {
+  std::string key = MakeKey(term);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  terms_.push_back(term);
+  TermId id = static_cast<TermId>(terms_.size());
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+TermId Dictionary::Lookup(const Term& term) const {
+  auto it = index_.find(MakeKey(term));
+  return it == index_.end() ? kNullTermId : it->second;
+}
+
+}  // namespace wdr::rdf

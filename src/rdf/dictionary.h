@@ -1,0 +1,60 @@
+#ifndef WDR_RDF_DICTIONARY_H_
+#define WDR_RDF_DICTIONARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/term.h"
+
+namespace wdr::rdf {
+
+// Bidirectional interning of Terms to dense TermIds starting at 1.
+// Dictionary encoding keeps triples at 12 bytes and makes all joins and
+// index comparisons integer comparisons, the standard design in RDF stores
+// (RDF-3X, Hexastore) referenced by the paper.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // Copyable (snapshotting a graph copies its dictionary) and movable.
+  Dictionary(const Dictionary&) = default;
+  Dictionary& operator=(const Dictionary&) = default;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  // Returns the id for `term`, interning it if new. Never returns 0.
+  TermId Intern(const Term& term);
+
+  // Convenience interning of an IRI string.
+  TermId InternIri(const std::string& iri) { return Intern(Term::Iri(iri)); }
+
+  // Returns the id of `term` or kNullTermId if it was never interned.
+  TermId Lookup(const Term& term) const;
+  TermId LookupIri(const std::string& iri) const {
+    return Lookup(Term::Iri(iri));
+  }
+
+  // Returns the term for a valid id. id must be in [1, size()].
+  const Term& term(TermId id) const { return terms_[id - 1]; }
+
+  // Whether `id` names an interned term.
+  bool Contains(TermId id) const {
+    return id != kNullTermId && id <= terms_.size();
+  }
+
+  // Number of interned terms. Valid ids are 1..size().
+  size_t size() const { return terms_.size(); }
+
+ private:
+  // Canonical key: kind byte + lexical + separators + datatype + language.
+  static std::string MakeKey(const Term& term);
+
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<Term> terms_;
+};
+
+}  // namespace wdr::rdf
+
+#endif  // WDR_RDF_DICTIONARY_H_

@@ -1,0 +1,40 @@
+#include "rdf/graph.h"
+
+#include <string_view>
+
+namespace wdr::rdf {
+namespace {
+
+constexpr std::string_view kRdfsPrefix = "http://www.w3.org/2000/01/rdf-schema#";
+
+}  // namespace
+
+bool Graph::Insert(const Term& s, const Term& p, const Term& o) {
+  Triple t(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
+  return store_.Insert(t);
+}
+
+bool Graph::InsertIris(const std::string& s, const std::string& p,
+                       const std::string& o) {
+  return Insert(Term::Iri(s), Term::Iri(p), Term::Iri(o));
+}
+
+std::string Graph::Decode(const Triple& t) const {
+  return dict_.term(t.s).ToNTriples() + " " + dict_.term(t.p).ToNTriples() +
+         " " + dict_.term(t.o).ToNTriples() + " .";
+}
+
+GraphStats Graph::Stats() const {
+  GraphStats stats;
+  stats.triple_count = store_.size();
+  stats.term_count = dict_.size();
+  store_.Match(0, 0, 0, [&](const Triple& t) {
+    const Term& p = dict_.term(t.p);
+    if (p.is_iri() && p.lexical.rfind(kRdfsPrefix, 0) == 0) {
+      ++stats.schema_triple_count;
+    }
+  });
+  return stats;
+}
+
+}  // namespace wdr::rdf

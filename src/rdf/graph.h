@@ -1,0 +1,65 @@
+#ifndef WDR_RDF_GRAPH_H_
+#define WDR_RDF_GRAPH_H_
+
+#include <string>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+#include "rdf/triple_store.h"
+
+namespace wdr::rdf {
+
+// Basic statistics over a graph, used by benches and the strategy advisor.
+struct GraphStats {
+  size_t triple_count = 0;
+  size_t term_count = 0;
+  size_t schema_triple_count = 0;  // triples whose property is an RDFS one
+};
+
+// An RDF graph: a dictionary plus a store of encoded triples. Both schema
+// (RDFS) triples and instance triples live in the same store, as in the RDF
+// standard; the schema module derives a constraint view from it.
+class Graph {
+ public:
+  Graph() = default;
+
+  // Copyable: snapshotting the base graph is how benches restore state
+  // between runs. Moves are cheap.
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  Dictionary& dict() { return dict_; }
+  const Dictionary& dict() const { return dict_; }
+
+  TripleStore& store() { return store_; }
+  const TripleStore& store() const { return store_; }
+
+  // Interns the three terms and inserts the triple. Returns false if the
+  // triple was already present.
+  bool Insert(const Term& s, const Term& p, const Term& o);
+
+  // Convenience for all-IRI triples.
+  bool InsertIris(const std::string& s, const std::string& p,
+                  const std::string& o);
+
+  bool Insert(const Triple& t) { return store_.Insert(t); }
+  bool Erase(const Triple& t) { return store_.Erase(t); }
+  bool Contains(const Triple& t) const { return store_.Contains(t); }
+
+  size_t size() const { return store_.size(); }
+
+  // Decodes `t` to N-Triples syntax ("<s> <p> <o> .").
+  std::string Decode(const Triple& t) const;
+
+  GraphStats Stats() const;
+
+ private:
+  Dictionary dict_;
+  TripleStore store_;
+};
+
+}  // namespace wdr::rdf
+
+#endif  // WDR_RDF_GRAPH_H_

@@ -1,0 +1,59 @@
+#include "rdf/term.h"
+
+namespace wdr::rdf {
+namespace {
+
+// Escapes \, ", newline, tab and carriage return per N-Triples grammar.
+std::string EscapeLiteral(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Term::ToNTriples() const {
+  switch (kind) {
+    case TermKind::kIri:
+      return "<" + lexical + ">";
+    case TermKind::kBlank:
+      return "_:" + lexical;
+    case TermKind::kLiteral: {
+      std::string out = "\"" + EscapeLiteral(lexical) + "\"";
+      if (!language.empty()) {
+        out += "@" + language;
+      } else if (!datatype.empty()) {
+        out += "^^<" + datatype + ">";
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+std::ostream& operator<<(std::ostream& os, const Term& term) {
+  return os << term.ToNTriples();
+}
+
+}  // namespace wdr::rdf

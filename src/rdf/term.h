@@ -1,0 +1,78 @@
+#ifndef WDR_RDF_TERM_H_
+#define WDR_RDF_TERM_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <tuple>
+
+namespace wdr::rdf {
+
+// Dense identifier assigned by Dictionary. 0 is reserved: it is never a
+// valid term id and doubles as the wildcard in store match operations.
+using TermId = uint32_t;
+inline constexpr TermId kNullTermId = 0;
+
+enum class TermKind : uint8_t {
+  kIri = 0,
+  kLiteral = 1,
+  kBlank = 2,
+};
+
+// An RDF term: IRI, literal (with optional datatype IRI or language tag),
+// or blank node. Terms are value types; the store only ever handles their
+// dictionary-encoded TermIds.
+struct Term {
+  TermKind kind = TermKind::kIri;
+  // IRI string, literal lexical form, or blank node label.
+  std::string lexical;
+  // For literals only: datatype IRI ("" = plain) and language tag ("" = none).
+  std::string datatype;
+  std::string language;
+
+  static Term Iri(std::string iri) {
+    Term t;
+    t.kind = TermKind::kIri;
+    t.lexical = std::move(iri);
+    return t;
+  }
+
+  static Term Literal(std::string lexical, std::string datatype = "",
+                      std::string language = "") {
+    Term t;
+    t.kind = TermKind::kLiteral;
+    t.lexical = std::move(lexical);
+    t.datatype = std::move(datatype);
+    t.language = std::move(language);
+    return t;
+  }
+
+  static Term Blank(std::string label) {
+    Term t;
+    t.kind = TermKind::kBlank;
+    t.lexical = std::move(label);
+    return t;
+  }
+
+  bool is_iri() const { return kind == TermKind::kIri; }
+  bool is_literal() const { return kind == TermKind::kLiteral; }
+  bool is_blank() const { return kind == TermKind::kBlank; }
+
+  // N-Triples surface syntax: <iri>, "literal"^^<dt>, "lit"@lang, _:label.
+  std::string ToNTriples() const;
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return std::tie(a.kind, a.lexical, a.datatype, a.language) ==
+           std::tie(b.kind, b.lexical, b.datatype, b.language);
+  }
+  friend bool operator<(const Term& a, const Term& b) {
+    return std::tie(a.kind, a.lexical, a.datatype, a.language) <
+           std::tie(b.kind, b.lexical, b.datatype, b.language);
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Term& term);
+
+}  // namespace wdr::rdf
+
+#endif  // WDR_RDF_TERM_H_

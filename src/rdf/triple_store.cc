@@ -1,0 +1,57 @@
+#include "rdf/triple_store.h"
+
+namespace wdr::rdf {
+
+bool TripleStore::Insert(const Triple& t) {
+  if (!spo_.insert(Key(t, kSpo)).second) return false;
+  pos_.insert(Key(t, kPos));
+  osp_.insert(Key(t, kOsp));
+  return true;
+}
+
+bool TripleStore::Erase(const Triple& t) {
+  if (spo_.erase(Key(t, kSpo)) == 0) return false;
+  pos_.erase(Key(t, kPos));
+  osp_.erase(Key(t, kOsp));
+  return true;
+}
+
+void TripleStore::Clear() {
+  spo_.clear();
+  pos_.clear();
+  osp_.clear();
+}
+
+size_t TripleStore::Count(TermId s, TermId p, TermId o) const {
+  size_t n = 0;
+  Match(s, p, o, [&n](const Triple&) { ++n; });
+  return n;
+}
+
+size_t TripleStore::EstimateCount(TermId s, TermId p, TermId o) const {
+  const bool bs = s != kNullTermId;
+  const bool bp = p != kNullTermId;
+  const bool bo = o != kNullTermId;
+  if (bs && bp && bo) return Contains(Triple(s, p, o)) ? 1 : 0;
+  if (!bs && !bp && !bo) return size();
+  // Range sizes require linear distance on std::set; approximate with exact
+  // counts for small selective patterns instead: counting is a scan anyway,
+  // so bound the work and fall back to a coarse estimate.
+  size_t n = 0;
+  constexpr size_t kCap = 64;
+  Match(s, p, o, [&n](const Triple&) { return ++n < kCap; });
+  if (n < kCap) return n;
+  // Hit the cap: produce a coarse ordering signal by bound positions.
+  int bound = (bs ? 1 : 0) + (bp ? 1 : 0) + (bo ? 1 : 0);
+  return size() >> (2 * bound);
+}
+
+std::vector<Triple> TripleStore::ToVector() const {
+  return std::vector<Triple>(spo_.begin(), spo_.end());
+}
+
+std::ostream& operator<<(std::ostream& os, const Triple& t) {
+  return os << "(" << t.s << " " << t.p << " " << t.o << ")";
+}
+
+}  // namespace wdr::rdf

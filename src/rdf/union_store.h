@@ -1,0 +1,78 @@
+#ifndef WDR_RDF_UNION_STORE_H_
+#define WDR_RDF_UNION_STORE_H_
+
+#include <vector>
+
+#include "rdf/triple_store.h"
+
+namespace wdr::rdf {
+
+// A read-only set-union view over several triple stores (the member
+// stores of a federation). Exposes the same Match / Contains /
+// EstimateCount surface as TripleStore so the query evaluator can join
+// across endpoints without copying their data.
+//
+// Triples present in several member stores are reported once (the member
+// with the smallest index wins), preserving set semantics.
+class UnionStore {
+ public:
+  UnionStore() = default;
+  explicit UnionStore(std::vector<const TripleStore*> members)
+      : members_(std::move(members)) {}
+
+  void AddMember(const TripleStore* store) { members_.push_back(store); }
+
+  size_t member_count() const { return members_.size(); }
+
+  bool Contains(const Triple& t) const {
+    for (const TripleStore* member : members_) {
+      if (member->Contains(t)) return true;
+    }
+    return false;
+  }
+
+  // Upper bound on the union's size (duplicates counted per member).
+  size_t size() const {
+    size_t total = 0;
+    for (const TripleStore* member : members_) total += member->size();
+    return total;
+  }
+
+  size_t EstimateCount(TermId s, TermId p, TermId o) const {
+    size_t total = 0;
+    for (const TripleStore* member : members_) {
+      total += member->EstimateCount(s, p, o);
+    }
+    return total;
+  }
+
+  // Same contract as TripleStore::Match; each distinct triple is reported
+  // exactly once across members.
+  template <typename Fn>
+  void Match(TermId s, TermId p, TermId o, Fn&& fn) const {
+    for (size_t i = 0; i < members_.size(); ++i) {
+      bool keep_going = true;
+      members_[i]->Match(s, p, o, [&](const Triple& t) {
+        for (size_t j = 0; j < i; ++j) {
+          if (members_[j]->Contains(t)) return true;  // already reported
+        }
+        keep_going = internal::InvokeMatchFn(fn, t);
+        return keep_going;
+      });
+      if (!keep_going) return;
+    }
+  }
+
+  size_t Count(TermId s, TermId p, TermId o) const {
+    size_t n = 0;
+    Match(s, p, o, [&n](const Triple&) { ++n; });
+    return n;
+  }
+
+ private:
+  std::vector<const TripleStore*> members_;  // not owned
+};
+
+}  // namespace wdr::rdf
+
+#endif  // WDR_RDF_UNION_STORE_H_

@@ -1,0 +1,57 @@
+#ifndef WDR_REASONING_EXPLAIN_H_
+#define WDR_REASONING_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/graph.h"
+#include "rdf/triple_store.h"
+#include "reasoning/rules.h"
+#include "schema/vocabulary.h"
+
+namespace wdr::reasoning {
+
+// One step of a derivation: `conclusion` follows from `premises` by
+// `rule`. Base triples appear as leaves (no step is emitted for them).
+struct DerivationStep {
+  rdf::Triple conclusion;
+  RuleId rule = RuleId::kRdfs9;
+  std::vector<rdf::Triple> premises;
+};
+
+// A proof of one entailed triple: steps in dependency order (premises of
+// step i are base triples or conclusions of steps before i; the last
+// step's conclusion is the explained triple).
+struct Explanation {
+  std::vector<DerivationStep> steps;
+};
+
+// Produces a proof of `triple` from the base triples (the "justification"
+// machinery the paper's §II-C mentions for OWLIM-style maintenance: which
+// assertions support an implicit triple). `closure` must be the saturation
+// of `base`.
+//
+// Returns an empty explanation when `triple` is itself a base triple, and
+// NotFound when it is not in the closure at all. When a triple has several
+// derivations, one (arbitrary but deterministic) proof is returned.
+Result<Explanation> Explain(const rdf::TripleStore& base,
+                            const rdf::TripleStore& closure,
+                            const schema::Vocabulary& vocab,
+                            const rdf::Dictionary* dict,
+                            const rdf::Triple& triple,
+                            bool enable_owl = false);
+
+// Renders a proof as indented text, decoding terms via `graph`'s
+// dictionary, e.g.:
+//   <...#Tom> <...#type> <...#Mammal> .
+//     by rdfs9 from:
+//       <...#Cat> <...#subClassOf> <...#Mammal> .   [asserted]
+//       <...#Tom> <...#type> <...#Cat> .            [asserted]
+std::string FormatExplanation(const rdf::Graph& graph,
+                              const rdf::TripleStore& base,
+                              const Explanation& explanation);
+
+}  // namespace wdr::reasoning
+
+#endif  // WDR_REASONING_EXPLAIN_H_

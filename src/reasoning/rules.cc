@@ -1,0 +1,144 @@
+#include "reasoning/rules.h"
+
+namespace wdr::reasoning {
+
+const char* RuleName(RuleId rule) {
+  switch (rule) {
+    case RuleId::kRdfs2:
+      return "rdfs2";
+    case RuleId::kRdfs3:
+      return "rdfs3";
+    case RuleId::kRdfs5:
+      return "rdfs5";
+    case RuleId::kRdfs7:
+      return "rdfs7";
+    case RuleId::kRdfs9:
+      return "rdfs9";
+    case RuleId::kRdfs11:
+      return "rdfs11";
+    case RuleId::kOwlInverse:
+      return "owl-inv";
+    case RuleId::kOwlSymmetric:
+      return "owl-sym";
+    case RuleId::kOwlTransitive:
+      return "owl-trans";
+  }
+  return "unknown";
+}
+
+bool RuleEngine::IsOneStepDerivable(const rdf::TripleStore& store,
+                                    const rdf::Triple& t) const {
+  const schema::Vocabulary& v = vocab_;
+  using rdf::Triple;
+  bool found = false;
+
+  if (t.p == v.type) {
+    // rdfs9: s type c1 ∧ c1 ⊑ t.o.
+    store.Match(0, v.sub_class_of, t.o, [&](const Triple& m) {
+      if (store.Contains(Triple(t.s, v.type, m.s))) {
+        found = true;
+        return false;
+      }
+      return true;
+    });
+    if (found) return true;
+    // rdfs2: p domain t.o ∧ ∃ (t.s p _).
+    store.Match(0, v.domain, t.o, [&](const Triple& m) {
+      bool any = false;
+      store.Match(t.s, m.s, 0, [&](const Triple&) {
+        any = true;
+        return false;
+      });
+      if (any) {
+        found = true;
+        return false;
+      }
+      return true;
+    });
+    if (found) return true;
+    // rdfs3: p range t.o ∧ ∃ (_ p t.s).
+    store.Match(0, v.range, t.o, [&](const Triple& m) {
+      bool any = false;
+      store.Match(0, m.s, t.s, [&](const Triple&) {
+        any = true;
+        return false;
+      });
+      if (any) {
+        found = true;
+        return false;
+      }
+      return true;
+    });
+    if (found) return true;
+  }
+
+  if (t.p == v.sub_class_of) {
+    // rdfs11: t.s ⊑ m ∧ m ⊑ t.o.
+    store.Match(t.s, v.sub_class_of, 0, [&](const Triple& m) {
+      if (store.Contains(Triple(m.o, v.sub_class_of, t.o))) {
+        found = true;
+        return false;
+      }
+      return true;
+    });
+    if (found) return true;
+  }
+
+  if (t.p == v.sub_property_of) {
+    // rdfs5: t.s ⊑ m ∧ m ⊑ t.o.
+    store.Match(t.s, v.sub_property_of, 0, [&](const Triple& m) {
+      if (store.Contains(Triple(m.o, v.sub_property_of, t.o))) {
+        found = true;
+        return false;
+      }
+      return true;
+    });
+    if (found) return true;
+  }
+
+  // rdfs7: p1 ⊑ t.p ∧ (t.s p1 t.o).
+  store.Match(0, v.sub_property_of, t.p, [&](const Triple& m) {
+    if (store.Contains(Triple(t.s, m.s, t.o))) {
+      found = true;
+      return false;
+    }
+    return true;
+  });
+  if (found || !enable_owl_) return found;
+
+  // owl-inv: (t.p inverseOf q) or (q inverseOf t.p), with (t.o q t.s).
+  store.Match(t.p, v.owl_inverse_of, 0, [&](const Triple& m) {
+    if (store.Contains(Triple(t.o, m.o, t.s))) {
+      found = true;
+      return false;
+    }
+    return true;
+  });
+  if (found) return true;
+  store.Match(0, v.owl_inverse_of, t.p, [&](const Triple& m) {
+    if (store.Contains(Triple(t.o, m.s, t.s))) {
+      found = true;
+      return false;
+    }
+    return true;
+  });
+  if (found) return true;
+  // owl-sym.
+  if (store.Contains(Triple(t.p, v.type, v.owl_symmetric)) &&
+      store.Contains(Triple(t.o, t.p, t.s))) {
+    return true;
+  }
+  // owl-trans: ∃ mid with (t.s t.p mid) ∧ (mid t.p t.o).
+  if (store.Contains(Triple(t.p, v.type, v.owl_transitive))) {
+    store.Match(t.s, t.p, 0, [&](const Triple& m) {
+      if (store.Contains(Triple(m.o, t.p, t.o))) {
+        found = true;
+        return false;
+      }
+      return true;
+    });
+  }
+  return found;
+}
+
+}  // namespace wdr::reasoning

@@ -1,0 +1,118 @@
+#include "reasoning/saturated_graph.h"
+
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+namespace wdr::reasoning {
+namespace {
+
+using rdf::Triple;
+using rdf::TripleHash;
+using rdf::TripleStore;
+
+// Inserts every triple of `seed` into `closure` and propagates consequences
+// to fixpoint. Returns the number of triples added.
+size_t Propagate(const RuleEngine& engine, TripleStore& closure,
+                 std::deque<Triple>& worklist) {
+  size_t added = 0;
+  while (!worklist.empty()) {
+    Triple t = worklist.front();
+    worklist.pop_front();
+    engine.ForEachConsequence(closure, t, [&](const Triple& c, RuleId) {
+      if (closure.Insert(c)) {
+        ++added;
+        worklist.push_back(c);
+      }
+    });
+  }
+  return added;
+}
+
+}  // namespace
+
+SaturatedGraph::SaturatedGraph(const rdf::Graph& base,
+                               const schema::Vocabulary& vocab,
+                               bool enable_owl)
+    : base_(base), vocab_(vocab), enable_owl_(enable_owl) {
+  Saturator saturator(vocab_, &base_.dict(), enable_owl_);
+  closure_ = saturator.Saturate(base_.store(), &initial_stats_);
+}
+
+void SaturatedGraph::Rebuild() {
+  Saturator saturator(vocab_, &base_.dict(), enable_owl_);
+  closure_ = saturator.Saturate(base_.store(), &initial_stats_);
+}
+
+size_t SaturatedGraph::Insert(const Triple& t) {
+  base_.Insert(t);
+  ++stats_.inserts;
+  if (!closure_.Insert(t)) return 0;  // already entailed
+  std::deque<Triple> worklist{t};
+  size_t added = 1 + Propagate(MakeEngine(), closure_, worklist);
+  stats_.closure_added += added;
+  return added;
+}
+
+size_t SaturatedGraph::Erase(const Triple& t) {
+  if (!base_.Erase(t)) return 0;
+  ++stats_.deletes;
+
+  const RuleEngine engine = MakeEngine();
+
+  // Phase 1 (over-delete): collect every closure triple with a derivation
+  // path through `t`. Joins run against the still-intact closure so all
+  // potential consumers are visible.
+  std::unordered_set<Triple, TripleHash> overdeleted;
+  std::deque<Triple> frontier{t};
+  overdeleted.insert(t);
+  while (!frontier.empty()) {
+    Triple u = frontier.front();
+    frontier.pop_front();
+    engine.ForEachConsequence(closure_, u, [&](const Triple& c, RuleId) {
+      if (closure_.Contains(c) && overdeleted.insert(c).second) {
+        frontier.push_back(c);
+      }
+    });
+  }
+
+  const size_t before = closure_.size();
+  for (const Triple& u : overdeleted) closure_.Erase(u);
+  stats_.overdeleted += overdeleted.size();
+
+  // Phase 2 (re-derive): over-deleted triples that are still base facts or
+  // still follow from the surviving closure come back, propagating through
+  // the normal insertion path. Iterate to fixpoint: a re-derived triple can
+  // in turn justify another over-deleted one.
+  std::vector<Triple> candidates(overdeleted.begin(), overdeleted.end());
+  size_t rederived = 0;
+  // Base facts first: they are unconditionally present.
+  std::deque<Triple> worklist;
+  for (const Triple& u : candidates) {
+    if (base_.Contains(u) && closure_.Insert(u)) {
+      worklist.push_back(u);
+      ++rederived;
+    }
+  }
+  rederived += Propagate(engine, closure_, worklist);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Triple& u : candidates) {
+      if (closure_.Contains(u)) continue;
+      if (engine.IsOneStepDerivable(closure_, u)) {
+        closure_.Insert(u);
+        std::deque<Triple> wl{u};
+        rederived += 1 + Propagate(engine, closure_, wl);
+        changed = true;
+      }
+    }
+  }
+  stats_.rederived += rederived;
+
+  const size_t removed = before - closure_.size();
+  stats_.closure_removed += removed;
+  return removed;
+}
+
+}  // namespace wdr::reasoning

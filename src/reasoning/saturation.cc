@@ -1,0 +1,45 @@
+#include "reasoning/saturation.h"
+
+#include <deque>
+
+namespace wdr::reasoning {
+
+rdf::TripleStore Saturator::Saturate(const rdf::TripleStore& base,
+                                     SaturationStats* stats) const {
+  rdf::TripleStore closure;
+  std::deque<rdf::Triple> worklist;
+  base.Match(0, 0, 0, [&](const rdf::Triple& t) {
+    closure.Insert(t);
+    worklist.push_back(t);
+  });
+
+  RuleFirings firings;
+  while (!worklist.empty()) {
+    rdf::Triple t = worklist.front();
+    worklist.pop_front();
+    engine_.ForEachConsequence(closure, t,
+                               [&](const rdf::Triple& c, RuleId rule) {
+                                 if (closure.Insert(c)) {
+                                   firings[rule] += 1;
+                                   worklist.push_back(c);
+                                 }
+                               });
+  }
+
+  if (stats != nullptr) {
+    stats->base_triples = base.size();
+    stats->closure_triples = closure.size();
+    stats->derived_triples = closure.size() - base.size();
+    stats->firings = firings;
+  }
+  return closure;
+}
+
+rdf::TripleStore Saturator::SaturateGraph(const rdf::Graph& graph,
+                                          const schema::Vocabulary& vocab,
+                                          SaturationStats* stats) {
+  Saturator saturator(vocab, &graph.dict());
+  return saturator.Saturate(graph.store(), stats);
+}
+
+}  // namespace wdr::reasoning

@@ -1,0 +1,50 @@
+#ifndef WDR_REASONING_SATURATION_H_
+#define WDR_REASONING_SATURATION_H_
+
+#include <cstdint>
+
+#include "rdf/graph.h"
+#include "rdf/triple_store.h"
+#include "reasoning/rules.h"
+#include "schema/vocabulary.h"
+
+namespace wdr::reasoning {
+
+struct SaturationStats {
+  size_t base_triples = 0;
+  size_t closure_triples = 0;
+  size_t derived_triples = 0;  // closure_triples - base_triples
+  RuleFirings firings;         // successful derivations per rule
+};
+
+// Forward-chaining saturation: computes the closure G∞ of a base store as
+// the fixpoint of the immediate entailment rules (semi-naive: each inserted
+// triple is joined against the current closure exactly once as a "delta").
+//
+// The result is deterministic (the closure is unique up to nothing — it is
+// a set), regardless of iteration order; this is property-tested.
+class Saturator {
+ public:
+  // `enable_owl` adds the RDFS++ extension rules (see rules.h).
+  Saturator(const schema::Vocabulary& vocab, const rdf::Dictionary* dict,
+            bool enable_owl = false)
+      : engine_(vocab, dict, enable_owl) {}
+
+  // Returns base ∪ entailed triples.
+  rdf::TripleStore Saturate(const rdf::TripleStore& base,
+                            SaturationStats* stats = nullptr) const;
+
+  // Convenience: saturates `graph`'s store using its dictionary.
+  static rdf::TripleStore SaturateGraph(const rdf::Graph& graph,
+                                        const schema::Vocabulary& vocab,
+                                        SaturationStats* stats = nullptr);
+
+  const RuleEngine& engine() const { return engine_; }
+
+ private:
+  RuleEngine engine_;
+};
+
+}  // namespace wdr::reasoning
+
+#endif  // WDR_REASONING_SATURATION_H_

@@ -1,0 +1,223 @@
+#include "reformulation/reformulator.h"
+
+#include <deque>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "reasoning/saturation.h"
+#include "reformulation/subsumption.h"
+
+namespace wdr::reformulation {
+namespace {
+
+using query::BgpQuery;
+using query::PatternTerm;
+using query::TriplePattern;
+using query::UnionQuery;
+using query::VarId;
+using rdf::TermId;
+
+// Replaces variable `var` with constant `value` throughout `q`'s atoms and
+// records the binding so projected occurrences still produce the value.
+BgpQuery Substitute(const BgpQuery& q, VarId var, TermId value) {
+  BgpQuery out = q;
+  for (TriplePattern& atom : out.mutable_atoms()) {
+    for (PatternTerm* pos : {&atom.s, &atom.p, &atom.o}) {
+      if (pos->is_var() && pos->var == var) {
+        *pos = PatternTerm::Constant(value);
+      }
+    }
+  }
+  out.Preset(var, value);
+  return out;
+}
+
+// Replaces atom `index` of `q` with `replacement`.
+BgpQuery ReplaceAtom(const BgpQuery& q, size_t index,
+                     const TriplePattern& replacement) {
+  BgpQuery out = q;
+  out.mutable_atoms()[index] = replacement;
+  return out;
+}
+
+// Generates the one-step rewritings of atom `index` in `q`.
+class AtomRewriter {
+ public:
+  AtomRewriter(const schema::Schema& schema, const schema::Vocabulary& vocab,
+               size_t* fresh_counter)
+      : schema_(schema), vocab_(vocab), fresh_counter_(fresh_counter) {}
+
+  template <typename EmitFn>
+  void Rewrite(const BgpQuery& q, size_t index, EmitFn&& emit) const {
+    const TriplePattern& atom = q.atoms()[index];
+
+    if (atom.p.is_const() && atom.p.id == vocab_.type) {
+      if (atom.o.is_const()) {
+        RewriteTypeAtom(q, index, atom, atom.o.id, emit);
+      } else {
+        // Ground the class variable over the schema's classes; the
+        // resulting constant-class atoms are rewritten in later rounds.
+        for (TermId c : schema_.classes()) {
+          BgpQuery grounded = Substitute(q, atom.o.var, c);
+          emit(std::move(grounded));
+        }
+      }
+      return;
+    }
+
+    if (atom.p.is_const()) {
+      // (s p o) -> (s p1 o) for strict subproperties p1 of p.
+      for (TermId p1 : schema_.SubPropertiesOf(atom.p.id)) {
+        if (p1 == atom.p.id) continue;
+        emit(ReplaceAtom(q, index, TriplePattern{atom.s,
+                                                 PatternTerm::Constant(p1),
+                                                 atom.o}));
+      }
+      return;
+    }
+
+    // Property-position variable: ground over schema properties + rdf:type.
+    for (TermId p : schema_.properties()) {
+      if (vocab_.IsSchemaProperty(p)) continue;  // restriction, see header
+      emit(Substitute(q, atom.p.var, p));
+    }
+    emit(Substitute(q, atom.p.var, vocab_.type));
+  }
+
+ private:
+  template <typename EmitFn>
+  void RewriteTypeAtom(const BgpQuery& q, size_t index,
+                       const TriplePattern& atom, TermId c,
+                       EmitFn&& emit) const {
+    // rdfs9 backward: strict subclasses.
+    for (TermId c1 : schema_.SubClassesOf(c)) {
+      if (c1 == c) continue;
+      emit(ReplaceAtom(
+          q, index,
+          TriplePattern{atom.s, atom.p, PatternTerm::Constant(c1)}));
+    }
+    // rdfs2 backward: properties with domain c.
+    for (TermId p : schema_.PropertiesWithDomain(c)) {
+      BgpQuery out = q;
+      VarId fresh = NewFreshVar(out);
+      out.mutable_atoms()[index] =
+          TriplePattern{atom.s, PatternTerm::Constant(p),
+                        PatternTerm::Variable(fresh)};
+      emit(std::move(out));
+    }
+    // rdfs3 backward: properties with range c.
+    for (TermId p : schema_.PropertiesWithRange(c)) {
+      BgpQuery out = q;
+      VarId fresh = NewFreshVar(out);
+      out.mutable_atoms()[index] =
+          TriplePattern{PatternTerm::Variable(fresh),
+                        PatternTerm::Constant(p), atom.s};
+      emit(std::move(out));
+    }
+  }
+
+  VarId NewFreshVar(BgpQuery& q) const {
+    return q.AddVar("_ref" + std::to_string((*fresh_counter_)++));
+  }
+
+  const schema::Schema& schema_;
+  const schema::Vocabulary& vocab_;
+  size_t* fresh_counter_;
+};
+
+}  // namespace
+
+Result<UnionQuery> Reformulator::Reformulate(const BgpQuery& q,
+                                             ReformulationStats* stats) const {
+  size_t fresh_counter = 0;
+  AtomRewriter rewriter(*schema_, vocab_, &fresh_counter);
+
+  UnionQuery result;
+  std::unordered_set<std::string> seen;
+  std::deque<size_t> frontier;  // indexes into result.branches()
+
+  auto add = [&](BgpQuery candidate) -> Status {
+    std::string key = candidate.CanonicalKey();
+    if (!seen.insert(std::move(key)).second) return Status::Ok();
+    if (result.size() >= options_.max_conjunctive_queries) {
+      return ResourceExhaustedError(
+          "reformulation exceeded " +
+          std::to_string(options_.max_conjunctive_queries) +
+          " conjunctive queries");
+    }
+    frontier.push_back(result.size());
+    result.AddBranch(std::move(candidate));
+    return Status::Ok();
+  };
+
+  WDR_RETURN_IF_ERROR(add(q));
+
+  size_t rewrite_steps = 0;
+  while (!frontier.empty()) {
+    size_t current = frontier.front();
+    frontier.pop_front();
+    // Branch storage is only appended to, so indexing stays valid; copy the
+    // CQ because `add` may reallocate the branch vector.
+    BgpQuery cq = result.branches()[current];
+    Status status = Status::Ok();
+    for (size_t i = 0; i < cq.atoms().size() && status.ok(); ++i) {
+      rewriter.Rewrite(cq, i, [&](BgpQuery candidate) {
+        ++rewrite_steps;
+        if (status.ok()) status = add(std::move(candidate));
+      });
+    }
+    WDR_RETURN_IF_ERROR(status);
+  }
+
+  size_t pruned = 0;
+  if (options_.minimize) result = MinimizeUnion(result, &pruned);
+
+  if (stats != nullptr) {
+    stats->conjunctive_queries = result.size();
+    stats->total_atoms = result.TotalAtoms();
+    stats->rewrite_steps = rewrite_steps;
+    stats->pruned_cqs = pruned;
+  }
+  return result;
+}
+
+Result<UnionQuery> Reformulator::Reformulate(const UnionQuery& q,
+                                             ReformulationStats* stats) const {
+  UnionQuery result;
+  // Solution modifiers are query-level and survive rewriting untouched.
+  result.SetAsk(q.ask());
+  result.SetLimit(q.limit());
+  result.SetOffset(q.offset());
+  ReformulationStats total;
+  for (const BgpQuery& branch : q.branches()) {
+    ReformulationStats branch_stats;
+    WDR_ASSIGN_OR_RETURN(UnionQuery branch_ref,
+                         Reformulate(branch, &branch_stats));
+    for (const BgpQuery& cq : branch_ref.branches()) {
+      result.AddBranch(cq);
+    }
+    total.conjunctive_queries += branch_stats.conjunctive_queries;
+    total.total_atoms += branch_stats.total_atoms;
+    total.rewrite_steps += branch_stats.rewrite_steps;
+    total.pruned_cqs += branch_stats.pruned_cqs;
+  }
+  if (stats != nullptr) *stats = total;
+  return result;
+}
+
+size_t CloseSchema(rdf::Graph& graph, const schema::Vocabulary& vocab) {
+  rdf::TripleStore schema_triples;
+  graph.store().Match(0, 0, 0, [&](const rdf::Triple& t) {
+    if (vocab.IsSchemaProperty(t.p)) schema_triples.Insert(t);
+  });
+  reasoning::Saturator saturator(vocab, &graph.dict());
+  rdf::TripleStore closed = saturator.Saturate(schema_triples);
+  size_t added = 0;
+  closed.Match(0, 0, 0, [&](const rdf::Triple& t) {
+    if (graph.store().Insert(t)) ++added;
+  });
+  return added;
+}
+
+}  // namespace wdr::reformulation

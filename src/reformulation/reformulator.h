@@ -1,0 +1,93 @@
+#ifndef WDR_REFORMULATION_REFORMULATOR_H_
+#define WDR_REFORMULATION_REFORMULATOR_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "query/query.h"
+#include "rdf/graph.h"
+#include "schema/schema.h"
+#include "schema/vocabulary.h"
+
+namespace wdr::reformulation {
+
+struct ReformulationOptions {
+  // Safety valve: reformulation can be exponential in the number of atoms
+  // (the paper: "syntactically larger reformulated queries"). Exceeding the
+  // cap yields ResourceExhausted rather than unbounded memory use.
+  size_t max_conjunctive_queries = 200000;
+  // Prune disjuncts subsumed by other disjuncts (see subsumption.h). Costs
+  // O(|UCQ|^2) homomorphism checks at rewrite time, pays back at every
+  // evaluation; ablated by bench_reformulation.
+  bool minimize = false;
+};
+
+struct ReformulationStats {
+  size_t conjunctive_queries = 0;  // |UCQ| including the original query
+  size_t total_atoms = 0;
+  size_t rewrite_steps = 0;  // one-step rewritings applied (pre-dedup)
+  size_t pruned_cqs = 0;     // disjuncts removed by minimization
+};
+
+// Query reformulation for the RDFS fragment (§II-B, following the EDBT'13
+// algorithm the paper's Fig. 3 is drawn from). Turns a BGP query q into a
+// union of BGP queries q_ref with the defining property
+//
+//     q_ref(G) = q(G∞)
+//
+// for any graph G whose *schema triples are closed* (see CloseSchema below;
+// schema closure is tiny and is maintained eagerly by systems implementing
+// reformulation — the saturation/reformulation trade-off concerns the
+// instance-level entailment, which dwarfs it).
+//
+// The rewriting is a fixpoint over a set of CQs. One step rewrites a single
+// atom, possibly substituting a query variable with a schema constant
+// (needed when variables occur in class or property positions — the
+// "blurred" RDF fragment of the paper's §II-B):
+//
+//   (s rdf:type c)   ->  (s rdf:type c1)     for c1 a strict subclass of c
+//   (s rdf:type c)   ->  (s p _f)            for p with domain c
+//   (s rdf:type c)   ->  (_f p s)            for p with range c
+//   (s p o), p ≠ type -> (s p1 o)            for p1 a strict subproperty of p
+//   (s rdf:type ?c)  ->  σ{?c=c} (s rdf:type c)   for each schema class c
+//   (s ?p o)         ->  σ{?p=p} (s p o)     for each schema property p,
+//                                            and for p = rdf:type
+//
+// Fixpoint iteration composes these (e.g. subclass then domain then
+// subproperty), and duplicate CQs are pruned via a canonical form.
+//
+// Known restriction (shared with the literature the paper cites): the
+// rewriting assumes schema triples are not themselves derivable from
+// instance triples (no property is declared a subproperty of an RDFS
+// constraint property).
+class Reformulator {
+ public:
+  Reformulator(const schema::Schema& schema, const schema::Vocabulary& vocab,
+               ReformulationOptions options = {})
+      : schema_(&schema), vocab_(vocab), options_(options) {}
+
+  // Reformulates one BGP query into a UCQ. The first branch is always the
+  // original query.
+  Result<query::UnionQuery> Reformulate(const query::BgpQuery& q,
+                                        ReformulationStats* stats = nullptr) const;
+
+  // Reformulates each branch and concatenates the results.
+  Result<query::UnionQuery> Reformulate(const query::UnionQuery& q,
+                                        ReformulationStats* stats = nullptr) const;
+
+ private:
+  const schema::Schema* schema_;  // not owned
+  schema::Vocabulary vocab_;
+  ReformulationOptions options_;
+};
+
+// Saturates the schema component of `graph` in place: extracts the triples
+// whose property is an RDFS constraint property, closes them under the
+// entailment rules (rdfs5/rdfs11 transitivity), and inserts the derived
+// schema triples back. Returns the number of triples added. Reformulation's
+// correctness contract q_ref(G) = q(G∞) is stated for schema-closed graphs.
+size_t CloseSchema(rdf::Graph& graph, const schema::Vocabulary& vocab);
+
+}  // namespace wdr::reformulation
+
+#endif  // WDR_REFORMULATION_REFORMULATOR_H_

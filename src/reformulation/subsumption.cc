@@ -1,0 +1,122 @@
+#include "reformulation/subsumption.h"
+
+#include <optional>
+#include <vector>
+
+namespace wdr::reformulation {
+namespace {
+
+using query::BgpQuery;
+using query::PatternTerm;
+using query::TriplePattern;
+using query::VarId;
+using rdf::TermId;
+
+// A term of the subsumption problem: constant or variable.
+struct STerm {
+  bool is_const = false;
+  uint32_t id = 0;
+
+  friend bool operator==(const STerm&, const STerm&) = default;
+};
+
+STerm MakeTerm(const PatternTerm& t) {
+  return t.is_const() ? STerm{true, t.id} : STerm{false, t.var};
+}
+
+// The answer-tuple term of projection position `var`: a preset variable
+// counts as its constant (that is what the row will contain).
+STerm HeadTerm(const BgpQuery& q, VarId var) {
+  auto it = q.preset().find(var);
+  if (it != q.preset().end()) return STerm{true, it->second};
+  return STerm{false, var};
+}
+
+// Variable mapping from `general`'s variables to specific-side terms.
+class Mapping {
+ public:
+  explicit Mapping(size_t var_count) : slots_(var_count) {}
+
+  // Unifies general-side `g` with specific-side `s`; records an undo entry.
+  bool Unify(const STerm& g, const STerm& s,
+             std::vector<VarId>& bound_here) {
+    if (g.is_const) return s.is_const && g.id == s.id;
+    std::optional<STerm>& slot = slots_[g.id];
+    if (!slot.has_value()) {
+      slot = s;
+      bound_here.push_back(g.id);
+      return true;
+    }
+    return *slot == s;
+  }
+
+  void Undo(const std::vector<VarId>& bound_here) {
+    for (VarId v : bound_here) slots_[v].reset();
+  }
+
+ private:
+  std::vector<std::optional<STerm>> slots_;
+};
+
+// Backtracking search: map every atom of `general` onto some atom of
+// `specific` consistently with `mapping`.
+bool MapAtoms(const BgpQuery& general, const BgpQuery& specific,
+              size_t atom_index, Mapping& mapping) {
+  if (atom_index == general.atoms().size()) return true;
+  const TriplePattern& g = general.atoms()[atom_index];
+  for (const TriplePattern& s : specific.atoms()) {
+    std::vector<VarId> bound_here;
+    bool ok = mapping.Unify(MakeTerm(g.s), MakeTerm(s.s), bound_here) &&
+              mapping.Unify(MakeTerm(g.p), MakeTerm(s.p), bound_here) &&
+              mapping.Unify(MakeTerm(g.o), MakeTerm(s.o), bound_here);
+    if (ok && MapAtoms(general, specific, atom_index + 1, mapping)) {
+      return true;
+    }
+    mapping.Undo(bound_here);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Subsumes(const BgpQuery& general, const BgpQuery& specific) {
+  if (general.projection().size() != specific.projection().size()) {
+    return false;
+  }
+  Mapping mapping(general.var_count());
+  std::vector<VarId> head_bound;
+  for (size_t i = 0; i < general.projection().size(); ++i) {
+    STerm g = HeadTerm(general, general.projection()[i]);
+    STerm s = HeadTerm(specific, specific.projection()[i]);
+    if (!mapping.Unify(g, s, head_bound)) return false;
+  }
+  return MapAtoms(general, specific, 0, mapping);
+}
+
+query::UnionQuery MinimizeUnion(const query::UnionQuery& ucq,
+                                size_t* pruned) {
+  std::vector<const BgpQuery*> survivors;
+  for (const BgpQuery& candidate : ucq.branches()) {
+    bool subsumed = false;
+    for (const BgpQuery* survivor : survivors) {
+      if (Subsumes(*survivor, candidate)) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (subsumed) continue;
+    // The new disjunct may in turn subsume earlier survivors.
+    std::vector<const BgpQuery*> kept;
+    for (const BgpQuery* survivor : survivors) {
+      if (!Subsumes(candidate, *survivor)) kept.push_back(survivor);
+    }
+    kept.push_back(&candidate);
+    survivors = std::move(kept);
+  }
+  query::UnionQuery result;
+  for (const BgpQuery* survivor : survivors) result.AddBranch(*survivor);
+  if (pruned != nullptr) *pruned = ucq.size() - result.size();
+  return result;
+}
+
+}  // namespace wdr::reformulation

@@ -1,0 +1,39 @@
+#ifndef WDR_REFORMULATION_SUBSUMPTION_H_
+#define WDR_REFORMULATION_SUBSUMPTION_H_
+
+#include <cstddef>
+
+#include "query/query.h"
+
+namespace wdr::reformulation {
+
+// Conjunctive-query subsumption and UCQ minimization.
+//
+// Reformulation produces unions with redundant disjuncts: grounding a
+// class/property variable yields CQs whose answers the original (variable)
+// CQ already returns, and diamond hierarchies yield rewritings reachable
+// along multiple paths. Evaluating redundant disjuncts is pure waste — the
+// classical fix is to prune every CQ subsumed by another disjunct
+// (evaluation of "large, complex reformulated queries" is the open issue
+// of §II-D; minimization is the first lever).
+//
+// `general` subsumes `specific` iff there is a homomorphism h from the
+// terms of `general` to the terms of `specific` such that
+//   - h is the identity on constants,
+//   - h maps the answer tuple of `general` onto the answer tuple of
+//     `specific` position-wise (a preset variable counts as its constant),
+//   - h maps every atom of `general` onto some atom of `specific`.
+// Then every answer of `specific` over any graph is an answer of
+// `general`, so `specific` can be dropped from a union containing both.
+bool Subsumes(const query::BgpQuery& general, const query::BgpQuery& specific);
+
+// Returns `ucq` minus the disjuncts subsumed by another disjunct (among
+// mutually-subsuming duplicates the earliest survives). The result is
+// answer-equivalent to the input over every graph (property-tested).
+// `pruned` (optional) receives the number of dropped disjuncts.
+query::UnionQuery MinimizeUnion(const query::UnionQuery& ucq,
+                                size_t* pruned = nullptr);
+
+}  // namespace wdr::reformulation
+
+#endif  // WDR_REFORMULATION_SUBSUMPTION_H_

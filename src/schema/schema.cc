@@ -1,0 +1,131 @@
+#include "schema/schema.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace wdr::schema {
+
+void Schema::AddEdge(EdgeMap& map, TermId from, TermId to) {
+  std::vector<TermId>& targets = map[from];
+  if (std::find(targets.begin(), targets.end(), to) == targets.end()) {
+    targets.push_back(to);
+  }
+}
+
+void Schema::CloseOver(const EdgeMap& forward,
+                       const std::vector<TermId>& nodes, EdgeMap& closure) {
+  for (TermId start : nodes) {
+    std::unordered_set<TermId> visited;
+    std::deque<TermId> frontier;
+    visited.insert(start);
+    frontier.push_back(start);
+    while (!frontier.empty()) {
+      TermId node = frontier.front();
+      frontier.pop_front();
+      auto it = forward.find(node);
+      if (it == forward.end()) continue;
+      for (TermId next : it->second) {
+        if (visited.insert(next).second) frontier.push_back(next);
+      }
+    }
+    std::vector<TermId> reachable(visited.begin(), visited.end());
+    std::sort(reachable.begin(), reachable.end());
+    closure[start] = std::move(reachable);
+  }
+}
+
+const std::vector<TermId>& Schema::GetClosure(const EdgeMap& map,
+                                              TermId key) const {
+  auto it = map.find(key);
+  if (it != map.end()) return it->second;
+  auto [cached, inserted] = reflexive_cache_.try_emplace(key);
+  if (inserted) cached->second.push_back(key);
+  return cached->second;
+}
+
+Schema Schema::FromGraph(const rdf::Graph& graph, const Vocabulary& vocab) {
+  return FromStore(graph.store(), vocab);
+}
+
+Schema Schema::FromStore(const rdf::TripleStore& store,
+                         const Vocabulary& vocab) {
+  Schema schema;
+
+  auto note_class = [&schema](TermId c) {
+    if (schema.class_set_.emplace(c, 1).second) schema.classes_.push_back(c);
+  };
+  auto note_property = [&schema](TermId p) {
+    if (schema.property_set_.emplace(p, 1).second) {
+      schema.properties_.push_back(p);
+    }
+  };
+
+  store.Match(0, vocab.sub_class_of, 0, [&](const rdf::Triple& t) {
+    AddEdge(schema.direct_superclasses_, t.s, t.o);
+    AddEdge(schema.direct_subclasses_, t.o, t.s);
+    note_class(t.s);
+    note_class(t.o);
+    ++schema.constraint_count_;
+  });
+  store.Match(0, vocab.sub_property_of, 0, [&](const rdf::Triple& t) {
+    AddEdge(schema.direct_superproperties_, t.s, t.o);
+    AddEdge(schema.direct_subproperties_, t.o, t.s);
+    note_property(t.s);
+    note_property(t.o);
+    ++schema.constraint_count_;
+  });
+  store.Match(0, vocab.domain, 0, [&](const rdf::Triple& t) {
+    AddEdge(schema.domains_, t.s, t.o);
+    AddEdge(schema.domain_of_, t.o, t.s);
+    note_property(t.s);
+    note_class(t.o);
+    ++schema.constraint_count_;
+  });
+  store.Match(0, vocab.range, 0, [&](const rdf::Triple& t) {
+    AddEdge(schema.ranges_, t.s, t.o);
+    AddEdge(schema.range_of_, t.o, t.s);
+    note_property(t.s);
+    note_class(t.o);
+    ++schema.constraint_count_;
+  });
+
+  std::sort(schema.classes_.begin(), schema.classes_.end());
+  std::sort(schema.properties_.begin(), schema.properties_.end());
+
+  CloseOver(schema.direct_superclasses_, schema.classes_,
+            schema.superclass_closure_);
+  CloseOver(schema.direct_subclasses_, schema.classes_,
+            schema.subclass_closure_);
+  CloseOver(schema.direct_superproperties_, schema.properties_,
+            schema.superproperty_closure_);
+  CloseOver(schema.direct_subproperties_, schema.properties_,
+            schema.subproperty_closure_);
+  return schema;
+}
+
+std::vector<TermId> Schema::EffectiveDomains(TermId p) const {
+  std::unordered_set<TermId> out;
+  for (TermId super : SuperPropertiesOf(p)) {
+    for (TermId c : DomainsOf(super)) {
+      for (TermId up : SuperClassesOf(c)) out.insert(up);
+    }
+  }
+  std::vector<TermId> result(out.begin(), out.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<TermId> Schema::EffectiveRanges(TermId p) const {
+  std::unordered_set<TermId> out;
+  for (TermId super : SuperPropertiesOf(p)) {
+    for (TermId c : RangesOf(super)) {
+      for (TermId up : SuperClassesOf(c)) out.insert(up);
+    }
+  }
+  std::vector<TermId> result(out.begin(), out.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace wdr::schema

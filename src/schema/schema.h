@@ -1,0 +1,151 @@
+#ifndef WDR_SCHEMA_SCHEMA_H_
+#define WDR_SCHEMA_SCHEMA_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "rdf/term.h"
+#include "schema/vocabulary.h"
+
+namespace wdr::schema {
+
+using rdf::TermId;
+
+// A constraint view over the RDFS triples of a graph (Fig. 1 bottom):
+// the subclass and subproperty DAGs (cycles tolerated) and the domain and
+// range maps, together with their reflexive-transitive closures.
+//
+// The closures implement the OWA interpretation column of Fig. 1:
+//   subclass / subproperty  ->  inclusion s ⊆ o
+//   domain                  ->  Π_domain(p) ⊆ c
+//   range                   ->  Π_range(p) ⊆ c
+//
+// A Schema is a cheap derived snapshot: rebuild it (FromGraph) after schema
+// updates. Reasoning over *instances* does not need it (the rule engine
+// joins against schema triples directly); reformulation and backward
+// chaining do.
+class Schema {
+ public:
+  Schema() = default;
+
+  // Builds the view by scanning the RDFS triples of `graph`.
+  static Schema FromGraph(const rdf::Graph& graph, const Vocabulary& vocab);
+
+  // Same, from a bare triple store (e.g. a federation's merged schema).
+  static Schema FromStore(const rdf::TripleStore& store,
+                          const Vocabulary& vocab);
+
+  // --- Direct (asserted) edges -------------------------------------------
+
+  // Direct superclasses of `c` (objects of `c rdfs:subClassOf _`).
+  const std::vector<TermId>& DirectSuperClasses(TermId c) const {
+    return Get(direct_superclasses_, c);
+  }
+  const std::vector<TermId>& DirectSubClasses(TermId c) const {
+    return Get(direct_subclasses_, c);
+  }
+  const std::vector<TermId>& DirectSuperProperties(TermId p) const {
+    return Get(direct_superproperties_, p);
+  }
+  const std::vector<TermId>& DirectSubProperties(TermId p) const {
+    return Get(direct_subproperties_, p);
+  }
+
+  // Declared domains / ranges of property `p`.
+  const std::vector<TermId>& DomainsOf(TermId p) const {
+    return Get(domains_, p);
+  }
+  const std::vector<TermId>& RangesOf(TermId p) const {
+    return Get(ranges_, p);
+  }
+  // Properties declaring `c` as a domain / range.
+  const std::vector<TermId>& PropertiesWithDomain(TermId c) const {
+    return Get(domain_of_, c);
+  }
+  const std::vector<TermId>& PropertiesWithRange(TermId c) const {
+    return Get(range_of_, c);
+  }
+
+  // --- Reflexive-transitive closures --------------------------------------
+
+  // All classes c' with c ⊑* c' (includes c itself).
+  const std::vector<TermId>& SuperClassesOf(TermId c) const {
+    return GetClosure(superclass_closure_, c);
+  }
+  // All classes c' with c' ⊑* c (includes c itself).
+  const std::vector<TermId>& SubClassesOf(TermId c) const {
+    return GetClosure(subclass_closure_, c);
+  }
+  const std::vector<TermId>& SuperPropertiesOf(TermId p) const {
+    return GetClosure(superproperty_closure_, p);
+  }
+  const std::vector<TermId>& SubPropertiesOf(TermId p) const {
+    return GetClosure(subproperty_closure_, p);
+  }
+
+  // Effective domains of `p`: every class an `s p o` assertion types `s`
+  // into, i.e. domains declared on p or any superproperty of p, closed
+  // upward through the subclass hierarchy.
+  std::vector<TermId> EffectiveDomains(TermId p) const;
+  // Symmetric for objects.
+  std::vector<TermId> EffectiveRanges(TermId p) const;
+
+  // All class / property ids mentioned by any constraint.
+  const std::vector<TermId>& classes() const { return classes_; }
+  const std::vector<TermId>& properties() const { return properties_; }
+
+  // Number of asserted constraint triples the view was built from.
+  size_t constraint_count() const { return constraint_count_; }
+
+  bool IsClass(TermId id) const { return class_set_.count(id) > 0; }
+  bool IsProperty(TermId id) const { return property_set_.count(id) > 0; }
+
+ private:
+  using EdgeMap = std::unordered_map<TermId, std::vector<TermId>>;
+
+  static const std::vector<TermId>& Get(const EdgeMap& map, TermId key) {
+    static const std::vector<TermId> kEmpty;
+    auto it = map.find(key);
+    return it == map.end() ? kEmpty : it->second;
+  }
+
+  // For closures, an absent key still has the reflexive closure {key}; the
+  // maps below only materialize entries for ids mentioned in constraints,
+  // so Get falls back to a per-call singleton cache.
+  const std::vector<TermId>& GetClosure(const EdgeMap& map, TermId key) const;
+
+  static void AddEdge(EdgeMap& map, TermId from, TermId to);
+
+  // Computes, for every node of `forward`, its reflexive-transitive
+  // reachable set, storing it in `closure`.
+  static void CloseOver(const EdgeMap& forward,
+                        const std::vector<TermId>& nodes, EdgeMap& closure);
+
+  EdgeMap direct_superclasses_;
+  EdgeMap direct_subclasses_;
+  EdgeMap direct_superproperties_;
+  EdgeMap direct_subproperties_;
+  EdgeMap domains_;
+  EdgeMap ranges_;
+  EdgeMap domain_of_;
+  EdgeMap range_of_;
+
+  EdgeMap superclass_closure_;
+  EdgeMap subclass_closure_;
+  EdgeMap superproperty_closure_;
+  EdgeMap subproperty_closure_;
+
+  std::vector<TermId> classes_;
+  std::vector<TermId> properties_;
+  std::unordered_map<TermId, char> class_set_;
+  std::unordered_map<TermId, char> property_set_;
+  size_t constraint_count_ = 0;
+
+  // Fallback storage for reflexive closures of ids absent from the maps.
+  mutable std::unordered_map<TermId, std::vector<TermId>> reflexive_cache_;
+};
+
+}  // namespace wdr::schema
+
+#endif  // WDR_SCHEMA_SCHEMA_H_

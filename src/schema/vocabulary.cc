@@ -1,0 +1,18 @@
+#include "schema/vocabulary.h"
+
+namespace wdr::schema {
+
+Vocabulary Vocabulary::Intern(rdf::Dictionary& dict) {
+  Vocabulary v;
+  v.type = dict.InternIri(iri::kType);
+  v.sub_class_of = dict.InternIri(iri::kSubClassOf);
+  v.sub_property_of = dict.InternIri(iri::kSubPropertyOf);
+  v.domain = dict.InternIri(iri::kDomain);
+  v.range = dict.InternIri(iri::kRange);
+  v.owl_inverse_of = dict.InternIri(iri::kOwlInverseOf);
+  v.owl_symmetric = dict.InternIri(iri::kOwlSymmetricProperty);
+  v.owl_transitive = dict.InternIri(iri::kOwlTransitiveProperty);
+  return v;
+}
+
+}  // namespace wdr::schema

@@ -1,0 +1,58 @@
+#ifndef WDR_SCHEMA_VOCABULARY_H_
+#define WDR_SCHEMA_VOCABULARY_H_
+
+#include <string>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+
+namespace wdr::schema {
+
+// Full IRIs of the RDF/RDFS vocabulary used by the RDFS fragment the paper
+// considers (Fig. 1): rdf:type plus the four constraint properties.
+namespace iri {
+inline constexpr const char* kRdfNs = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+inline constexpr const char* kRdfsNs = "http://www.w3.org/2000/01/rdf-schema#";
+inline constexpr const char* kType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr const char* kSubClassOf = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+inline constexpr const char* kSubPropertyOf = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+inline constexpr const char* kDomain = "http://www.w3.org/2000/01/rdf-schema#domain";
+inline constexpr const char* kRange = "http://www.w3.org/2000/01/rdf-schema#range";
+inline constexpr const char* kClass = "http://www.w3.org/2000/01/rdf-schema#Class";
+inline constexpr const char* kProperty = "http://www.w3.org/1999/02/22-rdf-syntax-ns#Property";
+
+// OWL vocabulary of the "RDFS++" extension (§II-C: AllegroGraph supports
+// "all the RDFS predicates and some of OWL's"; Virtuoso similarly).
+inline constexpr const char* kOwlInverseOf = "http://www.w3.org/2002/07/owl#inverseOf";
+inline constexpr const char* kOwlSymmetricProperty = "http://www.w3.org/2002/07/owl#SymmetricProperty";
+inline constexpr const char* kOwlTransitiveProperty = "http://www.w3.org/2002/07/owl#TransitiveProperty";
+}  // namespace iri
+
+// Dictionary ids of the five built-in properties central to RDFS
+// entailment. Interned once per graph; all reasoning code dispatches on
+// these ids rather than strings.
+struct Vocabulary {
+  rdf::TermId type = rdf::kNullTermId;
+  rdf::TermId sub_class_of = rdf::kNullTermId;
+  rdf::TermId sub_property_of = rdf::kNullTermId;
+  rdf::TermId domain = rdf::kNullTermId;
+  rdf::TermId range = rdf::kNullTermId;
+  // RDFS++ extension terms (used only when a rule engine enables them).
+  rdf::TermId owl_inverse_of = rdf::kNullTermId;
+  rdf::TermId owl_symmetric = rdf::kNullTermId;
+  rdf::TermId owl_transitive = rdf::kNullTermId;
+
+  // Interns the vocabulary into `dict` (idempotent) and returns the ids.
+  static Vocabulary Intern(rdf::Dictionary& dict);
+
+  // True if `p` is one of the four RDFS constraint properties (Fig. 1
+  // bottom): subClassOf, subPropertyOf, domain, range.
+  bool IsSchemaProperty(rdf::TermId p) const {
+    return p == sub_class_of || p == sub_property_of || p == domain ||
+           p == range;
+  }
+};
+
+}  // namespace wdr::schema
+
+#endif  // WDR_SCHEMA_VOCABULARY_H_

@@ -1,0 +1,224 @@
+#include "store/reasoning_store.h"
+
+#include "backward/backward_evaluator.h"
+#include "common/timer.h"
+#include "io/ntriples.h"
+#include "io/turtle.h"
+#include "query/sparql_parser.h"
+#include "reasoning/explain.h"
+#include "reasoning/saturation.h"
+#include "store/update_parser.h"
+
+namespace wdr::store {
+
+const char* ReasoningModeName(ReasoningMode mode) {
+  switch (mode) {
+    case ReasoningMode::kNone:
+      return "none";
+    case ReasoningMode::kSaturation:
+      return "saturation";
+    case ReasoningMode::kReformulation:
+      return "reformulation";
+    case ReasoningMode::kBackward:
+      return "backward";
+  }
+  return "unknown";
+}
+
+ReasoningStore::ReasoningStore(ReasoningStoreOptions options)
+    : options_(options), vocab_(schema::Vocabulary::Intern(graph_.dict())) {
+  if (options_.mode == ReasoningMode::kSaturation) {
+    saturated_.emplace(graph_, vocab_);
+  }
+}
+
+size_t ReasoningStore::effective_size() const {
+  return saturated_.has_value() ? saturated_->closure().size()
+                                : graph_.size();
+}
+
+void ReasoningStore::SetMode(ReasoningMode mode) {
+  if (mode == options_.mode) return;
+  options_.mode = mode;
+  if (mode == ReasoningMode::kSaturation) {
+    saturated_.emplace(graph_, vocab_);
+  } else {
+    saturated_.reset();
+  }
+}
+
+void ReasoningStore::RecloseSchema() {
+  for (const rdf::Triple& t : derived_schema_) graph_.Erase(t);
+  derived_schema_.clear();
+
+  rdf::TripleStore schema_triples;
+  graph_.store().Match(0, 0, 0, [&](const rdf::Triple& t) {
+    if (vocab_.IsSchemaProperty(t.p)) schema_triples.Insert(t);
+  });
+  reasoning::Saturator saturator(vocab_, &graph_.dict());
+  rdf::TripleStore closed = saturator.Saturate(schema_triples);
+  closed.Match(0, 0, 0, [&](const rdf::Triple& t) {
+    if (graph_.Insert(t)) derived_schema_.push_back(t);
+  });
+}
+
+void ReasoningStore::OnUpdate(bool schema_changed) {
+  if (schema_changed) {
+    RecloseSchema();
+    schema_cache_.reset();
+  }
+}
+
+const schema::Schema& ReasoningStore::CachedSchema() {
+  if (!schema_cache_.has_value()) {
+    schema_cache_ = schema::Schema::FromGraph(graph_, vocab_);
+  }
+  return *schema_cache_;
+}
+
+Result<size_t> ReasoningStore::LoadTurtle(std::string_view text) {
+  WDR_ASSIGN_OR_RETURN(size_t added, io::ParseTurtle(text, graph_));
+  OnUpdate(/*schema_changed=*/true);
+  if (saturated_.has_value()) saturated_.emplace(graph_, vocab_);
+  return added;
+}
+
+Result<size_t> ReasoningStore::LoadNTriples(std::string_view text) {
+  WDR_ASSIGN_OR_RETURN(size_t added, io::ParseNTriples(text, graph_));
+  OnUpdate(/*schema_changed=*/true);
+  if (saturated_.has_value()) saturated_.emplace(graph_, vocab_);
+  return added;
+}
+
+Result<query::ResultSet> ReasoningStore::Query(std::string_view sparql,
+                                               QueryInfo* info) {
+  Timer timer;
+  WDR_ASSIGN_OR_RETURN(query::UnionQuery q,
+                       query::ParseSparql(sparql, graph_.dict()));
+  Result<query::ResultSet> result = Dispatch(q, info);
+  if (info != nullptr) {
+    info->mode = options_.mode;
+    info->seconds = timer.ElapsedSeconds();
+  }
+  return result;
+}
+
+Result<query::ResultSet> ReasoningStore::Dispatch(const query::UnionQuery& q,
+                                                  QueryInfo* info) {
+  switch (options_.mode) {
+    case ReasoningMode::kNone: {
+      query::Evaluator evaluator(graph_.store());
+      return evaluator.Evaluate(q);
+    }
+    case ReasoningMode::kSaturation: {
+      query::Evaluator evaluator(saturated_->closure());
+      return evaluator.Evaluate(q);
+    }
+    case ReasoningMode::kReformulation: {
+      reformulation::Reformulator reformulator(CachedSchema(), vocab_,
+                                               options_.reformulation);
+      WDR_ASSIGN_OR_RETURN(query::UnionQuery reformulated,
+                           reformulator.Reformulate(q));
+      if (info != nullptr) info->union_size = reformulated.size();
+      query::Evaluator evaluator(graph_.store());
+      return evaluator.Evaluate(reformulated);
+    }
+    case ReasoningMode::kBackward: {
+      backward::BackwardChainingEvaluator evaluator(graph_.store(),
+                                                    CachedSchema(), vocab_);
+      return evaluator.Evaluate(q);
+    }
+  }
+  return InternalError("unknown reasoning mode");
+}
+
+std::vector<std::string> ReasoningStore::DecodeRow(
+    const query::Row& row) const {
+  std::vector<std::string> out;
+  out.reserve(row.size());
+  for (rdf::TermId id : row) {
+    out.push_back(id == rdf::kNullTermId ? "UNBOUND"
+                                         : graph_.dict().term(id).ToNTriples());
+  }
+  return out;
+}
+
+Result<std::string> ReasoningStore::ExplainTriple(
+    std::string_view ntriples_line) {
+  rdf::Graph scratch;
+  WDR_ASSIGN_OR_RETURN(size_t parsed, io::ParseNTriples(ntriples_line, scratch));
+  if (parsed != 1) {
+    return InvalidArgumentError("expected exactly one N-Triples statement");
+  }
+  rdf::Triple target;
+  scratch.store().Match(0, 0, 0, [&](const rdf::Triple& t) {
+    target = rdf::Triple(graph_.dict().Intern(scratch.dict().term(t.s)),
+                         graph_.dict().Intern(scratch.dict().term(t.p)),
+                         graph_.dict().Intern(scratch.dict().term(t.o)));
+  });
+
+  const rdf::TripleStore* closure = nullptr;
+  rdf::TripleStore transient;
+  if (saturated_.has_value()) {
+    closure = &saturated_->closure();
+  } else {
+    transient = reasoning::Saturator::SaturateGraph(graph_, vocab_);
+    closure = &transient;
+  }
+  WDR_ASSIGN_OR_RETURN(
+      reasoning::Explanation explanation,
+      reasoning::Explain(graph_.store(), *closure, vocab_, &graph_.dict(),
+                         target));
+  return reasoning::FormatExplanation(graph_, graph_.store(), explanation);
+}
+
+UpdateInfo ReasoningStore::Insert(const rdf::Triple& t) {
+  Timer timer;
+  UpdateInfo info;
+  // A triple previously present only as a derived schema edge becomes an
+  // asserted one: stop tracking it as derived.
+  for (auto it = derived_schema_.begin(); it != derived_schema_.end(); ++it) {
+    if (*it == t) {
+      derived_schema_.erase(it);
+      break;
+    }
+  }
+  info.inserted = graph_.Insert(t) ? 1 : 0;
+  if (saturated_.has_value()) info.closure_delta = saturated_->Insert(t);
+  OnUpdate(vocab_.IsSchemaProperty(t.p));
+  info.seconds = timer.ElapsedSeconds();
+  return info;
+}
+
+UpdateInfo ReasoningStore::Erase(const rdf::Triple& t) {
+  Timer timer;
+  UpdateInfo info;
+  info.deleted = graph_.Erase(t) ? 1 : 0;
+  if (saturated_.has_value()) info.closure_delta = saturated_->Erase(t);
+  // Re-closing may legitimately re-add the erased triple if it is still
+  // entailed by the remaining schema (deleting an entailed triple is a
+  // no-op on the semantics, as the paper's §II-B maintenance discussion
+  // assumes).
+  OnUpdate(vocab_.IsSchemaProperty(t.p));
+  info.seconds = timer.ElapsedSeconds();
+  return info;
+}
+
+Result<UpdateInfo> ReasoningStore::Update(std::string_view sparql_update) {
+  Timer timer;
+  WDR_ASSIGN_OR_RETURN(std::vector<UpdateOp> ops,
+                       ParseSparqlUpdate(sparql_update, graph_.dict()));
+  UpdateInfo total;
+  for (const UpdateOp& op : ops) {
+    for (const rdf::Triple& t : op.triples) {
+      UpdateInfo step = op.is_insert ? Insert(t) : Erase(t);
+      total.inserted += step.inserted;
+      total.deleted += step.deleted;
+      total.closure_delta += step.closure_delta;
+    }
+  }
+  total.seconds = timer.ElapsedSeconds();
+  return total;
+}
+
+}  // namespace wdr::store

@@ -1,0 +1,163 @@
+#ifndef WDR_STORE_REASONING_STORE_H_
+#define WDR_STORE_REASONING_STORE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "query/evaluator.h"
+#include "rdf/graph.h"
+#include "reasoning/saturated_graph.h"
+#include "reformulation/reformulator.h"
+#include "schema/schema.h"
+#include "schema/vocabulary.h"
+
+namespace wdr::store {
+
+// How the store answers queries with respect to RDF entailment — the three
+// technique families the paper classifies (§II-B, §II-C).
+enum class ReasoningMode {
+  // No reasoning: plain evaluation over explicit triples only.
+  kNone,
+  // Forward chaining: an incrementally maintained closure G∞ is queried
+  // (OWLIM / Oracle style). Cheap queries, maintenance on update.
+  kSaturation,
+  // Query rewriting: q is reformulated into a UCQ evaluated on G
+  // (EDBT'13 style). Zero maintenance, costlier queries.
+  kReformulation,
+  // Run-time backward chaining: per-atom expansion inside the join
+  // (AllegroGraph / Virtuoso style). Zero maintenance.
+  kBackward,
+};
+
+const char* ReasoningModeName(ReasoningMode mode);
+
+struct ReasoningStoreOptions {
+  ReasoningMode mode = ReasoningMode::kSaturation;
+  // Passed through to the reformulation engine (kReformulation mode).
+  reformulation::ReformulationOptions reformulation;
+};
+
+// Per-query diagnostics.
+struct QueryInfo {
+  ReasoningMode mode = ReasoningMode::kNone;
+  size_t union_size = 1;     // UCQ disjuncts evaluated (reformulation)
+  double seconds = 0;        // wall-clock, parse included
+};
+
+// Counts of applied update operations.
+struct UpdateInfo {
+  size_t inserted = 0;          // base triples added
+  size_t deleted = 0;           // base triples removed
+  size_t closure_delta = 0;     // |closure changes| (saturation mode)
+  double seconds = 0;
+};
+
+// The library's front door: an RDF store whose query answers always
+// reflect RDFS entailment, under a pluggable technique. Invariant: for the
+// same data, Query() returns the same answers in every reasoning mode
+// except kNone (property-tested) — the modes differ only in where the
+// reasoning cost is paid, which is the whole subject of the paper.
+//
+// The store keeps its schema component closed at all times (tiny, and the
+// correctness precondition of the rewriting techniques); the base/derived
+// schema distinction is tracked so schema deletions retract closure edges.
+class ReasoningStore {
+ public:
+  explicit ReasoningStore(ReasoningStoreOptions options = {});
+
+  // Not copyable (holds a maintained closure); movable.
+  ReasoningStore(const ReasoningStore&) = delete;
+  ReasoningStore& operator=(const ReasoningStore&) = delete;
+  ReasoningStore(ReasoningStore&&) = default;
+  ReasoningStore& operator=(ReasoningStore&&) = default;
+
+  // --- Loading ------------------------------------------------------------
+
+  // Parses and inserts data; returns the number of new triples.
+  Result<size_t> LoadTurtle(std::string_view text);
+  Result<size_t> LoadNTriples(std::string_view text);
+
+  // --- Querying -----------------------------------------------------------
+
+  // Answers a SPARQL BGP/UNION query under the configured mode.
+  Result<query::ResultSet> Query(std::string_view sparql,
+                                 QueryInfo* info = nullptr);
+
+  // Decodes a result row to N-Triples term strings.
+  std::vector<std::string> DecodeRow(const query::Row& row) const;
+
+  // Explains why a triple holds: `ntriples_line` is one N-Triples
+  // statement ("<s> <p> <o> ."); the result is a rendered proof from
+  // asserted triples through the entailment rules (see reasoning/explain.h
+  // — the §II-C "justifications"). Works in every mode (the closure is
+  // computed transiently if the store is not in saturation mode). NotFound
+  // if the triple is not entailed.
+  Result<std::string> ExplainTriple(std::string_view ntriples_line);
+
+  // --- Updating -----------------------------------------------------------
+
+  // Executes a SPARQL UPDATE request: a sequence of
+  //   INSERT DATA { <ground triples> }   and
+  //   DELETE DATA { <ground triples> }
+  // operations (separated by ';'), with PREFIX declarations and Turtle
+  // abbreviations allowed inside the blocks. In saturation mode the
+  // closure is maintained incrementally (DRed for deletes).
+  Result<UpdateInfo> Update(std::string_view sparql_update);
+
+  // Programmatic single-triple updates.
+  UpdateInfo Insert(const rdf::Triple& t);
+  UpdateInfo Erase(const rdf::Triple& t);
+
+  // --- Mode control ---------------------------------------------------------
+
+  ReasoningMode mode() const { return options_.mode; }
+
+  // Switches technique at run time: entering kSaturation builds the
+  // closure; leaving it drops the closure.
+  void SetMode(ReasoningMode mode);
+
+  // --- Introspection --------------------------------------------------------
+
+  rdf::Graph& graph() { return graph_; }
+  const rdf::Graph& graph() const { return graph_; }
+  const schema::Vocabulary& vocab() const { return vocab_; }
+  // Base triples (user-visible data, including the closed schema).
+  size_t size() const { return graph_.size(); }
+  // Closure size in saturation mode; base size otherwise.
+  size_t effective_size() const;
+
+ private:
+  // Re-closes the schema component after a schema change: previously
+  // derived schema edges are retracted and re-derived from the current
+  // base schema.
+  void RecloseSchema();
+
+  // Invalidate caches after any update.
+  void OnUpdate(bool schema_changed);
+
+  const schema::Schema& CachedSchema();
+
+  Result<query::ResultSet> Dispatch(const query::UnionQuery& q,
+                                    QueryInfo* info);
+
+  ReasoningStoreOptions options_;
+  rdf::Graph graph_;
+  schema::Vocabulary vocab_;
+
+  // Schema edges present only by entailment (kept closed in graph_).
+  std::vector<rdf::Triple> derived_schema_;
+
+  // kSaturation state.
+  std::optional<reasoning::SaturatedGraph> saturated_;
+
+  // Lazily rebuilt constraint view for the rewriting modes.
+  std::optional<schema::Schema> schema_cache_;
+};
+
+}  // namespace wdr::store
+
+#endif  // WDR_STORE_REASONING_STORE_H_

@@ -1,0 +1,159 @@
+#include "workload/queries.h"
+
+#include "schema/vocabulary.h"
+#include "workload/university.h"
+
+namespace wdr::workload {
+namespace {
+
+using query::BgpQuery;
+using query::PatternTerm;
+using query::TriplePattern;
+using query::VarId;
+
+// Small fluent builder over BgpQuery for readable query definitions.
+class QueryBuilder {
+ public:
+  explicit QueryBuilder(rdf::Dictionary& dict) : dict_(dict) {
+    q_.SetDistinct(true);
+  }
+
+  PatternTerm Var(const std::string& name) {
+    return PatternTerm::Variable(q_.AddVar(name));
+  }
+  PatternTerm Iri(const char* iri) {
+    return PatternTerm::Constant(dict_.InternIri(iri));
+  }
+  PatternTerm Type() { return Iri(schema::iri::kType); }
+
+  QueryBuilder& Atom(PatternTerm s, PatternTerm p, PatternTerm o) {
+    q_.AddAtom(TriplePattern{s, p, o});
+    return *this;
+  }
+
+  QueryBuilder& Select(const std::string& name) {
+    VarId v = q_.AddVar(name);
+    q_.Project(v);
+    return *this;
+  }
+
+  BgpQuery Build() { return q_; }
+
+ private:
+  rdf::Dictionary& dict_;
+  BgpQuery q_;
+};
+
+}  // namespace
+
+std::vector<NamedQuery> StandardQuerySet(rdf::Dictionary& dict) {
+  std::vector<NamedQuery> queries;
+
+  {
+    QueryBuilder b(dict);
+    b.Atom(b.Var("x"), b.Type(), b.Iri(univ::kPerson)).Select("x");
+    queries.push_back({"Q1",
+                       "all Persons: top of the class hierarchy; the "
+                       "reformulation unions every subclass plus every "
+                       "property with a Person domain/range",
+                       b.Build()});
+  }
+  {
+    QueryBuilder b(dict);
+    b.Atom(b.Var("x"), b.Type(), b.Iri(univ::kFullProfessor)).Select("x");
+    queries.push_back({"Q2",
+                       "all FullProfessors: a leaf class; the reformulation "
+                       "is the query itself, so saturation never pays off "
+                       "for it",
+                       b.Build()});
+  }
+  {
+    QueryBuilder b(dict);
+    b.Atom(b.Var("x"), b.Iri(univ::kMemberOf), b.Var("y"))
+        .Select("x")
+        .Select("y");
+    queries.push_back({"Q3",
+                       "memberships: top of the memberOf ⊒ worksFor ⊒ "
+                       "headOf property hierarchy",
+                       b.Build()});
+  }
+  {
+    QueryBuilder b(dict);
+    b.Atom(b.Var("x"), b.Iri(univ::kHeadOf), b.Var("y")).Select("x");
+    queries.push_back({"Q4",
+                       "department heads: a leaf property; reformulation "
+                       "is the identity",
+                       b.Build()});
+  }
+  {
+    QueryBuilder b(dict);
+    b.Atom(b.Var("x"), b.Type(), b.Iri(univ::kStudent))
+        .Atom(b.Var("x"), b.Iri(univ::kTakesCourse), b.Var("y"))
+        .Select("x")
+        .Select("y");
+    queries.push_back({"Q5",
+                       "students and their courses: join of a mid-hierarchy "
+                       "class atom with a leaf property atom",
+                       b.Build()});
+  }
+  {
+    QueryBuilder b(dict);
+    b.Atom(b.Var("x"), b.Type(), b.Iri(univ::kFaculty))
+        .Atom(b.Var("x"), b.Iri(univ::kTeacherOf), b.Var("y"))
+        .Atom(b.Var("y"), b.Type(), b.Iri(univ::kCourse))
+        .Select("x")
+        .Select("y");
+    queries.push_back({"Q6",
+                       "faculty teaching courses: three atoms whose "
+                       "per-atom reformulations multiply",
+                       b.Build()});
+  }
+  {
+    QueryBuilder b(dict);
+    b.Atom(b.Var("x"), b.Iri(univ::kDegreeFrom), b.Var("u"))
+        .Atom(b.Var("u"), b.Type(), b.Iri(univ::kUniversity))
+        .Select("x")
+        .Select("u");
+    queries.push_back({"Q7",
+                       "degrees: property-hierarchy top joined with a "
+                       "class atom",
+                       b.Build()});
+  }
+  {
+    QueryBuilder b(dict);
+    b.Atom(b.Var("x"), b.Type(), b.Var("c")).Select("x").Select("c");
+    queries.push_back({"Q8",
+                       "full typing: a class-position variable, grounded "
+                       "over the whole schema by reformulation — the "
+                       "'blurred' fragment of §II-B",
+                       b.Build()});
+  }
+  {
+    QueryBuilder b(dict);
+    b.Atom(b.Var("s"), b.Iri(univ::kAdvisor), b.Var("p"))
+        .Atom(b.Var("p"), b.Type(), b.Iri(univ::kProfessor))
+        .Select("s")
+        .Select("p");
+    queries.push_back({"Q9",
+                       "advisees and their professors: mid-hierarchy class "
+                       "with a leaf property join",
+                       b.Build()});
+  }
+  {
+    QueryBuilder b(dict);
+    b.Atom(b.Var("p"), b.Type(), b.Iri(univ::kEmployee))
+        .Atom(b.Var("s"), b.Iri(univ::kAdvisor), b.Var("p"))
+        .Atom(b.Var("s"), b.Type(), b.Iri(univ::kGraduateStudent))
+        .Select("p")
+        .Select("s");
+    queries.push_back({"Q10",
+                       "graduate advisees of employees: two hierarchy "
+                       "class atoms joined through a property, the largest "
+                       "reformulation of the set",
+                       b.Build()});
+  }
+
+  return queries;
+}
+
+}  // namespace wdr::workload

@@ -1,0 +1,28 @@
+#ifndef WDR_WORKLOAD_QUERIES_H_
+#define WDR_WORKLOAD_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "rdf/dictionary.h"
+
+namespace wdr::workload {
+
+// One query of the Fig. 3 workload.
+struct NamedQuery {
+  std::string name;         // "Q1" ... "Q10"
+  std::string description;  // what it asks and why its thresholds differ
+  query::BgpQuery query;
+};
+
+// The ten-query workload over the university ontology, spanning the Fig. 3
+// spectrum: from leaf-class lookups whose reformulation is the query itself
+// (saturation never amortizes) to hierarchy-top and class-variable queries
+// whose reformulations fan out into many conjunctive queries (saturation
+// amortizes after a handful of runs). Constants are interned into `dict`.
+std::vector<NamedQuery> StandardQuerySet(rdf::Dictionary& dict);
+
+}  // namespace wdr::workload
+
+#endif  // WDR_WORKLOAD_QUERIES_H_

@@ -1,0 +1,99 @@
+#include "workload/synthetic.h"
+
+#include "common/rng.h"
+
+namespace wdr::workload {
+namespace {
+
+constexpr const char* kNs = "http://wdr.example.org/syn#";
+
+// Builds a tree of `depth` levels below a root, `fanout` children per node,
+// inserting `edge_property` triples (child edge_property parent). Returns
+// the node ids breadth-first and the leaf ids.
+std::vector<rdf::TermId> BuildTree(rdf::Graph& graph, const std::string& stem,
+                                   int depth, int fanout,
+                                   rdf::TermId edge_property, size_t* edges,
+                                   std::vector<rdf::TermId>* leaves) {
+  std::vector<rdf::TermId> nodes;
+  rdf::TermId root = graph.dict().InternIri(std::string(kNs) + stem + "0");
+  nodes.push_back(root);
+  std::vector<rdf::TermId> level{root};
+  size_t counter = 1;
+  for (int d = 0; d < depth; ++d) {
+    std::vector<rdf::TermId> next;
+    for (rdf::TermId parent : level) {
+      for (int f = 0; f < fanout; ++f) {
+        rdf::TermId child = graph.dict().InternIri(
+            std::string(kNs) + stem + std::to_string(counter++));
+        if (graph.Insert(rdf::Triple(child, edge_property, parent))) {
+          ++(*edges);
+        }
+        nodes.push_back(child);
+        next.push_back(child);
+      }
+    }
+    level = std::move(next);
+  }
+  *leaves = level.empty() ? nodes : level;
+  return nodes;
+}
+
+}  // namespace
+
+SyntheticData GenerateSyntheticData(const SyntheticConfig& config) {
+  SyntheticData data;
+  data.vocab = schema::Vocabulary::Intern(data.graph.dict());
+  Rng rng(config.seed);
+
+  std::vector<rdf::TermId> leaf_classes;
+  std::vector<rdf::TermId> leaf_properties;
+  data.classes =
+      BuildTree(data.graph, "Class", config.class_depth, config.class_fanout,
+                data.vocab.sub_class_of, &data.schema_triples, &leaf_classes);
+  data.properties = BuildTree(data.graph, "prop", config.property_depth,
+                              config.property_fanout,
+                              data.vocab.sub_property_of,
+                              &data.schema_triples, &leaf_properties);
+
+  for (rdf::TermId p : data.properties) {
+    if (rng.Chance(config.domain_fraction)) {
+      rdf::TermId c = data.classes[static_cast<size_t>(
+          rng.Uniform(0, data.classes.size() - 1))];
+      if (data.graph.Insert(rdf::Triple(p, data.vocab.domain, c))) {
+        ++data.schema_triples;
+      }
+    }
+    if (rng.Chance(config.range_fraction)) {
+      rdf::TermId c = data.classes[static_cast<size_t>(
+          rng.Uniform(0, data.classes.size() - 1))];
+      if (data.graph.Insert(rdf::Triple(p, data.vocab.range, c))) {
+        ++data.schema_triples;
+      }
+    }
+  }
+
+  std::vector<rdf::TermId> individuals;
+  individuals.reserve(config.individuals);
+  for (int i = 0; i < config.individuals; ++i) {
+    rdf::TermId id = data.graph.dict().InternIri(std::string(kNs) + "ind" +
+                                                 std::to_string(i));
+    individuals.push_back(id);
+    rdf::TermId c = leaf_classes[static_cast<size_t>(
+        rng.Skewed(static_cast<int64_t>(leaf_classes.size())))];
+    if (data.graph.Insert(rdf::Triple(id, data.vocab.type, c))) {
+      ++data.instance_triples;
+    }
+  }
+  for (int i = 0; i < config.property_triples && !individuals.empty(); ++i) {
+    rdf::TermId s = individuals[static_cast<size_t>(
+        rng.Uniform(0, individuals.size() - 1))];
+    rdf::TermId o = individuals[static_cast<size_t>(
+        rng.Uniform(0, individuals.size() - 1))];
+    rdf::TermId p = leaf_properties[static_cast<size_t>(
+        rng.Skewed(static_cast<int64_t>(leaf_properties.size())))];
+    if (data.graph.Insert(rdf::Triple(s, p, o))) ++data.instance_triples;
+  }
+  return data;
+}
+
+}  // namespace wdr::workload

@@ -1,0 +1,49 @@
+#ifndef WDR_WORKLOAD_SYNTHETIC_H_
+#define WDR_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "schema/vocabulary.h"
+
+namespace wdr::workload {
+
+// Parameterized synthetic generator used by the scaling/ablation benches:
+// lets a bench dial schema depth and fan-out independently of data size,
+// which is what drives both saturation growth and reformulation size.
+struct SyntheticConfig {
+  uint64_t seed = 7;
+  // Class tree: a root with `class_fanout` children per node, `class_depth`
+  // levels below the root.
+  int class_depth = 3;
+  int class_fanout = 3;
+  // Property tree, same shape.
+  int property_depth = 2;
+  int property_fanout = 2;
+  // Fraction of properties given a domain / range (pointing at random
+  // classes of the tree).
+  double domain_fraction = 0.5;
+  double range_fraction = 0.5;
+  // Instance triples: `individuals` resources typed at random leaf classes;
+  // `property_triples` edges with random leaf properties between them.
+  int individuals = 1000;
+  int property_triples = 2000;
+};
+
+struct SyntheticData {
+  rdf::Graph graph;
+  schema::Vocabulary vocab;
+  std::vector<rdf::TermId> classes;     // breadth-first, [0] = root
+  std::vector<rdf::TermId> properties;  // breadth-first, [0] = root
+  size_t schema_triples = 0;
+  size_t instance_triples = 0;
+};
+
+// Deterministic from `config.seed`.
+SyntheticData GenerateSyntheticData(const SyntheticConfig& config);
+
+}  // namespace wdr::workload
+
+#endif  // WDR_WORKLOAD_SYNTHETIC_H_

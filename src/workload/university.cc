@@ -1,0 +1,217 @@
+#include "workload/university.h"
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "schema/vocabulary.h"
+
+namespace wdr::workload {
+namespace {
+
+using rdf::Graph;
+using rdf::Term;
+
+// Thin helper for inserting schema/instance triples with IRI strings.
+class Builder {
+ public:
+  explicit Builder(Graph& graph) : graph_(graph) {}
+
+  size_t added() const { return added_; }
+
+  void SubClass(const char* sub, const char* super) {
+    Add(sub, schema::iri::kSubClassOf, super);
+  }
+  void SubProperty(const char* sub, const char* super) {
+    Add(sub, schema::iri::kSubPropertyOf, super);
+  }
+  void Domain(const char* p, const char* c) {
+    Add(p, schema::iri::kDomain, c);
+  }
+  void Range(const char* p, const char* c) { Add(p, schema::iri::kRange, c); }
+
+  void Type(const std::string& s, const char* c) {
+    Add(s, schema::iri::kType, c);
+  }
+  void Add(const std::string& s, const std::string& p, const std::string& o) {
+    if (graph_.InsertIris(s, p, o)) ++added_;
+  }
+  void AddLiteral(const std::string& s, const std::string& p,
+                  const std::string& value) {
+    if (graph_.Insert(Term::Iri(s), Term::Iri(p), Term::Literal(value))) {
+      ++added_;
+    }
+  }
+
+ private:
+  Graph& graph_;
+  size_t added_ = 0;
+};
+
+std::string Entity(const std::string& kind, int a, int b = -1, int c = -1) {
+  std::string iri = std::string(univ::kNs) + kind + std::to_string(a);
+  if (b >= 0) iri += "_" + std::to_string(b);
+  if (c >= 0) iri += "_" + std::to_string(c);
+  return iri;
+}
+
+}  // namespace
+
+size_t AddUniversityOntology(rdf::Graph& graph) {
+  Builder b(graph);
+
+  // Class hierarchy (Fig. 1 subclass constraints).
+  b.SubClass(univ::kEmployee, univ::kPerson);
+  b.SubClass(univ::kFaculty, univ::kEmployee);
+  b.SubClass(univ::kProfessor, univ::kFaculty);
+  b.SubClass(univ::kFullProfessor, univ::kProfessor);
+  b.SubClass(univ::kAssociateProfessor, univ::kProfessor);
+  b.SubClass(univ::kAssistantProfessor, univ::kProfessor);
+  b.SubClass(univ::kLecturer, univ::kFaculty);
+  b.SubClass(univ::kStudent, univ::kPerson);
+  b.SubClass(univ::kUndergraduateStudent, univ::kStudent);
+  b.SubClass(univ::kGraduateStudent, univ::kStudent);
+  b.SubClass(univ::kPhdStudent, univ::kGraduateStudent);
+  b.SubClass(univ::kUniversity, univ::kOrganization);
+  b.SubClass(univ::kDepartment, univ::kOrganization);
+  b.SubClass(univ::kResearchGroup, univ::kOrganization);
+  b.SubClass(univ::kCourse, univ::kWork);
+  b.SubClass(univ::kGraduateCourse, univ::kCourse);
+  b.SubClass(univ::kPublication, univ::kWork);
+  b.SubClass(univ::kArticle, univ::kPublication);
+  b.SubClass(univ::kBook, univ::kPublication);
+
+  // Property hierarchy.
+  b.SubProperty(univ::kWorksFor, univ::kMemberOf);
+  b.SubProperty(univ::kHeadOf, univ::kWorksFor);
+  b.SubProperty(univ::kDoctoralDegreeFrom, univ::kDegreeFrom);
+  b.SubProperty(univ::kMastersDegreeFrom, univ::kDegreeFrom);
+  b.SubProperty(univ::kUndergraduateDegreeFrom, univ::kDegreeFrom);
+
+  // Domain / range typing (Fig. 1).
+  b.Domain(univ::kMemberOf, univ::kPerson);
+  b.Range(univ::kMemberOf, univ::kOrganization);
+  b.Domain(univ::kHeadOf, univ::kFaculty);
+  b.Domain(univ::kDegreeFrom, univ::kPerson);
+  b.Range(univ::kDegreeFrom, univ::kUniversity);
+  b.Domain(univ::kTeacherOf, univ::kFaculty);
+  b.Range(univ::kTeacherOf, univ::kCourse);
+  b.Domain(univ::kTakesCourse, univ::kStudent);
+  b.Range(univ::kTakesCourse, univ::kCourse);
+  b.Domain(univ::kAdvisor, univ::kStudent);
+  b.Range(univ::kAdvisor, univ::kProfessor);
+  b.Domain(univ::kPublicationAuthor, univ::kPublication);
+  b.Range(univ::kPublicationAuthor, univ::kPerson);
+  b.Domain(univ::kSubOrganizationOf, univ::kOrganization);
+  b.Range(univ::kSubOrganizationOf, univ::kOrganization);
+  b.Domain(univ::kName, univ::kWork);
+
+  return b.added();
+}
+
+UniversityData GenerateUniversityData(const UniversityConfig& config) {
+  UniversityData data;
+  data.vocab = schema::Vocabulary::Intern(data.graph.dict());
+  data.ontology_triples = AddUniversityOntology(data.graph);
+
+  Builder b(data.graph);
+  Rng rng(config.seed);
+
+  const char* professor_ranks[] = {univ::kFullProfessor,
+                                   univ::kAssociateProfessor,
+                                   univ::kAssistantProfessor};
+  const char* degree_props[] = {univ::kDoctoralDegreeFrom,
+                                univ::kMastersDegreeFrom,
+                                univ::kUndergraduateDegreeFrom};
+
+  std::vector<std::string> universities;
+  for (int u = 0; u < config.universities; ++u) {
+    std::string univ_iri = Entity("University", u);
+    universities.push_back(univ_iri);
+    b.Type(univ_iri, univ::kUniversity);
+  }
+
+  for (int u = 0; u < config.universities; ++u) {
+    const std::string& univ_iri = universities[u];
+    for (int d = 0; d < config.departments_per_university; ++d) {
+      std::string dept = Entity("Department", u, d);
+      b.Type(dept, univ::kDepartment);
+      b.Add(dept, univ::kSubOrganizationOf, univ_iri);
+
+      std::vector<std::string> courses;
+      for (int c = 0; c < config.courses_per_department; ++c) {
+        std::string course = Entity("Course", u, d, c);
+        bool graduate = rng.Chance(0.3);
+        b.Type(course, graduate ? univ::kGraduateCourse : univ::kCourse);
+        b.AddLiteral(course, univ::kName,
+                     "Course " + std::to_string(u) + "-" + std::to_string(d) +
+                         "-" + std::to_string(c));
+        courses.push_back(std::move(course));
+      }
+
+      std::vector<std::string> professors;
+      for (int p = 0; p < config.professors_per_department; ++p) {
+        std::string prof = Entity("Professor", u, d, p);
+        b.Type(prof, professor_ranks[rng.Uniform(0, 2)]);
+        if (p == 0) {
+          // The department head: headOf ⊑ worksFor ⊑ memberOf.
+          b.Add(prof, univ::kHeadOf, dept);
+        } else {
+          b.Add(prof, univ::kWorksFor, dept);
+        }
+        size_t degree = static_cast<size_t>(rng.Uniform(0, 2));
+        b.Add(prof, degree_props[degree],
+              universities[rng.Uniform(0, config.universities - 1)]);
+        // Each professor teaches 1-2 courses.
+        int teaches = static_cast<int>(rng.Uniform(1, 2));
+        for (int t = 0; t < teaches && !courses.empty(); ++t) {
+          b.Add(prof, univ::kTeacherOf,
+                courses[rng.Uniform(0, courses.size() - 1)]);
+        }
+        for (int pub = 0; pub < config.publications_per_professor; ++pub) {
+          std::string publication = prof + "_pub" + std::to_string(pub);
+          b.Type(publication,
+                 rng.Chance(0.8) ? univ::kArticle : univ::kBook);
+          b.Add(publication, univ::kPublicationAuthor, prof);
+        }
+        professors.push_back(std::move(prof));
+      }
+
+      for (int l = 0; l < config.lecturers_per_department; ++l) {
+        std::string lecturer = Entity("Lecturer", u, d, l);
+        b.Type(lecturer, univ::kLecturer);
+        b.Add(lecturer, univ::kWorksFor, dept);
+        if (!courses.empty()) {
+          b.Add(lecturer, univ::kTeacherOf,
+                courses[rng.Uniform(0, courses.size() - 1)]);
+        }
+      }
+
+      for (int s = 0; s < config.students_per_department; ++s) {
+        std::string student = Entity("Student", u, d, s);
+        bool graduate = rng.Chance(config.graduate_fraction);
+        if (graduate) {
+          b.Type(student, rng.Chance(0.4) ? univ::kPhdStudent
+                                          : univ::kGraduateStudent);
+          if (!professors.empty()) {
+            b.Add(student, univ::kAdvisor,
+                  professors[rng.Uniform(0, professors.size() - 1)]);
+          }
+        } else {
+          b.Type(student, univ::kUndergraduateStudent);
+        }
+        b.Add(student, univ::kMemberOf, dept);
+        for (int c = 0; c < config.courses_per_student && !courses.empty();
+             ++c) {
+          b.Add(student, univ::kTakesCourse,
+                courses[rng.Uniform(0, courses.size() - 1)]);
+        }
+      }
+    }
+  }
+
+  data.instance_triples = b.added();
+  return data;
+}
+
+}  // namespace wdr::workload

@@ -1,0 +1,95 @@
+#ifndef WDR_WORKLOAD_UNIVERSITY_H_
+#define WDR_WORKLOAD_UNIVERSITY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rdf/graph.h"
+#include "schema/vocabulary.h"
+
+namespace wdr::workload {
+
+// IRIs of the university-domain ontology (LUBM-style; see DESIGN.md for the
+// substitution rationale). The class hierarchy is 4 levels deep and the
+// property hierarchy 3 levels deep, so that reformulations of queries over
+// the top of either hierarchy fan out substantially, as in the EDBT'13
+// setup Fig. 3 is borrowed from.
+namespace univ {
+inline constexpr const char* kNs = "http://wdr.example.org/univ#";
+
+// Classes.
+inline constexpr const char* kPerson = "http://wdr.example.org/univ#Person";
+inline constexpr const char* kEmployee = "http://wdr.example.org/univ#Employee";
+inline constexpr const char* kFaculty = "http://wdr.example.org/univ#Faculty";
+inline constexpr const char* kProfessor = "http://wdr.example.org/univ#Professor";
+inline constexpr const char* kFullProfessor = "http://wdr.example.org/univ#FullProfessor";
+inline constexpr const char* kAssociateProfessor = "http://wdr.example.org/univ#AssociateProfessor";
+inline constexpr const char* kAssistantProfessor = "http://wdr.example.org/univ#AssistantProfessor";
+inline constexpr const char* kLecturer = "http://wdr.example.org/univ#Lecturer";
+inline constexpr const char* kStudent = "http://wdr.example.org/univ#Student";
+inline constexpr const char* kUndergraduateStudent = "http://wdr.example.org/univ#UndergraduateStudent";
+inline constexpr const char* kGraduateStudent = "http://wdr.example.org/univ#GraduateStudent";
+inline constexpr const char* kPhdStudent = "http://wdr.example.org/univ#PhdStudent";
+inline constexpr const char* kOrganization = "http://wdr.example.org/univ#Organization";
+inline constexpr const char* kUniversity = "http://wdr.example.org/univ#University";
+inline constexpr const char* kDepartment = "http://wdr.example.org/univ#Department";
+inline constexpr const char* kResearchGroup = "http://wdr.example.org/univ#ResearchGroup";
+inline constexpr const char* kWork = "http://wdr.example.org/univ#Work";
+inline constexpr const char* kCourse = "http://wdr.example.org/univ#Course";
+inline constexpr const char* kGraduateCourse = "http://wdr.example.org/univ#GraduateCourse";
+inline constexpr const char* kPublication = "http://wdr.example.org/univ#Publication";
+inline constexpr const char* kArticle = "http://wdr.example.org/univ#Article";
+inline constexpr const char* kBook = "http://wdr.example.org/univ#Book";
+
+// Properties.
+inline constexpr const char* kMemberOf = "http://wdr.example.org/univ#memberOf";
+inline constexpr const char* kWorksFor = "http://wdr.example.org/univ#worksFor";
+inline constexpr const char* kHeadOf = "http://wdr.example.org/univ#headOf";
+inline constexpr const char* kDegreeFrom = "http://wdr.example.org/univ#degreeFrom";
+inline constexpr const char* kDoctoralDegreeFrom = "http://wdr.example.org/univ#doctoralDegreeFrom";
+inline constexpr const char* kMastersDegreeFrom = "http://wdr.example.org/univ#mastersDegreeFrom";
+inline constexpr const char* kUndergraduateDegreeFrom = "http://wdr.example.org/univ#undergraduateDegreeFrom";
+inline constexpr const char* kTeacherOf = "http://wdr.example.org/univ#teacherOf";
+inline constexpr const char* kTakesCourse = "http://wdr.example.org/univ#takesCourse";
+inline constexpr const char* kAdvisor = "http://wdr.example.org/univ#advisor";
+inline constexpr const char* kPublicationAuthor = "http://wdr.example.org/univ#publicationAuthor";
+inline constexpr const char* kSubOrganizationOf = "http://wdr.example.org/univ#subOrganizationOf";
+inline constexpr const char* kName = "http://wdr.example.org/univ#name";
+}  // namespace univ
+
+struct UniversityConfig {
+  uint64_t seed = 42;
+  int universities = 2;
+  int departments_per_university = 4;
+  int professors_per_department = 8;
+  int lecturers_per_department = 4;
+  int students_per_department = 60;
+  int courses_per_department = 12;
+  int publications_per_professor = 3;
+  double graduate_fraction = 0.3;  // of students
+  int courses_per_student = 3;
+};
+
+// Generated dataset: the base graph (ontology + instance triples) and the
+// interned vocabulary ids.
+struct UniversityData {
+  rdf::Graph graph;
+  schema::Vocabulary vocab;
+  size_t ontology_triples = 0;
+  size_t instance_triples = 0;
+};
+
+// Deterministic LUBM-style generator. Instance resources are typed at the
+// most specific class (FullProfessor, PhdStudent, ...) and linked with the
+// most specific properties (headOf, doctoralDegreeFrom, ...), so that the
+// generic classes and properties (Person, memberOf, ...) are populated
+// only by RDFS entailment — queries over them are where reasoning matters.
+UniversityData GenerateUniversityData(const UniversityConfig& config);
+
+// Inserts only the ontology (schema triples) into `graph`; returns how many
+// triples were added. Exposed separately for schema-update experiments.
+size_t AddUniversityOntology(rdf::Graph& graph);
+
+}  // namespace wdr::workload
+
+#endif  // WDR_WORKLOAD_UNIVERSITY_H_

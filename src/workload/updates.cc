@@ -1,0 +1,91 @@
+#include "workload/updates.h"
+
+#include <string>
+
+namespace wdr::workload {
+namespace {
+
+using rdf::Triple;
+
+// Reservoir-samples `count` triples satisfying `keep`.
+template <typename KeepFn>
+std::vector<Triple> Sample(const rdf::Graph& graph, size_t count, Rng& rng,
+                           KeepFn&& keep) {
+  std::vector<Triple> reservoir;
+  size_t seen = 0;
+  graph.store().Match(0, 0, 0, [&](const Triple& t) {
+    if (!keep(t)) return;
+    ++seen;
+    if (reservoir.size() < count) {
+      reservoir.push_back(t);
+    } else {
+      size_t slot = static_cast<size_t>(rng.Uniform(0, seen - 1));
+      if (slot < count) reservoir[slot] = t;
+    }
+  });
+  return reservoir;
+}
+
+}  // namespace
+
+std::vector<Triple> SampleInstanceTriples(const rdf::Graph& graph,
+                                          const schema::Vocabulary& vocab,
+                                          size_t count, Rng& rng) {
+  return Sample(graph, count, rng,
+                [&](const Triple& t) { return !vocab.IsSchemaProperty(t.p); });
+}
+
+std::vector<Triple> SampleSchemaTriples(const rdf::Graph& graph,
+                                        const schema::Vocabulary& vocab,
+                                        size_t count, Rng& rng) {
+  return Sample(graph, count, rng,
+                [&](const Triple& t) { return vocab.IsSchemaProperty(t.p); });
+}
+
+UpdateSet MakeUpdateSet(rdf::Graph& graph, const schema::Vocabulary& vocab,
+                        size_t count, Rng& rng) {
+  UpdateSet updates;
+  updates.instance_deletions = SampleInstanceTriples(graph, vocab, count, rng);
+  updates.schema_deletions = SampleSchemaTriples(graph, vocab, count, rng);
+
+  // Instance insertions: clone sampled instance triples with fresh
+  // subjects, preserving property/object distributions.
+  std::vector<Triple> templates =
+      SampleInstanceTriples(graph, vocab, count, rng);
+  for (size_t i = 0; i < templates.size(); ++i) {
+    rdf::TermId fresh = graph.dict().InternIri(
+        "http://wdr.example.org/fresh#subject" + std::to_string(i) + "_" +
+        std::to_string(rng.Uniform(0, 1 << 30)));
+    updates.instance_insertions.push_back(
+        Triple(fresh, templates[i].p, templates[i].o));
+  }
+
+  // Schema insertions: fresh subclasses under existing classes (objects of
+  // subClassOf edges), or fresh subproperties under existing properties.
+  std::vector<Triple> class_edges =
+      SampleSchemaTriples(graph, vocab, count * 4, rng);
+  size_t made = 0;
+  for (const Triple& t : class_edges) {
+    if (made >= count) break;
+    if (t.p != vocab.sub_class_of && t.p != vocab.sub_property_of) continue;
+    rdf::TermId fresh = graph.dict().InternIri(
+        "http://wdr.example.org/fresh#schema" + std::to_string(made) + "_" +
+        std::to_string(rng.Uniform(0, 1 << 30)));
+    updates.schema_insertions.push_back(Triple(fresh, t.p, t.o));
+    ++made;
+  }
+  // Fall back to subclassing the object of any constraint if the graph had
+  // too few subclass/subproperty edges.
+  while (made < count && !class_edges.empty()) {
+    const Triple& t = class_edges[made % class_edges.size()];
+    rdf::TermId fresh = graph.dict().InternIri(
+        "http://wdr.example.org/fresh#schema" + std::to_string(made) + "_" +
+        std::to_string(rng.Uniform(0, 1 << 30)));
+    updates.schema_insertions.push_back(
+        Triple(fresh, vocab.sub_class_of, t.o));
+    ++made;
+  }
+  return updates;
+}
+
+}  // namespace wdr::workload

@@ -1,0 +1,41 @@
+#ifndef WDR_WORKLOAD_UPDATES_H_
+#define WDR_WORKLOAD_UPDATES_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "rdf/graph.h"
+#include "schema/vocabulary.h"
+
+namespace wdr::workload {
+
+// Update workloads for the Fig. 3 maintenance-threshold experiments: the
+// four update kinds the figure distinguishes.
+struct UpdateSet {
+  std::vector<rdf::Triple> instance_insertions;  // new, not yet in the graph
+  std::vector<rdf::Triple> instance_deletions;   // sampled from the graph
+  std::vector<rdf::Triple> schema_insertions;    // new constraint triples
+  std::vector<rdf::Triple> schema_deletions;     // sampled constraints
+};
+
+// Builds `count` updates of each kind for `graph` (university-shaped or
+// not). Instance insertions replicate the shape of existing triples with
+// fresh subjects; schema insertions attach fresh subclasses/subproperties
+// under existing ones, which is what makes their maintenance expensive.
+// New terms are interned into the graph's dictionary, but no triple is
+// inserted into the graph. Deterministic given `rng`'s state.
+UpdateSet MakeUpdateSet(rdf::Graph& graph, const schema::Vocabulary& vocab,
+                        size_t count, Rng& rng);
+
+// Uniformly samples `count` existing triples matching the schema /
+// instance split (instance = property is not an RDFS constraint property).
+std::vector<rdf::Triple> SampleInstanceTriples(const rdf::Graph& graph,
+                                               const schema::Vocabulary& vocab,
+                                               size_t count, Rng& rng);
+std::vector<rdf::Triple> SampleSchemaTriples(const rdf::Graph& graph,
+                                             const schema::Vocabulary& vocab,
+                                             size_t count, Rng& rng);
+
+}  // namespace wdr::workload
+
+#endif  // WDR_WORKLOAD_UPDATES_H_

@@ -1,0 +1,156 @@
+#include "analysis/thresholds.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/advisor.h"
+#include "analysis/measure.h"
+#include "common/rng.h"
+#include "reformulation/reformulator.h"
+#include "workload/queries.h"
+#include "workload/university.h"
+#include "workload/updates.h"
+
+namespace wdr::analysis {
+namespace {
+
+TEST(ThresholdsTest, BasicAmortization) {
+  CostProfile costs;
+  costs.saturation_seconds = 10.0;
+  costs.eval_saturated_seconds = 1.0;
+  costs.eval_reformulated_seconds = 3.0;
+  costs.maintain_instance_insert_seconds = 0.5;
+  costs.maintain_schema_insert_seconds = 4.0;
+  Thresholds t = ComputeThresholds(costs);
+  EXPECT_DOUBLE_EQ(t.saturation, 5.0);        // ceil(10 / 2)
+  EXPECT_DOUBLE_EQ(t.instance_insert, 1.0);   // ceil(0.5 / 2)
+  EXPECT_DOUBLE_EQ(t.schema_insert, 2.0);     // ceil(4 / 2)
+  EXPECT_DOUBLE_EQ(t.instance_delete, 0.0);   // free maintenance
+}
+
+TEST(ThresholdsTest, NeverAmortizesWhenReformulationIsFaster) {
+  CostProfile costs;
+  costs.saturation_seconds = 10.0;
+  costs.eval_saturated_seconds = 2.0;
+  costs.eval_reformulated_seconds = 2.0;  // no per-run gain
+  Thresholds t = ComputeThresholds(costs);
+  EXPECT_TRUE(std::isinf(t.saturation));
+  costs.eval_reformulated_seconds = 1.0;  // reformulation outright faster
+  EXPECT_TRUE(std::isinf(ComputeThresholds(costs).saturation));
+}
+
+TEST(ThresholdsTest, CeilingRoundsUp) {
+  CostProfile costs;
+  costs.saturation_seconds = 10.0;
+  costs.eval_saturated_seconds = 1.0;
+  costs.eval_reformulated_seconds = 4.0;
+  EXPECT_DOUBLE_EQ(ComputeThresholds(costs).saturation, 4.0);  // ceil(3.33)
+}
+
+TEST(ThresholdsTest, Formatting) {
+  EXPECT_EQ(FormatThreshold(5.0), "5");
+  EXPECT_EQ(FormatThreshold(INFINITY), "never");
+  EXPECT_EQ(FormatThreshold(0.0), "0");
+}
+
+TEST(AdvisorTest, QueryHeavyWorkloadPrefersSaturation) {
+  CostProfile costs;
+  costs.saturation_seconds = 10.0;
+  costs.eval_saturated_seconds = 0.01;
+  costs.eval_reformulated_seconds = 1.0;
+  WorkloadForecast forecast;
+  forecast.query_runs = 1000;
+  Recommendation rec = Recommend(costs, forecast);
+  EXPECT_EQ(rec.technique, Technique::kSaturation);
+  EXPECT_LT(rec.saturation_total_seconds, rec.reformulation_total_seconds);
+  EXPECT_FALSE(rec.rationale.empty());
+}
+
+TEST(AdvisorTest, UpdateHeavyWorkloadPrefersReformulation) {
+  CostProfile costs;
+  costs.saturation_seconds = 10.0;
+  costs.eval_saturated_seconds = 0.01;
+  costs.eval_reformulated_seconds = 1.0;
+  costs.maintain_schema_delete_seconds = 5.0;
+  WorkloadForecast forecast;
+  forecast.query_runs = 10;
+  forecast.schema_deletes = 100;
+  Recommendation rec = Recommend(costs, forecast);
+  EXPECT_EQ(rec.technique, Technique::kReformulation);
+}
+
+TEST(AdvisorTest, TieGoesToSaturation) {
+  CostProfile costs;  // all zero: totals are equal
+  Recommendation rec = Recommend(costs, {});
+  EXPECT_EQ(rec.technique, Technique::kSaturation);
+}
+
+// End-to-end measurement on a small university instance: sanity of the
+// harness that feeds the Fig. 3 bench.
+TEST(MeasureTest, ProducesConsistentReport) {
+  workload::UniversityConfig config;
+  config.universities = 1;
+  config.departments_per_university = 2;
+  config.students_per_department = 20;
+  workload::UniversityData data = workload::GenerateUniversityData(config);
+  reformulation::CloseSchema(data.graph, data.vocab);
+
+  Rng rng(17);
+  workload::UpdateSet wl_updates =
+      workload::MakeUpdateSet(data.graph, data.vocab, 3, rng);
+  UpdateSample updates;
+  updates.instance_insertions = wl_updates.instance_insertions;
+  updates.instance_deletions = wl_updates.instance_deletions;
+  updates.schema_insertions = wl_updates.schema_insertions;
+  updates.schema_deletions = wl_updates.schema_deletions;
+
+  auto queries = workload::StandardQuerySet(data.graph.dict());
+  MeasureOptions options;
+  options.query_repetitions = 1;
+  auto report = MeasureCostProfile(data.graph, data.vocab, queries[0].query,
+                                   updates, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GT(report->closure_triples, report->base_triples);
+  EXPECT_GT(report->reformulation_cqs, 1u);  // Q1 fans out
+  EXPECT_GT(report->answers, 0u);
+  EXPECT_GT(report->costs.saturation_seconds, 0.0);
+  EXPECT_GT(report->costs.eval_saturated_seconds, 0.0);
+  EXPECT_GT(report->costs.eval_reformulated_seconds, 0.0);
+  EXPECT_GT(report->costs.maintain_instance_insert_seconds, 0.0);
+  EXPECT_GT(report->costs.maintain_schema_insert_seconds, 0.0);
+}
+
+// The measurement must leave the maintained graph unchanged (updates are
+// rolled back), so successive measurements agree on sizes.
+TEST(MeasureTest, RollsBackUpdates) {
+  workload::UniversityConfig config;
+  config.universities = 1;
+  config.departments_per_university = 1;
+  workload::UniversityData data = workload::GenerateUniversityData(config);
+  reformulation::CloseSchema(data.graph, data.vocab);
+  size_t before = data.graph.size();
+
+  Rng rng(18);
+  workload::UpdateSet wl_updates =
+      workload::MakeUpdateSet(data.graph, data.vocab, 2, rng);
+  UpdateSample updates;
+  updates.instance_insertions = wl_updates.instance_insertions;
+  updates.instance_deletions = wl_updates.instance_deletions;
+
+  auto queries = workload::StandardQuerySet(data.graph.dict());
+  MeasureOptions options;
+  options.query_repetitions = 1;
+  auto first = MeasureCostProfile(data.graph, data.vocab, queries[1].query,
+                                  updates, options);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(data.graph.size(), before);  // the base graph is untouched
+  auto second = MeasureCostProfile(data.graph, data.vocab, queries[1].query,
+                                   updates, options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->closure_triples, second->closure_triples);
+  EXPECT_EQ(first->answers, second->answers);
+}
+
+}  // namespace
+}  // namespace wdr::analysis

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/timer.h"
+
+namespace wdr {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(ParseError("a"), ParseError("a"));
+  EXPECT_FALSE(ParseError("a") == ParseError("b"));
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return InvalidArgumentError("not positive");
+  return x;
+}
+
+Result<int> Doubled(int x) {
+  WDR_ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  return value * 2;
+}
+
+Status CheckBoth(int a, int b) {
+  WDR_RETURN_IF_ERROR(Doubled(a).status());
+  WDR_RETURN_IF_ERROR(Doubled(b).status());
+  return Status::Ok();
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> good = ParsePositive(5);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 5);
+  EXPECT_EQ(*good, 5);
+  EXPECT_TRUE(good.status().ok());
+
+  Result<int> bad = ParsePositive(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MacrosPropagate) {
+  EXPECT_EQ(*Doubled(4), 8);
+  EXPECT_FALSE(Doubled(-4).ok());
+  EXPECT_TRUE(CheckBoth(1, 2).ok());
+  EXPECT_FALSE(CheckBoth(1, -2).ok());
+}
+
+TEST(StringsTest, Split) {
+  auto pieces = Split("a,b,,c", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[2], "");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace("hi"), "hi");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StringsTest, Affixes) {
+  EXPECT_TRUE(StartsWith("http://x", "http://"));
+  EXPECT_FALSE(StartsWith("ftp://x", "http://"));
+  EXPECT_TRUE(EndsWith("file.ttl", ".ttl"));
+  EXPECT_FALSE(EndsWith("x", "long-suffix"));
+}
+
+TEST(StringsTest, JoinAndCommas) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(FormatWithCommas(-1234567), "-1,234,567");
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t x = rng.Uniform(5, 9);
+    EXPECT_GE(x, 5);
+    EXPECT_LE(x, 9);
+  }
+}
+
+TEST(RngTest, SkewedPrefersSmallIndexes) {
+  Rng rng(11);
+  int low = 0;
+  constexpr int kDraws = 4000;
+  for (int i = 0; i < kDraws; ++i) {
+    int64_t x = rng.Skewed(10);
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 10);
+    if (x < 5) ++low;
+  }
+  EXPECT_GT(low, kDraws / 2);  // bottom half gets more than half the mass
+  EXPECT_EQ(rng.Skewed(1), 0);
+  EXPECT_EQ(rng.Skewed(0), 0);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  double first = t.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  double second = t.ElapsedSeconds();
+  EXPECT_GE(second, first);
+  t.Reset();
+  EXPECT_GE(t.ElapsedMicros(), 0.0);
+}
+
+}  // namespace
+}  // namespace wdr

@@ -1,0 +1,87 @@
+#include "rdf/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/term.h"
+
+namespace wdr::rdf {
+namespace {
+
+TEST(TermTest, FactoriesSetKinds) {
+  EXPECT_TRUE(Term::Iri("http://a").is_iri());
+  EXPECT_TRUE(Term::Literal("x").is_literal());
+  EXPECT_TRUE(Term::Blank("b1").is_blank());
+}
+
+TEST(TermTest, NTriplesRendering) {
+  EXPECT_EQ(Term::Iri("http://a/b").ToNTriples(), "<http://a/b>");
+  EXPECT_EQ(Term::Blank("n1").ToNTriples(), "_:n1");
+  EXPECT_EQ(Term::Literal("hi").ToNTriples(), "\"hi\"");
+  EXPECT_EQ(Term::Literal("hi", "http://dt").ToNTriples(),
+            "\"hi\"^^<http://dt>");
+  EXPECT_EQ(Term::Literal("hi", "", "en").ToNTriples(), "\"hi\"@en");
+  EXPECT_EQ(Term::Literal("a\"b\\c\nd").ToNTriples(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(TermTest, EqualityDistinguishesKindAndAnnotations) {
+  EXPECT_EQ(Term::Iri("x"), Term::Iri("x"));
+  EXPECT_FALSE(Term::Iri("x") == Term::Literal("x"));
+  EXPECT_FALSE(Term::Literal("x", "dt1") == Term::Literal("x", "dt2"));
+  EXPECT_FALSE(Term::Literal("x", "", "en") == Term::Literal("x", "", "fr"));
+}
+
+TEST(DictionaryTest, InterningIsIdempotent) {
+  Dictionary dict;
+  TermId a = dict.InternIri("http://a");
+  TermId b = dict.InternIri("http://b");
+  EXPECT_NE(a, kNullTermId);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.InternIri("http://a"), a);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(DictionaryTest, RoundTripsTerms) {
+  Dictionary dict;
+  Term lit = Term::Literal("42", "http://www.w3.org/2001/XMLSchema#integer");
+  TermId id = dict.Intern(lit);
+  EXPECT_EQ(dict.term(id), lit);
+  EXPECT_TRUE(dict.Contains(id));
+  EXPECT_FALSE(dict.Contains(kNullTermId));
+  EXPECT_FALSE(dict.Contains(id + 10));
+}
+
+TEST(DictionaryTest, LookupWithoutInterning) {
+  Dictionary dict;
+  EXPECT_EQ(dict.LookupIri("http://missing"), kNullTermId);
+  TermId id = dict.InternIri("http://present");
+  EXPECT_EQ(dict.LookupIri("http://present"), id);
+  EXPECT_EQ(dict.size(), 1u);  // Lookup must not intern
+  dict.Lookup(Term::Literal("x"));
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, HomographsOfDifferentKindsGetDistinctIds) {
+  Dictionary dict;
+  TermId iri = dict.Intern(Term::Iri("x"));
+  TermId lit = dict.Intern(Term::Literal("x"));
+  TermId blank = dict.Intern(Term::Blank("x"));
+  TermId lang = dict.Intern(Term::Literal("x", "", "en"));
+  TermId typed = dict.Intern(Term::Literal("x", "http://dt"));
+  EXPECT_EQ(dict.size(), 5u);
+  EXPECT_NE(iri, lit);
+  EXPECT_NE(lit, blank);
+  EXPECT_NE(lit, lang);
+  EXPECT_NE(lang, typed);
+}
+
+TEST(DictionaryTest, KeySeparatorInjectionDoesNotCollide) {
+  // A literal whose lexical form embeds the separator byte must not
+  // collide with a datatype-annotated literal.
+  Dictionary dict;
+  TermId a = dict.Intern(Term::Literal(std::string("x\x01y"), ""));
+  TermId b = dict.Intern(Term::Literal("x", "y"));
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace wdr::rdf

@@ -1,0 +1,139 @@
+#include "rdf/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "query/evaluator.h"
+#include "schema/vocabulary.h"
+#include "tests/test_util.h"
+
+namespace wdr::rdf {
+namespace {
+
+TEST(GraphTest, InsertByTermsAndByIds) {
+  Graph g;
+  EXPECT_TRUE(g.InsertIris("http://a", "http://p", "http://b"));
+  EXPECT_FALSE(g.InsertIris("http://a", "http://p", "http://b"));
+  EXPECT_EQ(g.size(), 1u);
+  Triple t(g.dict().LookupIri("http://a"), g.dict().LookupIri("http://p"),
+           g.dict().LookupIri("http://b"));
+  EXPECT_TRUE(g.Contains(t));
+  EXPECT_TRUE(g.Erase(t));
+  EXPECT_FALSE(g.Erase(t));
+  EXPECT_EQ(g.size(), 0u);
+  // Terms stay interned after erasure.
+  EXPECT_NE(g.dict().LookupIri("http://a"), kNullTermId);
+}
+
+TEST(GraphTest, DecodeRendersNTriples) {
+  Graph g;
+  g.Insert(Term::Iri("http://a"), Term::Iri("http://p"),
+           Term::Literal("x", "", "en"));
+  Triple t;
+  g.store().Match(0, 0, 0, [&](const Triple& found) { t = found; });
+  EXPECT_EQ(g.Decode(t), "<http://a> <http://p> \"x\"@en .");
+}
+
+TEST(GraphTest, StatsSplitSchemaFromInstance) {
+  Graph g;
+  schema::Vocabulary vocab = schema::Vocabulary::Intern(g.dict());
+  (void)vocab;
+  g.InsertIris("http://C", schema::iri::kSubClassOf, "http://D");
+  g.InsertIris("http://p", schema::iri::kDomain, "http://C");
+  g.InsertIris("http://x", "http://p", "http://y");
+  GraphStats stats = g.Stats();
+  EXPECT_EQ(stats.triple_count, 3u);
+  EXPECT_EQ(stats.schema_triple_count, 2u);
+  EXPECT_GE(stats.term_count, 6u);
+}
+
+TEST(GraphTest, CopyIsIndependent) {
+  Graph g;
+  g.InsertIris("http://a", "http://p", "http://b");
+  Graph copy = g;
+  copy.InsertIris("http://c", "http://p", "http://d");
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_EQ(copy.size(), 2u);
+}
+
+// Reference implementation of BGP evaluation: enumerate the full cartesian
+// product of per-atom matches over the whole store and filter by variable
+// consistency. The production evaluator must agree on random instances.
+query::ResultSet NaiveEvaluate(const TripleStore& store,
+                               const query::BgpQuery& q) {
+  query::ResultSet result;
+  result.var_names = q.ProjectionNames();
+  std::vector<std::vector<Triple>> atom_matches;
+  std::vector<Triple> all;
+  store.Match(0, 0, 0, [&](const Triple& t) { all.push_back(t); });
+  for (size_t i = 0; i < q.atoms().size(); ++i) atom_matches.push_back(all);
+
+  std::vector<size_t> pick(q.atoms().size(), 0);
+  std::vector<TermId> bindings;
+  auto consistent = [&]() {
+    bindings.assign(q.var_count(), kNullTermId);
+    for (const auto& [var, value] : q.preset()) bindings[var] = value;
+    for (size_t i = 0; i < q.atoms().size(); ++i) {
+      const query::TriplePattern& atom = q.atoms()[i];
+      const Triple& t = atom_matches[i][pick[i]];
+      const std::pair<const query::PatternTerm*, TermId> positions[] = {
+          {&atom.s, t.s}, {&atom.p, t.p}, {&atom.o, t.o}};
+      for (const auto& [term, value] : positions) {
+        if (term->is_const()) {
+          if (term->id != value) return false;
+        } else {
+          TermId& slot = bindings[term->var];
+          if (slot == kNullTermId) {
+            slot = value;
+          } else if (slot != value) {
+            return false;
+          }
+        }
+      }
+    }
+    return true;
+  };
+
+  std::set<query::Row> seen;
+  while (true) {
+    if (consistent()) {
+      query::Row row;
+      for (query::VarId v : q.projection()) row.push_back(bindings[v]);
+      if (!q.distinct() || seen.insert(row).second) {
+        result.rows.push_back(std::move(row));
+      }
+    }
+    size_t level = 0;
+    while (level < pick.size() &&
+           ++pick[level] == atom_matches[level].size()) {
+      pick[level] = 0;
+      ++level;
+    }
+    if (level == pick.size() || pick.empty()) break;
+  }
+  return result;
+}
+
+TEST(EvaluatorReferenceTest, AgreesWithNaiveCrossProductJoin) {
+  for (uint64_t seed = 800; seed < 830; ++seed) {
+    Rng rng(seed);
+    test::RandomGraphConfig config;
+    config.instance_triples = 12;  // keep the cross product tractable
+    config.schema_triples = 4;
+    test::RandomGraph rg = test::MakeRandomGraph(rng, config);
+    if (rg.graph.size() == 0) continue;
+    query::Evaluator evaluator(rg.graph.store());
+    for (int qi = 0; qi < 4; ++qi) {
+      query::BgpQuery q = test::MakeRandomQuery(rng, rg);
+      if (q.atoms().size() > 2) continue;  // cross product gets big
+      query::ResultSet fast = evaluator.Evaluate(q);
+      query::ResultSet slow = NaiveEvaluate(rg.graph.store(), q);
+      fast.Normalize(false);
+      slow.Normalize(false);
+      ASSERT_EQ(fast.rows, slow.rows) << "seed " << seed << " query " << qi;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wdr::rdf

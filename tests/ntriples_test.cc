@@ -1,0 +1,116 @@
+#include "io/ntriples.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/graph.h"
+#include "schema/vocabulary.h"
+
+namespace wdr::io {
+namespace {
+
+using rdf::Graph;
+using rdf::Term;
+
+TEST(NTriplesTest, ParsesBasicTriples) {
+  Graph g;
+  auto n = ParseNTriples(
+      "<http://a> <http://p> <http://b> .\n"
+      "<http://a> <http://p> \"hello\" .\n",
+      g);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 2u);
+  EXPECT_EQ(g.size(), 2u);
+}
+
+TEST(NTriplesTest, SkipsCommentsAndBlankLines) {
+  Graph g;
+  auto n = ParseNTriples(
+      "# a comment\n"
+      "\n"
+      "<http://a> <http://p> <http://b> . # trailing comment\n",
+      g);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 1u);
+}
+
+TEST(NTriplesTest, ParsesBlankNodes) {
+  Graph g;
+  auto n = ParseNTriples("_:x <http://p> _:y .", g);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_NE(g.dict().Lookup(Term::Blank("x")), rdf::kNullTermId);
+  EXPECT_NE(g.dict().Lookup(Term::Blank("y")), rdf::kNullTermId);
+}
+
+TEST(NTriplesTest, ParsesTypedAndTaggedLiterals) {
+  Graph g;
+  auto n = ParseNTriples(
+      "<http://a> <http://p> \"3\"^^<http://www.w3.org/2001/XMLSchema#int> .\n"
+      "<http://a> <http://q> \"hi\"@en .\n"
+      "<http://a> <http://r> \"esc\\\"aped\\n\" .\n",
+      g);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_NE(
+      g.dict().Lookup(Term::Literal("3", "http://www.w3.org/2001/XMLSchema#int")),
+      rdf::kNullTermId);
+  EXPECT_NE(g.dict().Lookup(Term::Literal("hi", "", "en")), rdf::kNullTermId);
+  EXPECT_NE(g.dict().Lookup(Term::Literal("esc\"aped\n")), rdf::kNullTermId);
+}
+
+TEST(NTriplesTest, DuplicateTriplesCountOnce) {
+  Graph g;
+  auto n = ParseNTriples(
+      "<http://a> <http://p> <http://b> .\n"
+      "<http://a> <http://p> <http://b> .\n",
+      g);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1u);
+}
+
+TEST(NTriplesTest, ErrorsCarryLineNumbers) {
+  Graph g;
+  auto n = ParseNTriples(
+      "<http://a> <http://p> <http://b> .\n"
+      "<http://a> <http://p> .\n",
+      g);
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kParseError);
+  EXPECT_NE(n.status().message().find("line 2"), std::string::npos)
+      << n.status();
+}
+
+TEST(NTriplesTest, RejectsLiteralSubject) {
+  Graph g;
+  auto n = ParseNTriples("\"lit\" <http://p> <http://b> .", g);
+  ASSERT_FALSE(n.ok());
+}
+
+TEST(NTriplesTest, RejectsMissingDot) {
+  Graph g;
+  auto n = ParseNTriples("<http://a> <http://p> <http://b>", g);
+  ASSERT_FALSE(n.ok());
+}
+
+TEST(NTriplesTest, RejectsUnterminatedIri) {
+  Graph g;
+  auto n = ParseNTriples("<http://a <http://p> <http://b> .", g);
+  ASSERT_FALSE(n.ok());
+}
+
+TEST(NTriplesTest, RoundTripsThroughWriter) {
+  Graph g;
+  std::string input =
+      "<http://a> <http://p> \"hi\"@en .\n"
+      "<http://a> <http://q> \"3\"^^<http://dt> .\n"
+      "_:b <http://p> <http://a> .\n";
+  ASSERT_TRUE(ParseNTriples(input, g).ok());
+  std::string written = WriteNTriples(g);
+
+  Graph g2;
+  auto n = ParseNTriples(written, g2);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 3u);
+  EXPECT_EQ(WriteNTriples(g2), written);
+}
+
+}  // namespace
+}  // namespace wdr::io

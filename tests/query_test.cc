@@ -1,0 +1,196 @@
+#include "query/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "query/query.h"
+#include "rdf/graph.h"
+#include "tests/test_util.h"
+
+namespace wdr::query {
+namespace {
+
+using rdf::Graph;
+using test::Add;
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  Graph g_;
+
+  PatternTerm C(const std::string& name) {
+    return PatternTerm::Constant(g_.dict().Intern(test::T(name)));
+  }
+};
+
+TEST_F(EvaluatorTest, SingleAtomAllWild) {
+  Add(g_, "a", "p", "b");
+  Add(g_, "c", "q", "d");
+  BgpQuery q;
+  PatternTerm s = PatternTerm::Variable(q.AddVar("s"));
+  PatternTerm p = PatternTerm::Variable(q.AddVar("p"));
+  PatternTerm o = PatternTerm::Variable(q.AddVar("o"));
+  q.AddAtom({s, p, o});
+  q.Project(0);
+  q.Project(1);
+  q.Project(2);
+  Evaluator eval(g_.store());
+  EXPECT_EQ(eval.Evaluate(q).rows.size(), 2u);
+}
+
+TEST_F(EvaluatorTest, JoinOnSharedVariable) {
+  Add(g_, "a", "knows", "b");
+  Add(g_, "b", "knows", "c");
+  Add(g_, "c", "knows", "d");
+  BgpQuery q;
+  VarId x = q.AddVar("x"), y = q.AddVar("y"), z = q.AddVar("z");
+  q.AddAtom({PatternTerm::Variable(x), C("knows"), PatternTerm::Variable(y)});
+  q.AddAtom({PatternTerm::Variable(y), C("knows"), PatternTerm::Variable(z)});
+  q.Project(x);
+  q.Project(z);
+  Evaluator eval(g_.store());
+  ResultSet rs = eval.Evaluate(q);
+  EXPECT_EQ(test::Rows(g_, rs),
+            (std::set<std::vector<std::string>>{
+                {"<http://test.example.org/a>", "<http://test.example.org/c>"},
+                {"<http://test.example.org/b>",
+                 "<http://test.example.org/d>"}}));
+}
+
+TEST_F(EvaluatorTest, RepeatedVariableWithinAtom) {
+  Add(g_, "a", "p", "a");
+  Add(g_, "a", "p", "b");
+  BgpQuery q;
+  VarId x = q.AddVar("x");
+  q.AddAtom({PatternTerm::Variable(x), C("p"), PatternTerm::Variable(x)});
+  q.Project(x);
+  Evaluator eval(g_.store());
+  ResultSet rs = eval.Evaluate(q);
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(test::Rows(g_, rs),
+            (std::set<std::vector<std::string>>{
+                {"<http://test.example.org/a>"}}));
+}
+
+TEST_F(EvaluatorTest, CartesianProductWhenNoSharedVars) {
+  Add(g_, "a", "p", "b");
+  Add(g_, "c", "p", "d");
+  BgpQuery q;
+  VarId x = q.AddVar("x"), y = q.AddVar("y");
+  q.AddAtom({PatternTerm::Variable(x), C("p"), PatternTerm::Variable(y)});
+  VarId u = q.AddVar("u"), w = q.AddVar("w");
+  q.AddAtom({PatternTerm::Variable(u), C("p"), PatternTerm::Variable(w)});
+  q.Project(x);
+  q.Project(u);
+  Evaluator eval(g_.store());
+  EXPECT_EQ(eval.Evaluate(q).rows.size(), 4u);
+}
+
+TEST_F(EvaluatorTest, DistinctCollapsesDuplicateProjections) {
+  Add(g_, "a", "p", "b");
+  Add(g_, "a", "p", "c");
+  BgpQuery q;
+  VarId x = q.AddVar("x"), y = q.AddVar("y");
+  q.AddAtom({PatternTerm::Variable(x), C("p"), PatternTerm::Variable(y)});
+  q.Project(x);
+  Evaluator eval(g_.store());
+  EXPECT_EQ(eval.Evaluate(q).rows.size(), 2u);  // bag semantics
+  q.SetDistinct(true);
+  EXPECT_EQ(eval.Evaluate(q).rows.size(), 1u);
+}
+
+TEST_F(EvaluatorTest, PresetBindingRestrictsAndProjects) {
+  Add(g_, "a", "p", "b");
+  Add(g_, "c", "p", "d");
+  BgpQuery q;
+  VarId x = q.AddVar("x"), y = q.AddVar("y");
+  q.AddAtom({PatternTerm::Variable(x), C("p"), PatternTerm::Variable(y)});
+  q.Preset(x, g_.dict().Intern(test::T("a")));
+  q.Project(x);
+  q.Project(y);
+  Evaluator eval(g_.store());
+  ResultSet rs = eval.Evaluate(q);
+  EXPECT_EQ(test::Rows(g_, rs),
+            (std::set<std::vector<std::string>>{
+                {"<http://test.example.org/a>",
+                 "<http://test.example.org/b>"}}));
+}
+
+TEST_F(EvaluatorTest, EmptyMatchYieldsNoRows) {
+  Add(g_, "a", "p", "b");
+  BgpQuery q;
+  VarId x = q.AddVar("x");
+  q.AddAtom({PatternTerm::Variable(x), C("missing"), C("b")});
+  q.Project(x);
+  Evaluator eval(g_.store());
+  EXPECT_TRUE(eval.Evaluate(q).rows.empty());
+  EXPECT_EQ(eval.CountAnswers(q), 0u);
+}
+
+TEST_F(EvaluatorTest, UnionDeduplicatesAcrossBranches) {
+  Add(g_, "a", "p", "b");
+  UnionQuery u;
+  for (int i = 0; i < 2; ++i) {
+    BgpQuery q;
+    VarId x = q.AddVar("x");
+    q.AddAtom({PatternTerm::Variable(x), C("p"), C("b")});
+    q.Project(x);
+    u.AddBranch(std::move(q));
+  }
+  Evaluator eval(g_.store());
+  EXPECT_EQ(eval.Evaluate(u).rows.size(), 1u);
+  EXPECT_EQ(u.TotalAtoms(), 2u);
+}
+
+TEST_F(EvaluatorTest, NormalizeSortsAndDedups) {
+  ResultSet rs;
+  rs.rows = {{3}, {1}, {3}, {2}};
+  rs.Normalize();
+  EXPECT_EQ(rs.rows, (std::vector<Row>{{1}, {2}, {3}}));
+  ResultSet bag;
+  bag.rows = {{3}, {1}, {3}};
+  bag.Normalize(false);
+  EXPECT_EQ(bag.rows, (std::vector<Row>{{1}, {3}, {3}}));
+}
+
+TEST(BgpQueryTest, VarRegistry) {
+  BgpQuery q;
+  VarId x = q.AddVar("x");
+  EXPECT_EQ(q.AddVar("x"), x);
+  EXPECT_EQ(q.var_count(), 1u);
+  EXPECT_EQ(q.var_name(x), "x");
+  auto found = q.VarByName("x");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, x);
+  EXPECT_FALSE(q.VarByName("missing").ok());
+}
+
+TEST(BgpQueryTest, CanonicalKeyIdentifiesRenamedFreshVars) {
+  // Two queries that differ only in the name of a non-projected variable
+  // must canonicalize identically.
+  auto make = [](const std::string& fresh_name) {
+    BgpQuery q;
+    VarId x = q.AddVar("x");
+    VarId f = q.AddVar(fresh_name);
+    q.AddAtom({PatternTerm::Variable(x), PatternTerm::Constant(7),
+               PatternTerm::Variable(f)});
+    q.Project(x);
+    return q;
+  };
+  EXPECT_EQ(make("f1").CanonicalKey(), make("zz").CanonicalKey());
+}
+
+TEST(BgpQueryTest, CanonicalKeyDistinguishesStructure) {
+  BgpQuery a;
+  VarId x = a.AddVar("x");
+  a.AddAtom({PatternTerm::Variable(x), PatternTerm::Constant(7),
+             PatternTerm::Constant(8)});
+  a.Project(x);
+  BgpQuery b = a;
+  b.mutable_atoms()[0].o = PatternTerm::Constant(9);
+  EXPECT_NE(a.CanonicalKey(), b.CanonicalKey());
+  BgpQuery c = a;
+  c.Preset(x, 5);
+  EXPECT_NE(a.CanonicalKey(), c.CanonicalKey());
+}
+
+}  // namespace
+}  // namespace wdr::query

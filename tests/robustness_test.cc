@@ -1,0 +1,152 @@
+// Robustness: the parsers must never crash or accept garbage silently —
+// every input yields either a parse or a ParseError. Random mutations of
+// valid documents probe the error paths systematically.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datalog/parser.h"
+#include "io/ntriples.h"
+#include "io/turtle.h"
+#include "query/sparql_parser.h"
+#include "rdf/graph.h"
+#include "store/update_parser.h"
+
+namespace wdr {
+namespace {
+
+constexpr const char* kTurtleSeed =
+    "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n"
+    "@prefix ex: <http://ex.org/> .\n"
+    "ex:Cat rdfs:subClassOf ex:Mammal .\n"
+    "ex:tom a ex:Cat ; ex:name \"Tom\"@en ; ex:age 7 .\n";
+
+constexpr const char* kNTriplesSeed =
+    "<http://ex.org/a> <http://ex.org/p> <http://ex.org/b> .\n"
+    "_:x <http://ex.org/q> \"lit\"^^<http://dt> .\n";
+
+constexpr const char* kSparqlSeed =
+    "PREFIX ex: <http://ex.org/>\n"
+    "SELECT DISTINCT ?x ?y WHERE { { ?x ex:p ?y } UNION { ?x a ex:C } } "
+    "LIMIT 5 OFFSET 1";
+
+constexpr const char* kUpdateSeed =
+    "PREFIX ex: <http://ex.org/>\n"
+    "INSERT DATA { ex:a ex:p ex:b } ; DELETE DATA { ex:z ex:p \"x\" }";
+
+constexpr const char* kDatalogSeed =
+    "edge(a, b).\npath(X, Y) :- edge(X, Y).\n"
+    "path(X, Z) :- path(X, Y), edge(Y, Z).\n";
+
+// Mutates `document` with `count` random edits: deletions, duplications
+// and substitutions from a trouble alphabet.
+std::string Mutate(const std::string& document, Rng& rng, int count) {
+  std::string out = document;
+  const std::string alphabet = "<>\"{}().;,:@?^\\ \n\x01\x7f";
+  for (int i = 0; i < count && !out.empty(); ++i) {
+    size_t pos = static_cast<size_t>(rng.Uniform(0, out.size() - 1));
+    switch (rng.Uniform(0, 2)) {
+      case 0:
+        out.erase(pos, 1);
+        break;
+      case 1:
+        out.insert(pos, 1,
+                   alphabet[static_cast<size_t>(
+                       rng.Uniform(0, alphabet.size() - 1))]);
+        break;
+      default:
+        out[pos] = alphabet[static_cast<size_t>(
+            rng.Uniform(0, alphabet.size() - 1))];
+    }
+  }
+  return out;
+}
+
+TEST(RobustnessTest, TurtleParserSurvivesMutations) {
+  Rng rng(101);
+  for (int i = 0; i < 400; ++i) {
+    std::string input = Mutate(kTurtleSeed, rng, 1 + i % 8);
+    rdf::Graph g;
+    auto result = io::ParseTurtle(input, g);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST(RobustnessTest, NTriplesParserSurvivesMutations) {
+  Rng rng(102);
+  for (int i = 0; i < 400; ++i) {
+    std::string input = Mutate(kNTriplesSeed, rng, 1 + i % 8);
+    rdf::Graph g;
+    auto result = io::ParseNTriples(input, g);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST(RobustnessTest, SparqlParserSurvivesMutations) {
+  Rng rng(103);
+  for (int i = 0; i < 400; ++i) {
+    std::string input = Mutate(kSparqlSeed, rng, 1 + i % 8);
+    rdf::Dictionary dict;
+    auto result = query::ParseSparql(input, dict);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST(RobustnessTest, UpdateParserSurvivesMutations) {
+  Rng rng(104);
+  for (int i = 0; i < 400; ++i) {
+    std::string input = Mutate(kUpdateSeed, rng, 1 + i % 8);
+    rdf::Dictionary dict;
+    auto result = store::ParseSparqlUpdate(input, dict);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST(RobustnessTest, DatalogParserSurvivesMutations) {
+  Rng rng(105);
+  for (int i = 0; i < 400; ++i) {
+    std::string input = Mutate(kDatalogSeed, rng, 1 + i % 8);
+    auto result = datalog::ParseDatalog(input);
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().code() == StatusCode::kParseError ||
+                  result.status().code() == StatusCode::kInvalidArgument)
+          << result.status();
+    }
+  }
+}
+
+TEST(RobustnessTest, EmptyAndWhitespaceInputs) {
+  rdf::Graph g;
+  EXPECT_TRUE(io::ParseTurtle("", g).ok());
+  EXPECT_TRUE(io::ParseNTriples("  \n\t # comment only\n", g).ok());
+  rdf::Dictionary dict;
+  EXPECT_FALSE(query::ParseSparql("", dict).ok());
+  EXPECT_FALSE(store::ParseSparqlUpdate("   ", dict).ok());
+  auto empty_datalog = datalog::ParseDatalog("% just a comment\n");
+  EXPECT_TRUE(empty_datalog.ok());
+}
+
+TEST(RobustnessTest, DeeplyNestedAndLongInputs) {
+  // A very long predicate list must not blow the stack or quadratic-loop.
+  std::string turtle = "@prefix ex: <http://ex.org/> .\nex:s ";
+  for (int i = 0; i < 5000; ++i) {
+    turtle += "ex:p" + std::to_string(i) + " ex:o ; ";
+  }
+  turtle += "ex:last ex:o .";
+  rdf::Graph g;
+  auto result = io::ParseTurtle(turtle, g);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(*result, 5001u);
+}
+
+}  // namespace
+}  // namespace wdr

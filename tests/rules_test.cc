@@ -1,0 +1,157 @@
+// Executable semantics for the paper's Fig. 2 (immediate entailment rules):
+// each rule is exercised through a single application of the RuleEngine.
+#include "reasoning/rules.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rdf/graph.h"
+#include "tests/test_util.h"
+
+namespace wdr::reasoning {
+namespace {
+
+using rdf::Graph;
+using rdf::Triple;
+using schema::Vocabulary;
+using test::Add;
+using test::Enc;
+
+class RulesTest : public ::testing::Test {
+ protected:
+  Graph g_;
+  Vocabulary v_ = Vocabulary::Intern(g_.dict());
+
+  // One-step consequences of `t` against the current graph store, with `t`
+  // inserted first (engines expect the delta triple to be present).
+  std::vector<std::pair<Triple, RuleId>> Consequences(const Triple& t) {
+    g_.Insert(t);
+    RuleEngine engine(v_, &g_.dict());
+    std::vector<std::pair<Triple, RuleId>> out;
+    engine.ForEachConsequence(g_.store(), t, [&](const Triple& c, RuleId r) {
+      out.emplace_back(c, r);
+    });
+    return out;
+  }
+
+  bool Derives(const std::vector<std::pair<Triple, RuleId>>& consequences,
+               const Triple& t, RuleId rule) {
+    return std::any_of(consequences.begin(), consequences.end(),
+                       [&](const auto& pair) {
+                         return pair.first == t && pair.second == rule;
+                       });
+  }
+};
+
+TEST_F(RulesTest, Rdfs9InstancePremise) {
+  // c1 ⊑ c2 ∧ s type c1 ⊢ s type c2 — delta is the instance triple.
+  Add(g_, "Cat", schema::iri::kSubClassOf, "Mammal");
+  auto out = Consequences(Enc(g_, "Tom", schema::iri::kType, "Cat"));
+  EXPECT_TRUE(Derives(out, Enc(g_, "Tom", schema::iri::kType, "Mammal"),
+                      RuleId::kRdfs9));
+}
+
+TEST_F(RulesTest, Rdfs9SchemaPremise) {
+  // Same rule, delta is the schema triple: existing instances re-type.
+  Add(g_, "Tom", schema::iri::kType, "Cat");
+  auto out = Consequences(Enc(g_, "Cat", schema::iri::kSubClassOf, "Mammal"));
+  EXPECT_TRUE(Derives(out, Enc(g_, "Tom", schema::iri::kType, "Mammal"),
+                      RuleId::kRdfs9));
+}
+
+TEST_F(RulesTest, Rdfs7BothPremises) {
+  Add(g_, "headOf", schema::iri::kSubPropertyOf, "worksFor");
+  auto out = Consequences(Enc(g_, "alice", "headOf", "dept"));
+  EXPECT_TRUE(Derives(out, Enc(g_, "alice", "worksFor", "dept"),
+                      RuleId::kRdfs7));
+
+  Add(g_, "bob", "teaches", "cs1");
+  auto out2 = Consequences(
+      Enc(g_, "teaches", schema::iri::kSubPropertyOf, "lectures"));
+  EXPECT_TRUE(Derives(out2, Enc(g_, "bob", "lectures", "cs1"),
+                      RuleId::kRdfs7));
+}
+
+TEST_F(RulesTest, Rdfs2DomainTyping) {
+  Add(g_, "hasFriend", schema::iri::kDomain, "Person");
+  auto out = Consequences(Enc(g_, "Anne", "hasFriend", "Marie"));
+  EXPECT_TRUE(Derives(out, Enc(g_, "Anne", schema::iri::kType, "Person"),
+                      RuleId::kRdfs2));
+  // The object is NOT domain-typed.
+  EXPECT_FALSE(Derives(out, Enc(g_, "Marie", schema::iri::kType, "Person"),
+                       RuleId::kRdfs2));
+}
+
+TEST_F(RulesTest, Rdfs3RangeTyping) {
+  Add(g_, "hasFriend", schema::iri::kRange, "Person");
+  auto out = Consequences(Enc(g_, "Anne", "hasFriend", "Marie"));
+  EXPECT_TRUE(Derives(out, Enc(g_, "Marie", schema::iri::kType, "Person"),
+                      RuleId::kRdfs3));
+  EXPECT_FALSE(Derives(out, Enc(g_, "Anne", schema::iri::kType, "Person"),
+                       RuleId::kRdfs3));
+}
+
+TEST_F(RulesTest, Rdfs5SubPropertyTransitivity) {
+  Add(g_, "a", schema::iri::kSubPropertyOf, "b");
+  auto out = Consequences(Enc(g_, "b", schema::iri::kSubPropertyOf, "c"));
+  EXPECT_TRUE(Derives(out, Enc(g_, "a", schema::iri::kSubPropertyOf, "c"),
+                      RuleId::kRdfs5));
+}
+
+TEST_F(RulesTest, Rdfs11SubClassTransitivityBothSides) {
+  Add(g_, "A", schema::iri::kSubClassOf, "B");
+  auto out = Consequences(Enc(g_, "B", schema::iri::kSubClassOf, "C"));
+  EXPECT_TRUE(Derives(out, Enc(g_, "A", schema::iri::kSubClassOf, "C"),
+                      RuleId::kRdfs11));
+
+  auto out2 = Consequences(Enc(g_, "Z", schema::iri::kSubClassOf, "A"));
+  EXPECT_TRUE(Derives(out2, Enc(g_, "Z", schema::iri::kSubClassOf, "B"),
+                      RuleId::kRdfs11));
+}
+
+TEST_F(RulesTest, NoConsequencesWithoutMatchingSchema) {
+  auto out = Consequences(Enc(g_, "x", "p", "y"));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(RulesTest, LiteralObjectsSuppressRdfs3) {
+  Add(g_, "name", schema::iri::kRange, "Name");
+  auto out = Consequences(Enc(g_, "x", "name", "\"Bob"));
+  for (const auto& [triple, rule] : out) {
+    EXPECT_NE(rule, RuleId::kRdfs3);
+  }
+}
+
+TEST_F(RulesTest, RuleNamesAreStable) {
+  EXPECT_STREQ(RuleName(RuleId::kRdfs2), "rdfs2");
+  EXPECT_STREQ(RuleName(RuleId::kRdfs3), "rdfs3");
+  EXPECT_STREQ(RuleName(RuleId::kRdfs5), "rdfs5");
+  EXPECT_STREQ(RuleName(RuleId::kRdfs7), "rdfs7");
+  EXPECT_STREQ(RuleName(RuleId::kRdfs9), "rdfs9");
+  EXPECT_STREQ(RuleName(RuleId::kRdfs11), "rdfs11");
+}
+
+TEST_F(RulesTest, IsOneStepDerivableMatchesForward) {
+  Add(g_, "Cat", schema::iri::kSubClassOf, "Mammal");
+  Add(g_, "Tom", schema::iri::kType, "Cat");
+  RuleEngine engine(v_, &g_.dict());
+  EXPECT_TRUE(engine.IsOneStepDerivable(
+      g_.store(), Enc(g_, "Tom", schema::iri::kType, "Mammal")));
+  EXPECT_FALSE(engine.IsOneStepDerivable(
+      g_.store(), Enc(g_, "Tom", schema::iri::kType, "Dog")));
+  EXPECT_FALSE(engine.IsOneStepDerivable(
+      g_.store(), Enc(g_, "Rex", schema::iri::kType, "Mammal")));
+}
+
+TEST_F(RulesTest, FiringCountersSum) {
+  RuleFirings firings;
+  firings[RuleId::kRdfs2] = 3;
+  firings[RuleId::kRdfs9] = 4;
+  EXPECT_EQ(firings.Total(), 7u);
+  EXPECT_EQ(firings[RuleId::kRdfs3], 0u);
+}
+
+}  // namespace
+}  // namespace wdr::reasoning

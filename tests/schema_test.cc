@@ -1,0 +1,134 @@
+#include "schema/schema.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "rdf/graph.h"
+#include "tests/test_util.h"
+
+namespace wdr::schema {
+namespace {
+
+using rdf::Graph;
+using rdf::TermId;
+using test::Add;
+
+bool Contains(const std::vector<TermId>& v, TermId x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+class SchemaTest : public ::testing::Test {
+ protected:
+  Graph g_;
+  Vocabulary v_ = Vocabulary::Intern(g_.dict());
+
+  TermId Id(const std::string& name) { return g_.dict().Intern(test::T(name)); }
+  Schema Build() { return Schema::FromGraph(g_, v_); }
+};
+
+TEST_F(SchemaTest, VocabularyInternsFiveProperties) {
+  EXPECT_NE(v_.type, rdf::kNullTermId);
+  EXPECT_TRUE(v_.IsSchemaProperty(v_.sub_class_of));
+  EXPECT_TRUE(v_.IsSchemaProperty(v_.sub_property_of));
+  EXPECT_TRUE(v_.IsSchemaProperty(v_.domain));
+  EXPECT_TRUE(v_.IsSchemaProperty(v_.range));
+  EXPECT_FALSE(v_.IsSchemaProperty(v_.type));
+  // Idempotent: a second intern yields the same ids.
+  Vocabulary again = Vocabulary::Intern(g_.dict());
+  EXPECT_EQ(again.type, v_.type);
+}
+
+TEST_F(SchemaTest, EmptyGraphYieldsEmptySchema) {
+  Schema s = Build();
+  EXPECT_EQ(s.constraint_count(), 0u);
+  EXPECT_TRUE(s.classes().empty());
+  EXPECT_TRUE(s.properties().empty());
+  // Closures of unknown ids are reflexive singletons.
+  TermId x = Id("X");
+  EXPECT_EQ(s.SuperClassesOf(x), std::vector<TermId>{x});
+}
+
+TEST_F(SchemaTest, SubclassClosureIsReflexiveTransitive) {
+  Add(g_, "A", iri::kSubClassOf, "B");
+  Add(g_, "B", iri::kSubClassOf, "C");
+  Schema s = Build();
+  TermId a = Id("A"), b = Id("B"), c = Id("C");
+  EXPECT_TRUE(Contains(s.SuperClassesOf(a), a));
+  EXPECT_TRUE(Contains(s.SuperClassesOf(a), b));
+  EXPECT_TRUE(Contains(s.SuperClassesOf(a), c));
+  EXPECT_FALSE(Contains(s.SuperClassesOf(b), a));
+  EXPECT_TRUE(Contains(s.SubClassesOf(c), a));
+  EXPECT_TRUE(Contains(s.SubClassesOf(c), c));
+  EXPECT_EQ(s.constraint_count(), 2u);
+}
+
+TEST_F(SchemaTest, CyclesMakeClassesMutuallyReachable) {
+  Add(g_, "A", iri::kSubClassOf, "B");
+  Add(g_, "B", iri::kSubClassOf, "A");
+  Schema s = Build();
+  TermId a = Id("A"), b = Id("B");
+  EXPECT_TRUE(Contains(s.SuperClassesOf(a), b));
+  EXPECT_TRUE(Contains(s.SuperClassesOf(b), a));
+  EXPECT_TRUE(Contains(s.SubClassesOf(a), b));
+}
+
+TEST_F(SchemaTest, PropertyClosures) {
+  Add(g_, "headOf", iri::kSubPropertyOf, "worksFor");
+  Add(g_, "worksFor", iri::kSubPropertyOf, "memberOf");
+  Schema s = Build();
+  TermId head = Id("headOf"), member = Id("memberOf");
+  EXPECT_TRUE(Contains(s.SuperPropertiesOf(head), member));
+  EXPECT_TRUE(Contains(s.SubPropertiesOf(member), head));
+  EXPECT_TRUE(s.IsProperty(head));
+  EXPECT_FALSE(s.IsClass(head));
+}
+
+TEST_F(SchemaTest, DomainRangeMapsBothDirections) {
+  Add(g_, "advisor", iri::kDomain, "Student");
+  Add(g_, "advisor", iri::kRange, "Professor");
+  Schema s = Build();
+  TermId advisor = Id("advisor");
+  TermId student = Id("Student"), professor = Id("Professor");
+  EXPECT_EQ(s.DomainsOf(advisor), std::vector<TermId>{student});
+  EXPECT_EQ(s.RangesOf(advisor), std::vector<TermId>{professor});
+  EXPECT_EQ(s.PropertiesWithDomain(student), std::vector<TermId>{advisor});
+  EXPECT_EQ(s.PropertiesWithRange(professor), std::vector<TermId>{advisor});
+  EXPECT_TRUE(s.IsClass(student));
+  EXPECT_TRUE(s.IsProperty(advisor));
+}
+
+TEST_F(SchemaTest, EffectiveDomainsInheritThroughBothHierarchies) {
+  // headOf ⊑ worksFor, worksFor domain Employee, Employee ⊑ Person:
+  // an s headOf o assertion makes s an Employee and a Person.
+  Add(g_, "headOf", iri::kSubPropertyOf, "worksFor");
+  Add(g_, "worksFor", iri::kDomain, "Employee");
+  Add(g_, "Employee", iri::kSubClassOf, "Person");
+  Schema s = Build();
+  std::vector<TermId> domains = s.EffectiveDomains(Id("headOf"));
+  EXPECT_TRUE(Contains(domains, Id("Employee")));
+  EXPECT_TRUE(Contains(domains, Id("Person")));
+  EXPECT_FALSE(Contains(domains, Id("worksFor")));
+  // worksFor itself does not inherit downward.
+  EXPECT_TRUE(s.EffectiveRanges(Id("headOf")).empty());
+}
+
+TEST_F(SchemaTest, DuplicateEdgesAreStoredOnce) {
+  Add(g_, "A", iri::kSubClassOf, "B");
+  Add(g_, "A", iri::kSubClassOf, "B");  // duplicate triple: store dedups
+  Schema s = Build();
+  EXPECT_EQ(s.DirectSuperClasses(Id("A")).size(), 1u);
+}
+
+TEST_F(SchemaTest, ClassAndPropertyInventories) {
+  Add(g_, "A", iri::kSubClassOf, "B");
+  Add(g_, "p", iri::kDomain, "A");
+  Add(g_, "q", iri::kSubPropertyOf, "p");
+  Schema s = Build();
+  EXPECT_EQ(s.classes().size(), 2u);
+  EXPECT_EQ(s.properties().size(), 2u);
+  EXPECT_TRUE(std::is_sorted(s.classes().begin(), s.classes().end()));
+}
+
+}  // namespace
+}  // namespace wdr::schema

@@ -1,0 +1,312 @@
+#include "store/reasoning_store.h"
+
+#include <gtest/gtest.h>
+
+#include "store/update_parser.h"
+
+#include "common/rng.h"
+#include "io/ntriples.h"
+#include "tests/test_util.h"
+
+namespace wdr::store {
+namespace {
+
+constexpr const char* kData = R"(
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix ex: <http://ex.org/> .
+ex:Cat rdfs:subClassOf ex:Mammal .
+ex:Mammal rdfs:subClassOf ex:Animal .
+ex:hasPet rdfs:range ex:Animal .
+ex:tom a ex:Cat .
+ex:anne ex:hasPet ex:tom .
+)";
+
+constexpr const char* kMammalQuery =
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+    "PREFIX ex: <http://ex.org/>\n"
+    "SELECT ?x WHERE { ?x rdf:type ex:Mammal }";
+
+constexpr const char* kAnimalQuery =
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+    "PREFIX ex: <http://ex.org/>\n"
+    "SELECT ?x WHERE { ?x rdf:type ex:Animal }";
+
+size_t Answers(ReasoningStore& store, const char* sparql) {
+  auto result = store.Query(sparql);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? result->rows.size() : 0;
+}
+
+TEST(ReasoningStoreTest, ModeNames) {
+  EXPECT_STREQ(ReasoningModeName(ReasoningMode::kNone), "none");
+  EXPECT_STREQ(ReasoningModeName(ReasoningMode::kSaturation), "saturation");
+  EXPECT_STREQ(ReasoningModeName(ReasoningMode::kReformulation),
+               "reformulation");
+  EXPECT_STREQ(ReasoningModeName(ReasoningMode::kBackward), "backward");
+}
+
+TEST(ReasoningStoreTest, EntailedAnswersInEveryReasoningMode) {
+  for (ReasoningMode mode :
+       {ReasoningMode::kSaturation, ReasoningMode::kReformulation,
+        ReasoningMode::kBackward}) {
+    ReasoningStoreOptions options;
+    options.mode = mode;
+    ReasoningStore store(options);
+    auto loaded = store.LoadTurtle(kData);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    EXPECT_EQ(Answers(store, kMammalQuery), 1u) << ReasoningModeName(mode);
+    // tom is an Animal both via the subclass chain and via hasPet's range;
+    // set semantics returns it once.
+    EXPECT_EQ(Answers(store, kAnimalQuery), 1u) << ReasoningModeName(mode);
+  }
+}
+
+TEST(ReasoningStoreTest, NoneModeSeesOnlyExplicitTriples) {
+  ReasoningStoreOptions options;
+  options.mode = ReasoningMode::kNone;
+  ReasoningStore store(options);
+  ASSERT_TRUE(store.LoadTurtle(kData).ok());
+  EXPECT_EQ(Answers(store, kMammalQuery), 0u);
+}
+
+TEST(ReasoningStoreTest, SchemaStaysClosedForRewritingModes) {
+  ReasoningStoreOptions options;
+  options.mode = ReasoningMode::kReformulation;
+  ReasoningStore store(options);
+  ASSERT_TRUE(store.LoadTurtle(kData).ok());
+  // The derived edge Cat ⊑ Animal is queryable as an explicit triple.
+  auto result = store.Query(
+      "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+      "PREFIX ex: <http://ex.org/>\n"
+      "SELECT ?c WHERE { ?c rdfs:subClassOf ex:Animal }");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 2u);  // Cat and Mammal
+}
+
+TEST(ReasoningStoreTest, InsertDataMaintainsClosure) {
+  ReasoningStore store;  // saturation by default
+  ASSERT_TRUE(store.LoadTurtle(kData).ok());
+  auto info = store.Update(
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+      "PREFIX ex: <http://ex.org/>\n"
+      "INSERT DATA { ex:felix rdf:type ex:Cat }");
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info->inserted, 1u);
+  EXPECT_GE(info->closure_delta, 3u);  // felix: Cat, Mammal, Animal
+  EXPECT_EQ(Answers(store, kMammalQuery), 2u);
+}
+
+TEST(ReasoningStoreTest, DeleteDataRetractsEntailments) {
+  ReasoningStore store;
+  ASSERT_TRUE(store.LoadTurtle(kData).ok());
+  auto info = store.Update(
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+      "PREFIX ex: <http://ex.org/>\n"
+      "DELETE DATA { ex:tom rdf:type ex:Cat }");
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info->deleted, 1u);
+  EXPECT_EQ(Answers(store, kMammalQuery), 0u);
+  // tom is still an Animal via hasPet's range.
+  EXPECT_EQ(Answers(store, kAnimalQuery), 1u);
+}
+
+TEST(ReasoningStoreTest, MultiOperationUpdateRequest) {
+  ReasoningStore store;
+  ASSERT_TRUE(store.LoadTurtle(kData).ok());
+  auto info = store.Update(
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+      "PREFIX ex: <http://ex.org/>\n"
+      "INSERT DATA { ex:rex a ex:Mammal . ex:milo a ex:Cat } ;\n"
+      "DELETE DATA { ex:tom rdf:type ex:Cat }");
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info->inserted, 2u);
+  EXPECT_EQ(info->deleted, 1u);
+  EXPECT_EQ(Answers(store, kMammalQuery), 2u);  // rex + milo
+}
+
+TEST(ReasoningStoreTest, SchemaUpdateRetypesInEveryMode) {
+  for (ReasoningMode mode :
+       {ReasoningMode::kSaturation, ReasoningMode::kReformulation,
+        ReasoningMode::kBackward}) {
+    ReasoningStoreOptions options;
+    options.mode = mode;
+    ReasoningStore store(options);
+    ASSERT_TRUE(store.LoadTurtle(kData).ok());
+    // New leaf class under Cat plus an instance.
+    auto info = store.Update(
+        "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+        "PREFIX ex: <http://ex.org/>\n"
+        "INSERT DATA { ex:Kitten rdfs:subClassOf ex:Cat . "
+        "ex:whiskers a ex:Kitten }");
+    ASSERT_TRUE(info.ok()) << info.status();
+    EXPECT_EQ(Answers(store, kMammalQuery), 2u) << ReasoningModeName(mode);
+  }
+}
+
+TEST(ReasoningStoreTest, SchemaDeleteRetractsDerivedEdges) {
+  ReasoningStore store;
+  ASSERT_TRUE(store.LoadTurtle(kData).ok());
+  size_t before = store.size();
+  auto info = store.Update(
+      "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+      "PREFIX ex: <http://ex.org/>\n"
+      "DELETE DATA { ex:Mammal rdfs:subClassOf ex:Animal }");
+  ASSERT_TRUE(info.ok());
+  // The derived edge Cat ⊑ Animal disappears from the closed schema too.
+  EXPECT_EQ(store.size(), before - 2);
+  EXPECT_EQ(Answers(store, kMammalQuery), 1u);
+  EXPECT_EQ(Answers(store, kAnimalQuery), 1u);  // only via hasPet range
+}
+
+TEST(ReasoningStoreTest, ModeSwitchPreservesAnswers) {
+  ReasoningStore store;
+  ASSERT_TRUE(store.LoadTurtle(kData).ok());
+  size_t saturated_answers = Answers(store, kAnimalQuery);
+  EXPECT_GT(store.effective_size(), store.size());
+  store.SetMode(ReasoningMode::kReformulation);
+  EXPECT_EQ(store.effective_size(), store.size());
+  EXPECT_EQ(Answers(store, kAnimalQuery), saturated_answers);
+  store.SetMode(ReasoningMode::kBackward);
+  EXPECT_EQ(Answers(store, kAnimalQuery), saturated_answers);
+  store.SetMode(ReasoningMode::kSaturation);
+  EXPECT_EQ(Answers(store, kAnimalQuery), saturated_answers);
+}
+
+TEST(ReasoningStoreTest, QueryInfoReportsModeAndUnionSize) {
+  ReasoningStoreOptions options;
+  options.mode = ReasoningMode::kReformulation;
+  ReasoningStore store(options);
+  ASSERT_TRUE(store.LoadTurtle(kData).ok());
+  QueryInfo info;
+  auto result = store.Query(kAnimalQuery, &info);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(info.mode, ReasoningMode::kReformulation);
+  EXPECT_GT(info.union_size, 1u);
+  EXPECT_GT(info.seconds, 0.0);
+}
+
+TEST(ReasoningStoreTest, DecodeRow) {
+  ReasoningStore store;
+  ASSERT_TRUE(store.LoadTurtle(kData).ok());
+  auto result = store.Query(kMammalQuery);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(store.DecodeRow(result->rows[0]),
+            (std::vector<std::string>{"<http://ex.org/tom>"}));
+  EXPECT_EQ(store.DecodeRow({rdf::kNullTermId}),
+            (std::vector<std::string>{"UNBOUND"}));
+}
+
+TEST(ReasoningStoreTest, ExplainTripleRendersProof) {
+  ReasoningStore store;
+  ASSERT_TRUE(store.LoadTurtle(kData).ok());
+  auto proof = store.ExplainTriple(
+      "<http://ex.org/tom> "
+      "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+      "<http://ex.org/Animal> .");
+  ASSERT_TRUE(proof.ok()) << proof.status();
+  EXPECT_NE(proof->find("[asserted]"), std::string::npos);
+  EXPECT_NE(proof->find("Animal"), std::string::npos);
+
+  // Works in non-saturation modes too (transient closure).
+  store.SetMode(ReasoningMode::kReformulation);
+  auto proof2 = store.ExplainTriple(
+      "<http://ex.org/tom> "
+      "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+      "<http://ex.org/Mammal> .");
+  ASSERT_TRUE(proof2.ok()) << proof2.status();
+  EXPECT_NE(proof2->find("rdfs9"), std::string::npos);
+
+  EXPECT_FALSE(store
+                   .ExplainTriple("<http://ex.org/tom> "
+                                  "<http://ex.org/p> <http://ex.org/q> .")
+                   .ok());
+  EXPECT_FALSE(store.ExplainTriple("not a triple").ok());
+  EXPECT_FALSE(store
+                   .ExplainTriple("<http://a> <http://b> <http://c> .\n"
+                                  "<http://d> <http://e> <http://f> .")
+                   .ok());
+}
+
+TEST(ReasoningStoreTest, BadInputsReportParseErrors) {
+  ReasoningStore store;
+  EXPECT_FALSE(store.LoadTurtle("ex:a ex:b").ok());
+  EXPECT_FALSE(store.Query("SELECT").ok());
+  EXPECT_FALSE(store.Update("INSERT { oops }").ok());
+  EXPECT_FALSE(store.Update("").ok());
+  EXPECT_FALSE(
+      store.Update("INSERT DATA { ?x <http://p> <http://o> }").ok());
+}
+
+TEST(UpdateParserTest, ParsesInsertAndDelete) {
+  rdf::Dictionary dict;
+  auto ops = ParseSparqlUpdate(
+      "PREFIX ex: <http://ex.org/>\n"
+      "INSERT DATA { ex:a ex:p ex:b . ex:a a ex:C } ;\n"
+      "DELETE DATA { ex:z ex:p ex:w }",
+      dict);
+  ASSERT_TRUE(ops.ok()) << ops.status();
+  ASSERT_EQ(ops->size(), 2u);
+  EXPECT_TRUE((*ops)[0].is_insert);
+  EXPECT_EQ((*ops)[0].triples.size(), 2u);
+  EXPECT_FALSE((*ops)[1].is_insert);
+  EXPECT_EQ((*ops)[1].triples.size(), 1u);
+}
+
+TEST(UpdateParserTest, LiteralWithBraceInsideBlock) {
+  rdf::Dictionary dict;
+  auto ops = ParseSparqlUpdate(
+      "INSERT DATA { <http://a> <http://p> \"curly } brace\" }", dict);
+  ASSERT_TRUE(ops.ok()) << ops.status();
+  EXPECT_EQ((*ops)[0].triples.size(), 1u);
+}
+
+TEST(UpdateParserTest, RejectsTemplates) {
+  rdf::Dictionary dict;
+  auto ops = ParseSparqlUpdate(
+      "DELETE WHERE { ?x <http://p> ?y }", dict);
+  ASSERT_FALSE(ops.ok());
+  EXPECT_NE(ops.status().message().find("DATA"), std::string::npos);
+}
+
+// Property: a random mixed stream of SPARQL updates leaves saturation and
+// reformulation modes agreeing on a probe query.
+TEST(ReasoningStorePropertyTest, ModesAgreeUnderUpdateStream) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed);
+    ReasoningStore sat_store;  // saturation
+    ReasoningStoreOptions ref_options;
+    ref_options.mode = ReasoningMode::kReformulation;
+    ReasoningStore ref_store(ref_options);
+
+    ASSERT_TRUE(sat_store.LoadTurtle(kData).ok());
+    ASSERT_TRUE(ref_store.LoadTurtle(kData).ok());
+
+    for (int step = 0; step < 25; ++step) {
+      int entity = static_cast<int>(rng.Uniform(0, 5));
+      const char* kinds[] = {"Cat", "Mammal", "Animal"};
+      const char* kind = kinds[rng.Uniform(0, 2)];
+      std::string triple = "<http://ex.org/pet" + std::to_string(entity) +
+                           "> a <http://ex.org/" + kind + ">";
+      std::string update = rng.Chance(0.6)
+                               ? "INSERT DATA { " + triple + " }"
+                               : "DELETE DATA { " + triple + " }";
+      auto a = sat_store.Update(update);
+      auto b = ref_store.Update(update);
+      ASSERT_TRUE(a.ok()) << a.status();
+      ASSERT_TRUE(b.ok()) << b.status();
+
+      auto sat_result = sat_store.Query(kAnimalQuery);
+      auto ref_result = ref_store.Query(kAnimalQuery);
+      ASSERT_TRUE(sat_result.ok());
+      ASSERT_TRUE(ref_result.ok());
+      sat_result->Normalize();
+      ref_result->Normalize();
+      ASSERT_EQ(sat_result->rows.size(), ref_result->rows.size())
+          << "seed " << seed << " step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wdr::store

@@ -1,0 +1,204 @@
+#ifndef WDR_TESTS_TEST_UTIL_H_
+#define WDR_TESTS_TEST_UTIL_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "query/evaluator.h"
+#include "query/query.h"
+#include "rdf/graph.h"
+#include "schema/vocabulary.h"
+
+namespace wdr::test {
+
+// Shorthand for building graphs in tests: terms are given as plain names
+// and expanded under the test namespace; names containing "://" are used
+// verbatim; names starting with '"' become plain literals.
+inline constexpr const char* kTestNs = "http://test.example.org/";
+
+inline rdf::Term T(const std::string& name) {
+  if (!name.empty() && name.front() == '"') {
+    return rdf::Term::Literal(name.substr(1));
+  }
+  if (name.find("://") != std::string::npos) return rdf::Term::Iri(name);
+  return rdf::Term::Iri(std::string(kTestNs) + name);
+}
+
+// Inserts a triple given by names; returns the encoded triple.
+inline rdf::Triple Add(rdf::Graph& g, const std::string& s,
+                       const std::string& p, const std::string& o) {
+  rdf::Triple t(g.dict().Intern(T(s)), g.dict().Intern(T(p)),
+                g.dict().Intern(T(o)));
+  g.Insert(t);
+  return t;
+}
+
+// Encodes a triple without inserting it.
+inline rdf::Triple Enc(rdf::Graph& g, const std::string& s,
+                       const std::string& p, const std::string& o) {
+  return rdf::Triple(g.dict().Intern(T(s)), g.dict().Intern(T(p)),
+                     g.dict().Intern(T(o)));
+}
+
+// Decodes a result set into sorted rows of N-Triples term strings, for
+// order-insensitive comparison with readable failure output.
+inline std::set<std::vector<std::string>> Rows(const rdf::Graph& g,
+                                               const query::ResultSet& rs) {
+  std::set<std::vector<std::string>> out;
+  for (const query::Row& row : rs.rows) {
+    std::vector<std::string> decoded;
+    decoded.reserve(row.size());
+    for (rdf::TermId id : row) {
+      decoded.push_back(id == rdf::kNullTermId ? "<unbound>"
+                                               : g.dict().term(id).ToNTriples());
+    }
+    out.insert(std::move(decoded));
+  }
+  return out;
+}
+
+// Sorted triple vector of a store, for equality checks between stores.
+inline std::vector<rdf::Triple> Triples(const rdf::TripleStore& store) {
+  return store.ToVector();
+}
+
+// ---------------------------------------------------------------------------
+// Random-instance generators for property tests. Small universes on purpose:
+// collisions are what exercise rule interactions (diamonds, cycles).
+
+struct RandomGraphConfig {
+  int classes = 6;
+  int properties = 4;
+  int individuals = 8;
+  int schema_triples = 10;
+  int instance_triples = 25;
+  bool allow_class_cycles = true;
+};
+
+struct RandomGraph {
+  rdf::Graph graph;
+  schema::Vocabulary vocab;
+  std::vector<rdf::TermId> classes;
+  std::vector<rdf::TermId> properties;
+  std::vector<rdf::TermId> individuals;
+};
+
+inline RandomGraph MakeRandomGraph(Rng& rng, const RandomGraphConfig& config) {
+  RandomGraph rg;
+  rg.vocab = schema::Vocabulary::Intern(rg.graph.dict());
+  for (int i = 0; i < config.classes; ++i) {
+    rg.classes.push_back(
+        rg.graph.dict().InternIri(std::string(kTestNs) + "C" + std::to_string(i)));
+  }
+  for (int i = 0; i < config.properties; ++i) {
+    rg.properties.push_back(
+        rg.graph.dict().InternIri(std::string(kTestNs) + "p" + std::to_string(i)));
+  }
+  for (int i = 0; i < config.individuals; ++i) {
+    rg.individuals.push_back(
+        rg.graph.dict().InternIri(std::string(kTestNs) + "i" + std::to_string(i)));
+  }
+  auto pick = [&rng](const std::vector<rdf::TermId>& pool) {
+    return pool[static_cast<size_t>(rng.Uniform(0, pool.size() - 1))];
+  };
+
+  for (int i = 0; i < config.schema_triples; ++i) {
+    switch (rng.Uniform(0, 3)) {
+      case 0: {
+        rdf::TermId a = pick(rg.classes);
+        rdf::TermId b = pick(rg.classes);
+        if (!config.allow_class_cycles && a >= b) break;
+        rg.graph.Insert(rdf::Triple(a, rg.vocab.sub_class_of, b));
+        break;
+      }
+      case 1:
+        rg.graph.Insert(rdf::Triple(pick(rg.properties),
+                                    rg.vocab.sub_property_of,
+                                    pick(rg.properties)));
+        break;
+      case 2:
+        rg.graph.Insert(
+            rdf::Triple(pick(rg.properties), rg.vocab.domain, pick(rg.classes)));
+        break;
+      default:
+        rg.graph.Insert(
+            rdf::Triple(pick(rg.properties), rg.vocab.range, pick(rg.classes)));
+    }
+  }
+  for (int i = 0; i < config.instance_triples; ++i) {
+    if (rng.Chance(0.4)) {
+      rg.graph.Insert(
+          rdf::Triple(pick(rg.individuals), rg.vocab.type, pick(rg.classes)));
+    } else {
+      rg.graph.Insert(rdf::Triple(pick(rg.individuals), pick(rg.properties),
+                                  pick(rg.individuals)));
+    }
+  }
+  return rg;
+}
+
+// A random BGP query over the vocabulary of `rg`: 1-3 atoms mixing type
+// atoms (constant or variable class), property atoms (constant or variable
+// property), shared variables, and occasional constants.
+inline query::BgpQuery MakeRandomQuery(Rng& rng, const RandomGraph& rg) {
+  query::BgpQuery q;
+  q.SetDistinct(true);
+  int atom_count = static_cast<int>(rng.Uniform(1, 3));
+  int var_counter = 0;
+  auto var = [&]() {
+    // Reuse variables ~half the time to create joins.
+    if (var_counter > 0 && rng.Chance(0.5)) {
+      return query::PatternTerm::Variable(static_cast<query::VarId>(
+          q.AddVar("v" + std::to_string(rng.Uniform(0, var_counter - 1)))));
+    }
+    query::VarId v = q.AddVar("v" + std::to_string(var_counter++));
+    return query::PatternTerm::Variable(v);
+  };
+  auto pick = [&rng](const std::vector<rdf::TermId>& pool) {
+    return pool[static_cast<size_t>(rng.Uniform(0, pool.size() - 1))];
+  };
+  for (int i = 0; i < atom_count; ++i) {
+    query::TriplePattern atom;
+    if (rng.Chance(0.5)) {
+      // Type atom.
+      atom.s = rng.Chance(0.2)
+                   ? query::PatternTerm::Constant(pick(rg.individuals))
+                   : var();
+      atom.p = query::PatternTerm::Constant(rg.vocab.type);
+      atom.o = rng.Chance(0.7)
+                   ? query::PatternTerm::Constant(pick(rg.classes))
+                   : var();
+    } else {
+      atom.s = rng.Chance(0.2)
+                   ? query::PatternTerm::Constant(pick(rg.individuals))
+                   : var();
+      atom.p = rng.Chance(0.7)
+                   ? query::PatternTerm::Constant(pick(rg.properties))
+                   : var();
+      atom.o = rng.Chance(0.2)
+                   ? query::PatternTerm::Constant(pick(rg.individuals))
+                   : var();
+    }
+    q.AddAtom(atom);
+  }
+  if (var_counter == 0) {
+    // Ensure a non-empty projection so result sets are comparable.
+    query::VarId v = q.AddVar("v0");
+    q.AddAtom(query::TriplePattern{query::PatternTerm::Variable(v),
+                                   query::PatternTerm::Constant(rg.vocab.type),
+                                   query::PatternTerm::Constant(
+                                       rg.classes.front())});
+    ++var_counter;
+  }
+  for (int i = 0; i < var_counter; ++i) {
+    auto v = q.VarByName("v" + std::to_string(i));
+    if (v.ok()) q.Project(*v);
+  }
+  return q;
+}
+
+}  // namespace wdr::test
+
+#endif  // WDR_TESTS_TEST_UTIL_H_

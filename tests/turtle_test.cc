@@ -1,0 +1,146 @@
+#include "io/turtle.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/graph.h"
+#include "schema/vocabulary.h"
+
+namespace wdr::io {
+namespace {
+
+using rdf::Graph;
+using rdf::Term;
+
+rdf::Triple Find(const Graph& g, const std::string& s, const std::string& p,
+                 const std::string& o) {
+  return rdf::Triple(g.dict().LookupIri(s), g.dict().LookupIri(p),
+                     g.dict().LookupIri(o));
+}
+
+TEST(TurtleTest, ParsesPrefixedNames) {
+  Graph g;
+  auto n = ParseTurtle(
+      "@prefix ex: <http://ex.org/> .\n"
+      "ex:a ex:p ex:b .\n",
+      g);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 1u);
+  EXPECT_TRUE(g.Contains(Find(g, "http://ex.org/a", "http://ex.org/p",
+                               "http://ex.org/b")));
+}
+
+TEST(TurtleTest, SparqlStylePrefixWithoutDot) {
+  Graph g;
+  auto n = ParseTurtle(
+      "PREFIX ex: <http://ex.org/>\n"
+      "ex:a ex:p ex:b .\n",
+      g);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 1u);
+}
+
+TEST(TurtleTest, AKeywordExpandsToRdfType) {
+  Graph g;
+  auto n = ParseTurtle(
+      "@prefix ex: <http://ex.org/> .\n"
+      "ex:tom a ex:Cat .\n",
+      g);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_TRUE(g.Contains(
+      Find(g, "http://ex.org/tom", schema::iri::kType, "http://ex.org/Cat")));
+}
+
+TEST(TurtleTest, PredicateAndObjectLists) {
+  Graph g;
+  auto n = ParseTurtle(
+      "@prefix ex: <http://ex.org/> .\n"
+      "ex:a ex:p ex:b , ex:c ;\n"
+      "     ex:q ex:d ;\n"
+      "     a ex:T .\n",
+      g);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 4u);
+}
+
+TEST(TurtleTest, TrailingSemicolonBeforeDot) {
+  Graph g;
+  auto n = ParseTurtle(
+      "@prefix ex: <http://ex.org/> .\n"
+      "ex:a ex:p ex:b ; .\n",
+      g);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 1u);
+}
+
+TEST(TurtleTest, NumericLiterals) {
+  Graph g;
+  auto n = ParseTurtle(
+      "@prefix ex: <http://ex.org/> .\n"
+      "ex:a ex:age 42 .\n"
+      "ex:a ex:gpa 3.71 .\n"
+      "ex:a ex:delta -5 .\n",
+      g);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_NE(g.dict().Lookup(Term::Literal(
+                "42", "http://www.w3.org/2001/XMLSchema#integer")),
+            rdf::kNullTermId);
+  EXPECT_NE(g.dict().Lookup(Term::Literal(
+                "3.71", "http://www.w3.org/2001/XMLSchema#decimal")),
+            rdf::kNullTermId);
+}
+
+TEST(TurtleTest, LiteralWithPrefixedDatatype) {
+  Graph g;
+  auto n = ParseTurtle(
+      "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+      "@prefix ex: <http://ex.org/> .\n"
+      "ex:a ex:p \"7\"^^xsd:byte .\n",
+      g);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_NE(g.dict().Lookup(Term::Literal(
+                "7", "http://www.w3.org/2001/XMLSchema#byte")),
+            rdf::kNullTermId);
+}
+
+TEST(TurtleTest, UndeclaredPrefixIsAnError) {
+  Graph g;
+  auto n = ParseTurtle("ex:a ex:p ex:b .", g);
+  ASSERT_FALSE(n.ok());
+  EXPECT_NE(n.status().message().find("undeclared prefix"),
+            std::string::npos);
+}
+
+TEST(TurtleTest, BaseDirectiveIsRejected) {
+  Graph g;
+  auto n = ParseTurtle("@base <http://ex.org/> .", g);
+  ASSERT_FALSE(n.ok());
+}
+
+TEST(TurtleTest, CollectionsAreRejectedWithClearError) {
+  Graph g;
+  auto n = ParseTurtle(
+      "@prefix ex: <http://ex.org/> .\n"
+      "ex:a ex:p ( ex:b ex:c ) .\n",
+      g);
+  ASSERT_FALSE(n.ok());
+  EXPECT_NE(n.status().message().find("not supported"), std::string::npos);
+}
+
+TEST(TurtleTest, OntologySnippetEndToEnd) {
+  Graph g;
+  auto n = ParseTurtle(
+      "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n"
+      "@prefix ex: <http://ex.org/> .\n"
+      "ex:Cat rdfs:subClassOf ex:Mammal .\n"
+      "ex:hasFriend rdfs:domain ex:Person ; rdfs:range ex:Person .\n"
+      "ex:tom a ex:Cat ; ex:hasFriend ex:anne .\n",
+      g);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 5u);
+  EXPECT_TRUE(g.Contains(Find(g, "http://ex.org/Cat",
+                               schema::iri::kSubClassOf,
+                               "http://ex.org/Mammal")));
+}
+
+}  // namespace
+}  // namespace wdr::io

@@ -1,0 +1,100 @@
+#include "io/turtle_writer.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "io/ntriples.h"
+#include "io/turtle.h"
+#include "workload/university.h"
+
+namespace wdr::io {
+namespace {
+
+using rdf::Graph;
+using rdf::Term;
+
+// Dictionary ids (and hence SPO order) differ between a graph and its
+// reparse, so round-trip equality is over sorted decoded statements.
+std::multiset<std::string> Statements(const Graph& g) {
+  std::multiset<std::string> out;
+  g.store().Match(0, 0, 0,
+                  [&](const rdf::Triple& t) { out.insert(g.Decode(t)); });
+  return out;
+}
+
+TEST(TurtleWriterTest, CompactsKnownPrefixesAndGroups) {
+  Graph g;
+  ASSERT_TRUE(ParseTurtle(
+                  "@prefix ex: <http://ex.org/> .\n"
+                  "ex:a ex:p ex:b , ex:c ; ex:q ex:d ; a ex:T .\n",
+                  g)
+                  .ok());
+  std::string out = WriteTurtle(g, {{"ex", "http://ex.org/"}});
+  EXPECT_NE(out.find("@prefix ex: <http://ex.org/> ."), std::string::npos);
+  EXPECT_NE(out.find("ex:a"), std::string::npos);
+  EXPECT_NE(out.find(" a ex:T"), std::string::npos);
+  EXPECT_NE(out.find(" , "), std::string::npos);  // object list
+  EXPECT_NE(out.find(" ;"), std::string::npos);   // predicate list
+  EXPECT_EQ(out.find("<http://ex.org/a>"), std::string::npos);
+}
+
+TEST(TurtleWriterTest, UnsafeLocalNamesFallBackToFullIris) {
+  Graph g;
+  g.InsertIris("http://ex.org/with/slash", "http://ex.org/p",
+               "http://other.org/x");
+  std::string out = WriteTurtle(g, {{"ex", "http://ex.org/"}});
+  EXPECT_NE(out.find("<http://ex.org/with/slash>"), std::string::npos);
+  EXPECT_NE(out.find("<http://other.org/x>"), std::string::npos);
+}
+
+TEST(TurtleWriterTest, LiteralsSerializeAsNTriples) {
+  Graph g;
+  g.Insert(Term::Iri("http://ex.org/a"), Term::Iri("http://ex.org/p"),
+           Term::Literal("hi \"there\"", "", "en"));
+  std::string out = WriteTurtle(g);
+  EXPECT_NE(out.find("\"hi \\\"there\\\"\"@en"), std::string::npos);
+}
+
+TEST(TurtleWriterTest, RoundTripsSmallGraph) {
+  Graph g;
+  ASSERT_TRUE(ParseTurtle(
+                  "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n"
+                  "@prefix ex: <http://ex.org/> .\n"
+                  "ex:Cat rdfs:subClassOf ex:Mammal .\n"
+                  "ex:tom a ex:Cat ; ex:name \"Tom\" ; ex:age 7 .\n",
+                  g)
+                  .ok());
+  std::string out = WriteTurtle(g, {{"ex", "http://ex.org/"}});
+  Graph reparsed;
+  auto n = ParseTurtle(out, reparsed);
+  ASSERT_TRUE(n.ok()) << n.status() << "\n" << out;
+  EXPECT_EQ(*n, g.size());
+  EXPECT_EQ(Statements(reparsed), Statements(g));
+}
+
+TEST(TurtleWriterTest, RoundTripsUniversityWorkload) {
+  workload::UniversityConfig config;
+  config.universities = 1;
+  config.departments_per_university = 1;
+  workload::UniversityData data = workload::GenerateUniversityData(config);
+  std::string out =
+      WriteTurtle(data.graph, {{"u", workload::univ::kNs}});
+  Graph reparsed;
+  auto n = ParseTurtle(out, reparsed);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, data.graph.size());
+  EXPECT_EQ(Statements(reparsed), Statements(data.graph));
+}
+
+TEST(TurtleWriterTest, EmptyGraph) {
+  Graph g;
+  std::string out = WriteTurtle(g, {});
+  Graph reparsed;
+  EXPECT_TRUE(ParseTurtle(out, reparsed).ok());
+  EXPECT_EQ(reparsed.size(), 0u);
+}
+
+}  // namespace
+}  // namespace wdr::io
