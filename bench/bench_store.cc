@@ -1,17 +1,33 @@
 // Substrate microbenchmarks: the triple store primitives every technique
 // sits on — insert, point lookup, and the prefix scans behind each index.
+// Every benchmark runs through the StoreView seam with a backend argument
+// (0 = ordered node-based sets, 1 = flat sorted arrays + delta log), so the
+// two storage engines print side by side.
+#include <memory>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
-#include "rdf/triple_store.h"
+#include "rdf/store_view.h"
 
 namespace {
 
+using wdr::rdf::MakeStore;
+using wdr::rdf::StorageBackend;
+using wdr::rdf::StorageBackendName;
+using wdr::rdf::StoreView;
 using wdr::rdf::TermId;
 using wdr::rdf::Triple;
-using wdr::rdf::TripleStore;
+
+StorageBackend BackendArg(const benchmark::State& state) {
+  return state.range(0) == 0 ? StorageBackend::kOrdered
+                             : StorageBackend::kFlat;
+}
+
+void LabelBackend(benchmark::State& state) {
+  state.SetLabel(StorageBackendName(BackendArg(state)));
+}
 
 std::vector<Triple> RandomTriples(size_t n, uint64_t seed) {
   wdr::Rng rng(seed);
@@ -25,50 +41,100 @@ std::vector<Triple> RandomTriples(size_t n, uint64_t seed) {
   return triples;
 }
 
-void BM_Insert(benchmark::State& state) {
-  std::vector<Triple> triples =
-      RandomTriples(static_cast<size_t>(state.range(0)), 1);
-  for (auto _ : state) {
-    TripleStore store;
-    for (const Triple& t : triples) store.Insert(t);
-    benchmark::DoNotOptimize(store.size());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+// A populated store of the chosen backend (flat stores are compacted by the
+// batch path, so scans measure the merged layout).
+std::unique_ptr<StoreView> Populated(const benchmark::State& state,
+                                     const std::vector<Triple>& triples) {
+  std::unique_ptr<StoreView> store = MakeStore(BackendArg(state));
+  store->InsertBatch(triples);
+  return store;
 }
-BENCHMARK(BM_Insert)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_Insert(benchmark::State& state) {
+  LabelBackend(state);
+  std::vector<Triple> triples =
+      RandomTriples(static_cast<size_t>(state.range(1)), 1);
+  for (auto _ : state) {
+    std::unique_ptr<StoreView> store = MakeStore(BackendArg(state));
+    for (const Triple& t : triples) store->Insert(t);
+    benchmark::DoNotOptimize(store->size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(1));
+}
+BENCHMARK(BM_Insert)
+    ->ArgNames({"backend", "n"})
+    ->Args({0, 10000})
+    ->Args({1, 10000})
+    ->Args({0, 100000})
+    ->Args({1, 100000})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_InsertBatch(benchmark::State& state) {
+  LabelBackend(state);
+  std::vector<Triple> triples =
+      RandomTriples(static_cast<size_t>(state.range(1)), 1);
+  for (auto _ : state) {
+    std::unique_ptr<StoreView> store = MakeStore(BackendArg(state));
+    benchmark::DoNotOptimize(store->InsertBatch(triples));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(1));
+}
+BENCHMARK(BM_InsertBatch)
+    ->ArgNames({"backend", "n"})
+    ->Args({0, 100000})
+    ->Args({1, 100000})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Contains(benchmark::State& state) {
+  LabelBackend(state);
   std::vector<Triple> triples = RandomTriples(100000, 2);
-  TripleStore store;
-  for (const Triple& t : triples) store.Insert(t);
+  std::unique_ptr<StoreView> store = Populated(state, triples);
   size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(store.Contains(triples[i % triples.size()]));
+    benchmark::DoNotOptimize(store->Contains(triples[i % triples.size()]));
     ++i;
   }
 }
-BENCHMARK(BM_Contains);
+BENCHMARK(BM_Contains)->ArgName("backend")->Arg(0)->Arg(1);
 
 void BM_EraseInsertChurn(benchmark::State& state) {
+  LabelBackend(state);
   std::vector<Triple> triples = RandomTriples(100000, 3);
-  TripleStore store;
-  for (const Triple& t : triples) store.Insert(t);
+  std::unique_ptr<StoreView> store = Populated(state, triples);
   size_t i = 0;
   for (auto _ : state) {
     const Triple& t = triples[i % triples.size()];
-    store.Erase(t);
-    store.Insert(t);
+    store->Erase(t);
+    store->Insert(t);
     ++i;
   }
 }
-BENCHMARK(BM_EraseInsertChurn);
+BENCHMARK(BM_EraseInsertChurn)->ArgName("backend")->Arg(0)->Arg(1);
+
+void BM_FullScan(benchmark::State& state) {
+  LabelBackend(state);
+  std::vector<Triple> triples = RandomTriples(100000, 4);
+  std::unique_ptr<StoreView> store = Populated(state, triples);
+  size_t matched = 0;
+  for (auto _ : state) {
+    matched = 0;
+    store->Match(0, 0, 0, [&](const Triple&) { ++matched; });
+    benchmark::DoNotOptimize(matched);
+  }
+  state.counters["rows/scan"] = static_cast<double>(matched);
+}
+BENCHMARK(BM_FullScan)
+    ->ArgName("backend")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 // The three prefix-scan shapes, one per index.
 template <int kBound>  // 0: s (SPO), 1: p (POS), 2: o (OSP)
 void BM_PrefixScan(benchmark::State& state) {
+  LabelBackend(state);
   std::vector<Triple> triples = RandomTriples(100000, 4);
-  TripleStore store;
-  for (const Triple& t : triples) store.Insert(t);
+  std::unique_ptr<StoreView> store = Populated(state, triples);
   size_t i = 0;
   size_t matched = 0;
   for (auto _ : state) {
@@ -77,7 +143,7 @@ void BM_PrefixScan(benchmark::State& state) {
     TermId p = kBound == 1 ? probe.p : 0;
     TermId o = kBound == 2 ? probe.o : 0;
     matched = 0;
-    store.Match(s, p, o, [&](const Triple&) { ++matched; });
+    store->Match(s, p, o, [&](const Triple&) { ++matched; });
     benchmark::DoNotOptimize(matched);
     ++i;
   }
@@ -86,22 +152,26 @@ void BM_PrefixScan(benchmark::State& state) {
 void BM_ScanBySubject(benchmark::State& state) { BM_PrefixScan<0>(state); }
 void BM_ScanByProperty(benchmark::State& state) { BM_PrefixScan<1>(state); }
 void BM_ScanByObject(benchmark::State& state) { BM_PrefixScan<2>(state); }
-BENCHMARK(BM_ScanBySubject);
-BENCHMARK(BM_ScanByProperty)->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_ScanByObject);
+BENCHMARK(BM_ScanBySubject)->ArgName("backend")->Arg(0)->Arg(1);
+BENCHMARK(BM_ScanByProperty)
+    ->ArgName("backend")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ScanByObject)->ArgName("backend")->Arg(0)->Arg(1);
 
 void BM_CountEstimate(benchmark::State& state) {
+  LabelBackend(state);
   std::vector<Triple> triples = RandomTriples(100000, 5);
-  TripleStore store;
-  for (const Triple& t : triples) store.Insert(t);
+  std::unique_ptr<StoreView> store = Populated(state, triples);
   size_t i = 0;
   for (auto _ : state) {
     const Triple& probe = triples[i % triples.size()];
-    benchmark::DoNotOptimize(store.EstimateCount(probe.s, 0, 0));
+    benchmark::DoNotOptimize(store->EstimateCount(probe.s, 0, 0));
     ++i;
   }
 }
-BENCHMARK(BM_CountEstimate);
+BENCHMARK(BM_CountEstimate)->ArgName("backend")->Arg(0)->Arg(1);
 
 }  // namespace
 

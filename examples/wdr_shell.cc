@@ -2,13 +2,15 @@
 // shape of tool a downstream user runs first.
 //
 // Usage:
-//   wdr_shell [--mode=saturation|reformulation|backward|none] [file.ttl ...]
+//   wdr_shell [--mode=saturation|reformulation|backward|none]
+//             [--backend=ordered|flat] [file.ttl ...]
 //
 // Reads commands from stdin (one per line):
 //   SELECT ...          run a SPARQL query
 //   INSERT DATA {...}   / DELETE DATA {...}   run an update
 //   .load FILE          load a Turtle/N-Triples file
 //   .mode MODE          switch reasoning technique at run time
+//   .backend ENGINE     switch storage engine (ordered|flat) at run time
 //   .stats              triples / closure size
 //   .help               this text
 //
@@ -51,6 +53,7 @@ void PrintHelp() {
                "  .load FILE            load Turtle (.ttl) or N-Triples\n"
                "  .explain <s> <p> <o> .  prove why a triple is entailed\n"
                "  .mode MODE            saturation|reformulation|backward|none\n"
+               "  .backend ENGINE       ordered|flat storage engine\n"
                "  .stats                store statistics\n"
                "  .help                 this text\n"
                "  .quit                 exit\n";
@@ -102,10 +105,21 @@ void RunCommand(ReasoningStore& store, const std::string& line) {
       } else {
         std::cerr << "unknown mode '" << argument << "'\n";
       }
+    } else if (command == ".backend") {
+      wdr::rdf::StorageBackend backend;
+      if (wdr::rdf::ParseStorageBackend(argument, &backend)) {
+        store.SetBackend(backend);
+        std::cout << "backend = " << wdr::rdf::StorageBackendName(backend)
+                  << "\n";
+      } else {
+        std::cerr << "unknown backend '" << argument << "'\n";
+      }
     } else if (command == ".stats") {
       std::cout << "triples: " << store.size()
                 << "  effective (with closure): " << store.effective_size()
-                << "  mode: " << ReasoningModeName(store.mode()) << "\n";
+                << "  mode: " << ReasoningModeName(store.mode())
+                << "  backend: "
+                << wdr::rdf::StorageBackendName(store.backend()) << "\n";
     } else if (command == ".help") {
       PrintHelp();
     } else if (command == ".quit") {
@@ -168,6 +182,10 @@ void RunDemo(ReasoningStore& store) {
       "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
       "PREFIX ex: <http://ex.org/> "
       "SELECT ?x WHERE { ?x rdf:type ex:Mammal }",
+      ".backend flat",
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+      "PREFIX ex: <http://ex.org/> "
+      "SELECT ?x WHERE { ?x rdf:type ex:Mammal }",
       ".stats",
   };
   std::cout << "(no stdin input — running the scripted demo; pipe commands "
@@ -189,6 +207,11 @@ int main(int argc, char** argv) {
     if (arg.rfind("--mode=", 0) == 0) {
       if (!ParseMode(arg.substr(7), &options.mode)) {
         std::cerr << "unknown mode in " << arg << "\n";
+        return EXIT_FAILURE;
+      }
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      if (!wdr::rdf::ParseStorageBackend(arg.substr(10), &options.backend)) {
+        std::cerr << "unknown backend in " << arg << "\n";
         return EXIT_FAILURE;
       }
     } else if (arg == "--demo") {

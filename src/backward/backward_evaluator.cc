@@ -17,9 +17,9 @@ using query::TriplePattern;
 using query::UnionQuery;
 using query::VarId;
 using rdf::kNullTermId;
+using rdf::StoreView;
 using rdf::TermId;
 using rdf::Triple;
-using rdf::TripleStore;
 
 // Sentinel variable id for "match anything, bind nothing" positions —
 // the fresh variables that domain/range rewritings introduce occur exactly
@@ -155,7 +155,7 @@ class AtomExpander {
 // Backtracking join over atoms, trying every alternative of each atom.
 class BackwardJoin {
  public:
-  BackwardJoin(const TripleStore& store, const BgpQuery& q,
+  BackwardJoin(const StoreView& store, const BgpQuery& q,
                std::vector<std::vector<Alternative>> expansions,
                BackwardStats* stats)
       : store_(store),
@@ -235,7 +235,7 @@ class BackwardJoin {
     }
   }
 
-  const TripleStore& store_;
+  const StoreView& store_;
   const BgpQuery& q_;
   std::vector<std::vector<Alternative>> expansions_;
   BackwardStats* stats_;

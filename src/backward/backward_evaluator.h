@@ -5,7 +5,7 @@
 
 #include "query/evaluator.h"
 #include "query/query.h"
-#include "rdf/triple_store.h"
+#include "rdf/store_view.h"
 #include "schema/schema.h"
 #include "schema/vocabulary.h"
 
@@ -33,7 +33,7 @@ struct BackwardStats {
 // As with reformulation, the contract assumes a schema-closed store.
 class BackwardChainingEvaluator {
  public:
-  BackwardChainingEvaluator(const rdf::TripleStore& store,
+  BackwardChainingEvaluator(const rdf::StoreView& store,
                             const schema::Schema& schema,
                             const schema::Vocabulary& vocab)
       : store_(&store), schema_(&schema), vocab_(vocab) {}
@@ -44,7 +44,7 @@ class BackwardChainingEvaluator {
                             BackwardStats* stats = nullptr) const;
 
  private:
-  const rdf::TripleStore* store_;    // not owned
+  const rdf::StoreView* store_;      // not owned
   const schema::Schema* schema_;     // not owned
   schema::Vocabulary vocab_;
 };

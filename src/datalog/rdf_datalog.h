@@ -10,6 +10,7 @@
 #include "query/evaluator.h"
 #include "query/query.h"
 #include "rdf/graph.h"
+#include "rdf/triple_store.h"
 #include "schema/vocabulary.h"
 
 namespace wdr::datalog {

@@ -10,10 +10,11 @@
 
 namespace wdr::federation {
 
-Federation::Federation() : vocab_(schema::Vocabulary::Intern(dict_)) {}
+Federation::Federation(rdf::StorageBackend backend)
+    : vocab_(schema::Vocabulary::Intern(dict_)), backend_(backend) {}
 
 EndpointId Federation::AddEndpoint(std::string name) {
-  endpoints_.push_back(Endpoint{std::move(name), rdf::TripleStore()});
+  endpoints_.push_back(Endpoint{std::move(name), rdf::MakeStore(backend_)});
   return endpoints_.size() - 1;
 }
 
@@ -24,35 +25,36 @@ Result<size_t> Federation::LoadTurtle(EndpointId id, std::string_view text) {
   rdf::Graph scratch;
   WDR_ASSIGN_OR_RETURN(size_t parsed, io::ParseTurtle(text, scratch));
   (void)parsed;
-  size_t added = 0;
-  rdf::TripleStore& store = endpoints_[id].store;
+  // Re-encode into the shared dictionary, then hand the store one batch so
+  // log-structured backends can bulk-load instead of inserting one by one.
+  std::vector<rdf::Triple> encoded;
+  encoded.reserve(scratch.size());
   scratch.store().Match(0, 0, 0, [&](const rdf::Triple& t) {
-    rdf::Triple encoded(dict_.Intern(scratch.dict().term(t.s)),
-                        dict_.Intern(scratch.dict().term(t.p)),
-                        dict_.Intern(scratch.dict().term(t.o)));
-    if (store.Insert(encoded)) ++added;
+    encoded.emplace_back(dict_.Intern(scratch.dict().term(t.s)),
+                         dict_.Intern(scratch.dict().term(t.p)),
+                         dict_.Intern(scratch.dict().term(t.o)));
   });
-  return added;
+  return endpoints_[id].store->InsertBatch(encoded);
 }
 
 bool Federation::Insert(EndpointId id, const rdf::Triple& t) {
-  return endpoints_[id].store.Insert(t);
+  return endpoints_[id].store->Insert(t);
 }
 
 bool Federation::Erase(EndpointId id, const rdf::Triple& t) {
-  return endpoints_[id].store.Erase(t);
+  return endpoints_[id].store->Erase(t);
 }
 
 size_t Federation::size() const {
   size_t total = 0;
-  for (const Endpoint& endpoint : endpoints_) total += endpoint.store.size();
+  for (const Endpoint& endpoint : endpoints_) total += endpoint.store->size();
   return total;
 }
 
 rdf::TripleStore Federation::ClosedFederatedSchemaStore() const {
   rdf::TripleStore merged;
   for (const Endpoint& endpoint : endpoints_) {
-    endpoint.store.Match(0, 0, 0, [&](const rdf::Triple& t) {
+    endpoint.store->Match(0, 0, 0, [&](const rdf::Triple& t) {
       if (vocab_.IsSchemaProperty(t.p)) merged.Insert(t);
     });
   }
@@ -83,7 +85,7 @@ Result<query::ResultSet> Federation::Query(const query::UnionQuery& q,
   rdf::UnionStore view;
   view.AddMember(&closed_schema);
   for (const Endpoint& endpoint : endpoints_) {
-    view.AddMember(&endpoint.store);
+    view.AddMember(endpoint.store.get());
   }
   query::FederatedEvaluator evaluator(view);
   query::ResultSet result = evaluator.Evaluate(reformulated);

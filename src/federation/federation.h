@@ -1,6 +1,7 @@
 #ifndef WDR_FEDERATION_FEDERATION_H_
 #define WDR_FEDERATION_FEDERATION_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "common/status.h"
 #include "query/evaluator.h"
 #include "rdf/dictionary.h"
+#include "rdf/store_view.h"
 #include "rdf/triple_store.h"
 #include "rdf/union_store.h"
 #include "schema/vocabulary.h"
@@ -42,7 +44,9 @@ struct FederationQueryInfo {
 // ship mappings; dictionary mechanics are orthogonal to the algorithms).
 class Federation {
  public:
-  Federation();
+  // `backend` selects the storage engine every endpoint store uses.
+  explicit Federation(
+      rdf::StorageBackend backend = rdf::StorageBackend::kOrdered);
 
   // Registers an empty endpoint and returns its id.
   EndpointId AddEndpoint(std::string name);
@@ -51,8 +55,8 @@ class Federation {
   const std::string& endpoint_name(EndpointId id) const {
     return endpoints_[id].name;
   }
-  const rdf::TripleStore& endpoint_store(EndpointId id) const {
-    return endpoints_[id].store;
+  const rdf::StoreView& endpoint_store(EndpointId id) const {
+    return *endpoints_[id].store;
   }
 
   // Loads Turtle data into one endpoint. Returns new-triple count.
@@ -77,10 +81,12 @@ class Federation {
   // Total triples across endpoints (duplicates counted per endpoint).
   size_t size() const;
 
+  rdf::StorageBackend backend() const { return backend_; }
+
  private:
   struct Endpoint {
     std::string name;
-    rdf::TripleStore store;
+    std::unique_ptr<rdf::StoreView> store;
   };
 
   // The union of all endpoints' schema triples, closed (rdfs5/rdfs11).
@@ -88,6 +94,7 @@ class Federation {
 
   rdf::Dictionary dict_;
   schema::Vocabulary vocab_;
+  rdf::StorageBackend backend_;
   std::vector<Endpoint> endpoints_;
 };
 

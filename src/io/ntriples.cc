@@ -1,5 +1,7 @@
 #include "io/ntriples.h"
 
+#include <vector>
+
 #include "io/term_lexer.h"
 
 namespace wdr::io {
@@ -8,7 +10,9 @@ using internal::Cursor;
 
 Result<size_t> ParseNTriples(std::string_view text, rdf::Graph& graph) {
   Cursor cursor(text);
-  size_t parsed = 0;
+  // Encode while parsing, insert once at the end: the batch path lets
+  // log-structured backends bulk-load instead of paying per-triple updates.
+  std::vector<rdf::Triple> triples;
   while (true) {
     cursor.SkipWhitespaceAndComments();
     if (cursor.AtEnd()) break;
@@ -44,9 +48,9 @@ Result<size_t> ParseNTriples(std::string_view text, rdf::Graph& graph) {
     if (!cursor.Consume(".")) {
       return cursor.Error("expected '.' terminating the statement");
     }
-    if (graph.Insert(subject, predicate, object)) ++parsed;
+    triples.push_back(graph.Encode(subject, predicate, object));
   }
-  return parsed;
+  return graph.InsertBatch(triples);
 }
 
 std::string WriteNTriples(const rdf::Graph& graph) {

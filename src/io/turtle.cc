@@ -3,6 +3,7 @@
 #include <cctype>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "io/term_lexer.h"
 #include "schema/vocabulary.h"
@@ -28,7 +29,8 @@ class TurtleParser {
       if (cursor_.AtEnd()) break;
       WDR_RETURN_IF_ERROR(ParseStatement());
     }
-    return added_;
+    // One batch insert at the end so log-structured backends bulk-load.
+    return graph_.InsertBatch(pending_);
   }
 
  private:
@@ -101,7 +103,7 @@ class TurtleParser {
       while (true) {
         cursor_.SkipWhitespaceAndComments();
         WDR_ASSIGN_OR_RETURN(rdf::Term object, ParseObject());
-        if (graph_.Insert(subject, predicate, object)) ++added_;
+        pending_.push_back(graph_.Encode(subject, predicate, object));
         cursor_.SkipWhitespaceAndComments();
         if (!cursor_.Consume(",")) break;
       }
@@ -226,7 +228,7 @@ class TurtleParser {
   Cursor cursor_;
   rdf::Graph& graph_;
   std::unordered_map<std::string, std::string> prefixes_;
-  size_t added_ = 0;
+  std::vector<rdf::Triple> pending_;  // encoded triples, inserted in Run()
 };
 
 }  // namespace

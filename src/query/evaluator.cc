@@ -7,8 +7,8 @@ namespace wdr::query {
 namespace {
 
 using rdf::kNullTermId;
+using rdf::StoreView;
 using rdf::Triple;
-using rdf::TripleStore;
 using rdf::UnionStore;
 
 // Resolves a pattern position under the current bindings: a constant, a
@@ -19,8 +19,8 @@ TermId Resolve(const PatternTerm& t, const std::vector<TermId>& bindings) {
 }
 
 // Recursive bound-first join over the atoms of `q`. Store is any type
-// with the TripleStore Match/EstimateCount surface (TripleStore itself or
-// the federation's UnionStore).
+// with the StoreView Match/EstimateCount surface (the storage seam itself
+// or the federation's UnionStore).
 template <typename Store>
 class BgpJoin {
  public:

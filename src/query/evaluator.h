@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "rdf/triple_store.h"
+#include "rdf/store_view.h"
 #include "rdf/union_store.h"
 #include "query/query.h"
 
@@ -37,6 +37,8 @@ void ApplySolutionModifiers(const UnionQuery& q, ResultSet& result);
 // "query evaluation" (no reasoning): only explicit triples of the store are
 // matched. Reasoning enters either by evaluating over a saturated store or
 // by evaluating a reformulated UnionQuery — which is the whole point.
+// The store is consumed through the StoreView seam, so evaluation runs
+// unchanged over any storage backend.
 //
 // The join strategy is greedy bound-first index nested loops: at each step
 // the atom with the fewest estimated matches under the current bindings is
@@ -50,9 +52,9 @@ class Evaluator {
     bool greedy_join_order = true;
   };
 
-  explicit Evaluator(const rdf::TripleStore& store)
+  explicit Evaluator(const rdf::StoreView& store)
       : store_(&store), options_() {}
-  Evaluator(const rdf::TripleStore& store, const Options& options)
+  Evaluator(const rdf::StoreView& store, const Options& options)
       : store_(&store), options_(options) {}
 
   ResultSet Evaluate(const BgpQuery& q) const;
@@ -65,7 +67,7 @@ class Evaluator {
   size_t CountAnswers(const BgpQuery& q) const;
 
  private:
-  const rdf::TripleStore* store_;  // not owned
+  const rdf::StoreView* store_;  // not owned
   Options options_;
 };
 

@@ -1,0 +1,112 @@
+#ifndef WDR_RDF_FLAT_TRIPLE_STORE_H_
+#define WDR_RDF_FLAT_TRIPLE_STORE_H_
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <set>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/store_view.h"
+#include "rdf/triple.h"
+
+namespace wdr::rdf {
+
+// The cache-friendly storage backend: three flat sorted arrays (SPO, POS,
+// OSP permutations) scanned with binary-search range lookups, plus a small
+// ordered delta log (inserts) and a tombstone set (erases) so updates stay
+// cheap. When the delta/tombstone volume crosses a threshold proportional
+// to the main arrays, it is merged in one linear pass — the classic
+// LSM-style amortization, giving contiguous scans on the hot read path
+// while keeping amortized-logarithmic updates.
+//
+// Scans merge the main range with the delta range in index order, so all
+// StoreView semantics (SPO-ordered ToVector, prefix scans) are identical
+// to the ordered backend; this is property-tested.
+class FlatTripleStore final : public StoreView {
+ public:
+  FlatTripleStore() = default;
+
+  // Copies carry the data but not the open-scan count (a copy has no
+  // cursors into it).
+  FlatTripleStore(const FlatTripleStore& other)
+      : main_(other.main_),
+        delta_(other.delta_),
+        tombstones_(other.tombstones_) {}
+  FlatTripleStore& operator=(const FlatTripleStore& other) {
+    if (this != &other) {
+      main_ = other.main_;
+      delta_ = other.delta_;
+      tombstones_ = other.tombstones_;
+    }
+    return *this;
+  }
+  FlatTripleStore(FlatTripleStore&&) = default;
+  FlatTripleStore& operator=(FlatTripleStore&&) = default;
+
+  // Bulk load: replaces the contents with `triples` (sorted and
+  // de-duplicated here), leaving an empty delta. The loaders and the
+  // workload generators use this path via InsertBatch on an empty store.
+  void Build(std::vector<Triple> triples);
+
+  // Merges the delta log and tombstones into the main arrays now. Must not
+  // be called while a scan is open.
+  void Compact();
+
+  // Pending (unmerged) delta/tombstone volume, for tests and benches.
+  size_t delta_size() const { return delta_[0].size(); }
+  size_t tombstone_size() const { return tombstones_.size(); }
+
+  bool Insert(const Triple& t) override;
+  bool Erase(const Triple& t) override;
+  size_t InsertBatch(std::span<const Triple> batch) override;
+  void Clear() override;
+
+  bool Contains(const Triple& t) const override;
+  size_t size() const override {
+    return main_[0].size() - tombstones_.size() + delta_[0].size();
+  }
+
+  size_t Count(TermId s, TermId p, TermId o) const override;
+  size_t EstimateCount(TermId s, TermId p, TermId o) const override;
+
+  void OpenScan(ScanHandle& handle, TermId s, TermId p,
+                TermId o) const override;
+
+  StorageBackend backend() const override { return StorageBackend::kFlat; }
+  std::unique_ptr<StoreView> Clone() const override {
+    return std::make_unique<FlatTripleStore>(*this);
+  }
+
+  // Delta volume below which no merge happens (amortization floor).
+  static constexpr size_t kMergeFloor = 512;
+
+ private:
+  friend class FlatScanCursor;
+
+  bool InMain(const Triple& t) const;
+
+  // Merges when the pending volume justifies the linear rebuild and no
+  // scan holds pointers into the main arrays.
+  void MaybeCompact();
+
+  // [first, last) of the keys in `main_[order]` within the plan's bounds.
+  std::pair<const Triple*, const Triple*> MainRange(const ScanPlan& plan) const;
+
+  // Main arrays hold permuted keys, index = IndexOrder.
+  std::array<std::vector<Triple>, kIndexOrderCount> main_;
+  // Delta log: triples inserted since the last merge, absent from main_
+  // (keys permuted per index, like main_). Ordered so scans can merge.
+  std::array<std::set<Triple>, kIndexOrderCount> delta_;
+  // Main-array triples erased since the last merge (s/p/o space).
+  std::unordered_set<Triple, TripleHash> tombstones_;
+  // Open cursors holding pointers into main_; merges are deferred while
+  // any scan is live.
+  mutable size_t open_scans_ = 0;
+};
+
+}  // namespace wdr::rdf
+
+#endif  // WDR_RDF_FLAT_TRIPLE_STORE_H_

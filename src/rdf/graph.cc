@@ -1,6 +1,8 @@
 #include "rdf/graph.h"
 
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace wdr::rdf {
 namespace {
@@ -9,9 +11,17 @@ constexpr std::string_view kRdfsPrefix = "http://www.w3.org/2000/01/rdf-schema#"
 
 }  // namespace
 
+void Graph::SetBackend(StorageBackend backend) {
+  if (backend == backend_) return;
+  std::vector<Triple> triples = store_->ToVector();
+  std::unique_ptr<StoreView> replacement = MakeStore(backend);
+  replacement->InsertBatch(triples);
+  store_ = std::move(replacement);
+  backend_ = backend;
+}
+
 bool Graph::Insert(const Term& s, const Term& p, const Term& o) {
-  Triple t(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
-  return store_.Insert(t);
+  return store_->Insert(Encode(s, p, o));
 }
 
 bool Graph::InsertIris(const std::string& s, const std::string& p,
@@ -26,9 +36,9 @@ std::string Graph::Decode(const Triple& t) const {
 
 GraphStats Graph::Stats() const {
   GraphStats stats;
-  stats.triple_count = store_.size();
+  stats.triple_count = store_->size();
   stats.term_count = dict_.size();
-  store_.Match(0, 0, 0, [&](const Triple& t) {
+  store_->Match(0, 0, 0, [&](const Triple& t) {
     const Term& p = dict_.term(t.p);
     if (p.is_iri() && p.lexical.rfind(kRdfsPrefix, 0) == 0) {
       ++stats.schema_triple_count;

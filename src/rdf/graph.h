@@ -1,11 +1,13 @@
 #ifndef WDR_RDF_GRAPH_H_
 #define WDR_RDF_GRAPH_H_
 
+#include <memory>
+#include <span>
 #include <string>
 
 #include "rdf/dictionary.h"
+#include "rdf/store_view.h"
 #include "rdf/triple.h"
-#include "rdf/triple_store.h"
 
 namespace wdr::rdf {
 
@@ -19,22 +21,48 @@ struct GraphStats {
 // An RDF graph: a dictionary plus a store of encoded triples. Both schema
 // (RDFS) triples and instance triples live in the same store, as in the RDF
 // standard; the schema module derives a constraint view from it.
+//
+// The storage engine is selected at construction (and switchable later):
+// every consumer sees only the StoreView seam, so the reasoning layers are
+// agnostic to the physical triple layout.
 class Graph {
  public:
-  Graph() = default;
+  explicit Graph(StorageBackend backend = StorageBackend::kOrdered)
+      : backend_(backend), store_(MakeStore(backend)) {}
 
   // Copyable: snapshotting the base graph is how benches restore state
   // between runs. Moves are cheap.
-  Graph(const Graph&) = default;
-  Graph& operator=(const Graph&) = default;
+  Graph(const Graph& other)
+      : dict_(other.dict_),
+        backend_(other.backend_),
+        store_(other.store_->Clone()) {}
+  Graph& operator=(const Graph& other) {
+    if (this != &other) {
+      dict_ = other.dict_;
+      backend_ = other.backend_;
+      store_ = other.store_->Clone();
+    }
+    return *this;
+  }
   Graph(Graph&&) = default;
   Graph& operator=(Graph&&) = default;
 
   Dictionary& dict() { return dict_; }
   const Dictionary& dict() const { return dict_; }
 
-  TripleStore& store() { return store_; }
-  const TripleStore& store() const { return store_; }
+  StoreView& store() { return *store_; }
+  const StoreView& store() const { return *store_; }
+
+  StorageBackend backend() const { return backend_; }
+
+  // Switches the storage engine, carrying the triples over. No-op if the
+  // backend is already `backend`.
+  void SetBackend(StorageBackend backend);
+
+  // Interns the three terms without inserting, returning the encoded triple.
+  Triple Encode(const Term& s, const Term& p, const Term& o) {
+    return Triple(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
+  }
 
   // Interns the three terms and inserts the triple. Returns false if the
   // triple was already present.
@@ -44,11 +72,16 @@ class Graph {
   bool InsertIris(const std::string& s, const std::string& p,
                   const std::string& o);
 
-  bool Insert(const Triple& t) { return store_.Insert(t); }
-  bool Erase(const Triple& t) { return store_.Erase(t); }
-  bool Contains(const Triple& t) const { return store_.Contains(t); }
+  bool Insert(const Triple& t) { return store_->Insert(t); }
+  bool Erase(const Triple& t) { return store_->Erase(t); }
+  bool Contains(const Triple& t) const { return store_->Contains(t); }
 
-  size_t size() const { return store_.size(); }
+  // Batch insertion of already-encoded triples; returns the number added.
+  size_t InsertBatch(std::span<const Triple> batch) {
+    return store_->InsertBatch(batch);
+  }
+
+  size_t size() const { return store_->size(); }
 
   // Decodes `t` to N-Triples syntax ("<s> <p> <o> .").
   std::string Decode(const Triple& t) const;
@@ -57,7 +90,8 @@ class Graph {
 
  private:
   Dictionary dict_;
-  TripleStore store_;
+  StorageBackend backend_ = StorageBackend::kOrdered;
+  std::unique_ptr<StoreView> store_;
 };
 
 }  // namespace wdr::rdf

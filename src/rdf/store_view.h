@@ -1,0 +1,269 @@
+#ifndef WDR_RDF_STORE_VIEW_H_
+#define WDR_RDF_STORE_VIEW_H_
+
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <new>
+#include <span>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace wdr::rdf {
+
+// The three index orders every backend maintains. With a wildcard-free
+// prefix convention, these cover every triple-pattern shape with a
+// contiguous range scan:
+//   SPO: (s ? ?), (s p ?), (s p o)
+//   POS: (? p ?), (? p o)
+//   OSP: (? ? o), (s ? o) -- via SPO prefix on s, filtering o
+enum class IndexOrder { kSpo = 0, kPos = 1, kOsp = 2 };
+
+inline constexpr int kIndexOrderCount = 3;
+
+// Index keys are permuted triples so lexicographic order on the permuted
+// components matches the index order.
+inline Triple PermuteKey(const Triple& t, IndexOrder order) {
+  switch (order) {
+    case IndexOrder::kSpo:
+      return t;
+    case IndexOrder::kPos:
+      return Triple(t.p, t.o, t.s);
+    case IndexOrder::kOsp:
+      return Triple(t.o, t.s, t.p);
+  }
+  return t;
+}
+
+inline Triple UnpermuteKey(const Triple& k, IndexOrder order) {
+  switch (order) {
+    case IndexOrder::kSpo:
+      return k;
+    case IndexOrder::kPos:
+      return Triple(k.o, k.s, k.p);  // key = (p,o,s)
+    case IndexOrder::kOsp:
+      return Triple(k.p, k.o, k.s);  // key = (o,s,p)
+  }
+  return k;
+}
+
+// A compiled triple-pattern scan: which index to use, how many leading key
+// components are bound, and a residual filter (0 = accept) applied in
+// subject/property/object space to triples inside the range.
+struct ScanPlan {
+  IndexOrder order = IndexOrder::kSpo;
+  int prefix_len = 0;
+  Triple probe;   // pattern in s/p/o space; non-prefix positions zeroed
+  Triple filter;  // residual constraints in s/p/o space
+
+  bool PassesFilter(const Triple& t) const {
+    return (filter.s == 0 || t.s == filter.s) &&
+           (filter.p == 0 || t.p == filter.p) &&
+           (filter.o == 0 || t.o == filter.o);
+  }
+
+  // Inclusive key-space bounds of the scanned range (permuted components).
+  void KeyBounds(Triple* lo, Triple* hi) const {
+    constexpr TermId kMax = std::numeric_limits<TermId>::max();
+    *lo = *hi = PermuteKey(probe, order);
+    if (prefix_len <= 2) lo->o = 0, hi->o = kMax;
+    if (prefix_len <= 1) lo->p = 0, hi->p = kMax;
+    if (prefix_len <= 0) lo->s = 0, hi->s = kMax;
+  }
+};
+
+// Chooses index, prefix length and residual filter for a pattern
+// (kNullTermId = wildcard). The (s ? o) shape scans the SPO s-prefix with
+// an o filter, which is typically smaller than the OSP o-prefix.
+inline ScanPlan PlanScan(TermId s, TermId p, TermId o) {
+  const bool bs = s != kNullTermId;
+  const bool bp = p != kNullTermId;
+  const bool bo = o != kNullTermId;
+  ScanPlan plan;
+  plan.probe = Triple(s, p, o);
+  plan.filter = Triple(0, 0, 0);
+  if (bs) {
+    plan.order = IndexOrder::kSpo;
+    plan.prefix_len = 1 + (bp ? 1 : 0) + ((bp && bo) ? 1 : 0);
+    if (!bp && bo) {
+      plan.probe = Triple(s, 0, 0);
+      plan.filter = Triple(0, 0, o);
+    }
+  } else if (bp) {
+    plan.order = IndexOrder::kPos;
+    plan.prefix_len = 1 + (bo ? 1 : 0);
+  } else if (bo) {
+    plan.order = IndexOrder::kOsp;
+    plan.prefix_len = 1;
+  } else {
+    plan.order = IndexOrder::kSpo;
+    plan.prefix_len = 0;
+  }
+  return plan;
+}
+
+// Pull-style iterator over the matches of one triple-pattern scan.
+// Triples are produced in the scan's index order. Cursors must not outlive
+// the store they scan; mutating the store mid-scan follows the same
+// guarantees as iterating a std::set (triples inserted during the scan may
+// or may not be visited; the scanned store must not be cleared/compacted).
+class ScanCursor {
+ public:
+  virtual ~ScanCursor() = default;
+
+  // Copies up to `cap` next matches into `out` and returns the number
+  // copied; 0 means the scan is exhausted.
+  virtual size_t NextBatch(Triple* out, size_t cap) = 0;
+
+  // Skips forward to the first remaining match >= `key` (given in s/p/o
+  // space, compared in the scan's permutation order). Never moves backward.
+  virtual void SeekAtLeast(const Triple& key) = 0;
+};
+
+// Fixed-capacity slot a backend placement-news its cursor into, so opening
+// a scan performs no heap allocation (scans are the innermost operation of
+// every join and every rule application).
+class ScanHandle {
+ public:
+  static constexpr size_t kInlineBytes = 160;
+
+  ScanHandle() = default;
+  ~ScanHandle() { Reset(); }
+  ScanHandle(const ScanHandle&) = delete;
+  ScanHandle& operator=(const ScanHandle&) = delete;
+
+  template <typename C, typename... Args>
+  C& Emplace(Args&&... args) {
+    static_assert(std::is_base_of_v<ScanCursor, C>);
+    static_assert(sizeof(C) <= kInlineBytes, "cursor too large for handle");
+    static_assert(alignof(C) <= alignof(std::max_align_t));
+    Reset();
+    C* cursor = ::new (static_cast<void*>(buffer_)) C(std::forward<Args>(args)...);
+    cursor_ = cursor;
+    return *cursor;
+  }
+
+  ScanCursor* get() { return cursor_; }
+  ScanCursor& operator*() { return *cursor_; }
+  ScanCursor* operator->() { return cursor_; }
+
+  void Reset() {
+    if (cursor_ != nullptr) {
+      cursor_->~ScanCursor();
+      cursor_ = nullptr;
+    }
+  }
+
+ private:
+  alignas(std::max_align_t) unsigned char buffer_[kInlineBytes];
+  ScanCursor* cursor_ = nullptr;
+};
+
+namespace internal {
+// Adapts callables returning void to the bool protocol (continue scanning).
+template <typename Fn>
+bool InvokeMatchFn(Fn&& fn, const Triple& t) {
+  if constexpr (std::is_void_v<decltype(fn(t))>) {
+    fn(t);
+    return true;
+  } else {
+    return fn(t);
+  }
+}
+}  // namespace internal
+
+// Available storage engines behind the StoreView seam.
+enum class StorageBackend {
+  kOrdered,  // TripleStore: three node-based ordered sets, O(log n) updates
+  kFlat,     // FlatTripleStore: flat sorted arrays + delta log, fast scans
+};
+
+const char* StorageBackendName(StorageBackend backend);
+bool ParseStorageBackend(std::string_view name, StorageBackend* backend);
+
+// The storage-engine seam: everything the reasoning, query, backward,
+// federation and store layers need from triple storage. Concrete layouts
+// (ordered sets, flat arrays, future columnar/sharded backends) live behind
+// this interface; no consumer outside src/rdf names a backend type on its
+// evaluation path.
+class StoreView {
+ public:
+  virtual ~StoreView() = default;
+
+  // --- Mutation ----------------------------------------------------------
+
+  // Inserts `t`; returns false if it was already present.
+  virtual bool Insert(const Triple& t) = 0;
+
+  // Erases `t`; returns false if it was not present.
+  virtual bool Erase(const Triple& t) = 0;
+
+  // Inserts a batch, amortizing per-triple index maintenance where the
+  // backend supports it. Returns the number of triples actually added
+  // (duplicates, within the batch or against the store, count once).
+  virtual size_t InsertBatch(std::span<const Triple> batch);
+
+  virtual void Clear() = 0;
+
+  // --- Lookup ------------------------------------------------------------
+
+  virtual bool Contains(const Triple& t) const = 0;
+  virtual size_t size() const = 0;
+  bool empty() const { return size() == 0; }
+
+  // Counts matches of the pattern (kNullTermId = wildcard). Fully-wild
+  // patterns return size() and fully-bound ones reduce to Contains()
+  // without enumerating.
+  virtual size_t Count(TermId s, TermId p, TermId o) const;
+
+  // Estimated number of matches, used for join ordering. Exact for fully
+  // wild and fully bound patterns; backend-dependent otherwise.
+  virtual size_t EstimateCount(TermId s, TermId p, TermId o) const = 0;
+
+  // --- Scanning ----------------------------------------------------------
+
+  // Opens a cursor over the matches of the pattern into `handle`.
+  virtual void OpenScan(ScanHandle& handle, TermId s, TermId p,
+                        TermId o) const = 0;
+
+  // Invokes `fn(const Triple&)` for every triple matching the pattern,
+  // where kNullTermId (0) in a position is a wildcard. If `fn` returns
+  // false the scan stops early. Fn: bool(const Triple&) or
+  // void(const Triple&). Implemented over OpenScan with batched pulls so
+  // the per-triple virtual-dispatch cost is amortized.
+  template <typename Fn>
+  void Match(TermId s, TermId p, TermId o, Fn&& fn) const {
+    ScanHandle handle;
+    OpenScan(handle, s, p, o);
+    Triple buffer[kMatchBatch];
+    for (;;) {
+      size_t n = handle->NextBatch(buffer, kMatchBatch);
+      if (n == 0) return;
+      for (size_t i = 0; i < n; ++i) {
+        if (!internal::InvokeMatchFn(fn, buffer[i])) return;
+      }
+    }
+  }
+
+  // Copies all triples in SPO order.
+  std::vector<Triple> ToVector() const;
+
+  // --- Introspection -----------------------------------------------------
+
+  virtual StorageBackend backend() const = 0;
+
+  // Deep copy preserving the backend (used by Graph snapshots).
+  virtual std::unique_ptr<StoreView> Clone() const = 0;
+
+  static constexpr size_t kMatchBatch = 64;
+};
+
+// Creates an empty store of the requested backend.
+std::unique_ptr<StoreView> MakeStore(StorageBackend backend);
+
+}  // namespace wdr::rdf
+
+#endif  // WDR_RDF_STORE_VIEW_H_

@@ -1,18 +1,57 @@
 #include "rdf/triple_store.h"
 
 namespace wdr::rdf {
+namespace {
+
+// Cursor over one ordered index range. Set iterators stay valid under
+// insertion, so scans tolerate self-inserting callbacks exactly as direct
+// std::set iteration did.
+class SetScanCursor final : public ScanCursor {
+ public:
+  SetScanCursor(const std::set<Triple>& index, const ScanPlan& plan)
+      : index_(&index), plan_(plan) {
+    Triple lo;
+    plan_.KeyBounds(&lo, &hi_);
+    it_ = index_->lower_bound(lo);
+  }
+
+  size_t NextBatch(Triple* out, size_t cap) override {
+    size_t n = 0;
+    while (n < cap && it_ != index_->end() && !(hi_ < *it_)) {
+      Triple t = UnpermuteKey(*it_, plan_.order);
+      ++it_;
+      if (!plan_.PassesFilter(t)) continue;
+      out[n++] = t;
+    }
+    return n;
+  }
+
+  void SeekAtLeast(const Triple& key) override {
+    Triple target = PermuteKey(key, plan_.order);
+    if (it_ != index_->end() && !(*it_ < target)) return;  // never backward
+    it_ = index_->lower_bound(target);
+  }
+
+ private:
+  const std::set<Triple>* index_;
+  std::set<Triple>::const_iterator it_;
+  ScanPlan plan_;
+  Triple hi_;
+};
+
+}  // namespace
 
 bool TripleStore::Insert(const Triple& t) {
-  if (!spo_.insert(Key(t, kSpo)).second) return false;
-  pos_.insert(Key(t, kPos));
-  osp_.insert(Key(t, kOsp));
+  if (!spo_.insert(t).second) return false;
+  pos_.insert(PermuteKey(t, IndexOrder::kPos));
+  osp_.insert(PermuteKey(t, IndexOrder::kOsp));
   return true;
 }
 
 bool TripleStore::Erase(const Triple& t) {
-  if (spo_.erase(Key(t, kSpo)) == 0) return false;
-  pos_.erase(Key(t, kPos));
-  osp_.erase(Key(t, kOsp));
+  if (spo_.erase(t) == 0) return false;
+  pos_.erase(PermuteKey(t, IndexOrder::kPos));
+  osp_.erase(PermuteKey(t, IndexOrder::kOsp));
   return true;
 }
 
@@ -22,7 +61,19 @@ void TripleStore::Clear() {
   osp_.clear();
 }
 
+void TripleStore::OpenScan(ScanHandle& handle, TermId s, TermId p,
+                           TermId o) const {
+  const ScanPlan plan = PlanScan(s, p, o);
+  handle.Emplace<SetScanCursor>(IndexFor(plan.order), plan);
+}
+
 size_t TripleStore::Count(TermId s, TermId p, TermId o) const {
+  const bool bs = s != kNullTermId;
+  const bool bp = p != kNullTermId;
+  const bool bo = o != kNullTermId;
+  // Fast paths: the two pattern extremes need no enumeration at all.
+  if (!bs && !bp && !bo) return size();
+  if (bs && bp && bo) return Contains(Triple(s, p, o)) ? 1 : 0;
   size_t n = 0;
   Match(s, p, o, [&n](const Triple&) { ++n; });
   return n;
@@ -44,10 +95,6 @@ size_t TripleStore::EstimateCount(TermId s, TermId p, TermId o) const {
   // Hit the cap: produce a coarse ordering signal by bound positions.
   int bound = (bs ? 1 : 0) + (bp ? 1 : 0) + (bo ? 1 : 0);
   return size() >> (2 * bound);
-}
-
-std::vector<Triple> TripleStore::ToVector() const {
-  return std::vector<Triple>(spo_.begin(), spo_.end());
 }
 
 std::ostream& operator<<(std::ostream& os, const Triple& t) {

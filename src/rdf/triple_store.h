@@ -2,24 +2,21 @@
 #define WDR_RDF_TRIPLE_STORE_H_
 
 #include <cstddef>
+#include <memory>
 #include <set>
 #include <vector>
 
+#include "rdf/store_view.h"
 #include "rdf/triple.h"
 
 namespace wdr::rdf {
 
-// The three index orders. With a wildcard-free prefix convention, these
-// cover every triple-pattern shape with a contiguous range scan:
-//   SPO: (s ? ?), (s p ?), (s p o)
-//   POS: (? p ?), (? p o)
-//   OSP: (? ? o), (s ? o) -- via OSP prefix on o, filtering s
-enum class IndexOrder { kSpo, kPos, kOsp };
-
-// In-memory triple store with three ordered indexes (SPO, POS, OSP).
-// Supports O(log n) insert/erase — updates are first-class citizens here
-// because the paper's central trade-off is closure maintenance under change.
-class TripleStore {
+// The ordered storage backend: three node-based ordered indexes (SPO, POS,
+// OSP). Supports O(log n) insert/erase — updates are first-class citizens
+// here because the paper's central trade-off is closure maintenance under
+// change. Scans chase pointers; the flat backend (flat_triple_store.h)
+// trades update cost for cache-friendly range scans.
+class TripleStore final : public StoreView {
  public:
   TripleStore() = default;
 
@@ -29,75 +26,60 @@ class TripleStore {
   TripleStore& operator=(TripleStore&&) = default;
 
   // Inserts `t`; returns false if it was already present.
-  bool Insert(const Triple& t);
+  bool Insert(const Triple& t) override;
 
   // Erases `t`; returns false if it was not present.
-  bool Erase(const Triple& t);
+  bool Erase(const Triple& t) override;
 
-  bool Contains(const Triple& t) const { return spo_.count(Key(t, kSpo)) > 0; }
+  bool Contains(const Triple& t) const override {
+    return spo_.count(t) > 0;
+  }
 
-  size_t size() const { return spo_.size(); }
-  bool empty() const { return spo_.empty(); }
-  void Clear();
+  size_t size() const override { return spo_.size(); }
+  void Clear() override;
 
-  // Invokes `fn(const Triple&)` for every triple matching the pattern, where
-  // kNullTermId (0) in a position is a wildcard. If `fn` returns false the
-  // scan stops early. Fn: bool(const Triple&) or void(const Triple&).
-  template <typename Fn>
-  void Match(TermId s, TermId p, TermId o, Fn&& fn) const;
-
-  // Counts matches of the pattern (wildcards as in Match).
-  size_t Count(TermId s, TermId p, TermId o) const;
+  // Counts matches of the pattern (wildcards as in Match). Fully-wild and
+  // fully-bound patterns short-circuit without enumerating.
+  size_t Count(TermId s, TermId p, TermId o) const override;
 
   // Estimated number of matches, used for join ordering. Exact for fully
-  // wild and fully bound patterns; an index-range size otherwise.
-  size_t EstimateCount(TermId s, TermId p, TermId o) const;
+  // wild and fully bound patterns; a capped enumeration otherwise (range
+  // sizes require linear distance on std::set).
+  size_t EstimateCount(TermId s, TermId p, TermId o) const override;
 
-  // Copies all triples in SPO order.
-  std::vector<Triple> ToVector() const;
+  void OpenScan(ScanHandle& handle, TermId s, TermId p,
+                TermId o) const override;
+
+  StorageBackend backend() const override { return StorageBackend::kOrdered; }
+  std::unique_ptr<StoreView> Clone() const override {
+    return std::make_unique<TripleStore>(*this);
+  }
+
+  // Direct (non-virtual) scan for callers holding the concrete type:
+  // iterates the chosen index in place without cursor dispatch. Shadows
+  // StoreView::Match with identical semantics.
+  template <typename Fn>
+  void Match(TermId s, TermId p, TermId o, Fn&& fn) const {
+    const ScanPlan plan = PlanScan(s, p, o);
+    const std::set<Triple>& index = IndexFor(plan.order);
+    Triple lo, hi;
+    plan.KeyBounds(&lo, &hi);
+    for (auto it = index.lower_bound(lo); it != index.end(); ++it) {
+      if (hi < *it) break;
+      Triple t = UnpermuteKey(*it, plan.order);
+      if (!plan.PassesFilter(t)) continue;
+      if (!internal::InvokeMatchFn(fn, t)) return;
+    }
+  }
 
  private:
-  // Index keys are permuted triples so std::set's lexicographic order
-  // matches the index order; Key/Unkey convert between them.
-  enum Permutation { kSpo = 0, kPos = 1, kOsp = 2 };
-
-  static Triple Key(const Triple& t, Permutation perm) {
-    switch (perm) {
-      case kSpo:
-        return t;
-      case kPos:
-        return Triple(t.p, t.o, t.s);
-      case kOsp:
-        return Triple(t.o, t.s, t.p);
-    }
-    return t;
-  }
-
-  static Triple Unkey(const Triple& k, Permutation perm) {
-    switch (perm) {
-      case kSpo:
-        return k;
-      case kPos:
-        return Triple(k.o, k.s, k.p);  // key = (p,o,s)
-      case kOsp:
-        return Triple(k.p, k.o, k.s);  // key = (o,s,p)
-    }
-    return k;
-  }
-
-  // Scans index `perm` for keys whose first `prefix_len` components equal
-  // those of `probe`, applying `filter` positions (0 = accept) to the rest.
-  template <typename Fn>
-  bool ScanPrefix(Permutation perm, const Triple& probe, int prefix_len,
-                  const Triple& filter, Fn&& fn) const;
-
-  const std::set<Triple>& IndexFor(Permutation perm) const {
-    switch (perm) {
-      case kSpo:
+  const std::set<Triple>& IndexFor(IndexOrder order) const {
+    switch (order) {
+      case IndexOrder::kSpo:
         return spo_;
-      case kPos:
+      case IndexOrder::kPos:
         return pos_;
-      case kOsp:
+      case IndexOrder::kOsp:
         return osp_;
     }
     return spo_;
@@ -107,70 +89,6 @@ class TripleStore {
   std::set<Triple> pos_;
   std::set<Triple> osp_;
 };
-
-// ---------------------------------------------------------------------------
-// Implementation details only below here.
-
-namespace internal {
-// Adapts callables returning void to the bool protocol (continue scanning).
-template <typename Fn>
-bool InvokeMatchFn(Fn&& fn, const Triple& t) {
-  if constexpr (std::is_void_v<decltype(fn(t))>) {
-    fn(t);
-    return true;
-  } else {
-    return fn(t);
-  }
-}
-}  // namespace internal
-
-template <typename Fn>
-bool TripleStore::ScanPrefix(Permutation perm, const Triple& probe,
-                             int prefix_len, const Triple& filter,
-                             Fn&& fn) const {
-  const std::set<Triple>& index = IndexFor(perm);
-  Triple lo = probe;
-  // Zero out the non-prefix components for the lower bound.
-  if (prefix_len <= 2) lo.o = 0;
-  if (prefix_len <= 1) lo.p = 0;
-  if (prefix_len <= 0) lo.s = 0;
-  for (auto it = index.lower_bound(lo); it != index.end(); ++it) {
-    const Triple& k = *it;
-    if (prefix_len >= 1 && k.s != probe.s) break;
-    if (prefix_len >= 2 && k.p != probe.p) break;
-    if (prefix_len >= 3 && k.o != probe.o) break;
-    Triple t = Unkey(k, perm);
-    if ((filter.s != 0 && t.s != filter.s) ||
-        (filter.p != 0 && t.p != filter.p) ||
-        (filter.o != 0 && t.o != filter.o)) {
-      continue;
-    }
-    if (!internal::InvokeMatchFn(fn, t)) return false;
-  }
-  return true;
-}
-
-template <typename Fn>
-void TripleStore::Match(TermId s, TermId p, TermId o, Fn&& fn) const {
-  const bool bs = s != kNullTermId;
-  const bool bp = p != kNullTermId;
-  const bool bo = o != kNullTermId;
-  const Triple no_filter(0, 0, 0);
-  if (bs) {
-    // SPO covers (s,*,*), (s,p,*), (s,p,o); (s,*,o) scans s-prefix with an
-    // o filter, which is typically smaller than the OSP o-prefix.
-    int prefix = 1 + (bp ? 1 : 0) + ((bp && bo) ? 1 : 0);
-    Triple filter = (bp || !bo) ? no_filter : Triple(0, 0, o);
-    ScanPrefix(kSpo, Triple(s, p, o), prefix, filter, fn);
-  } else if (bp) {
-    int prefix = 1 + (bo ? 1 : 0);
-    ScanPrefix(kPos, Key(Triple(s, p, o), kPos), prefix, no_filter, fn);
-  } else if (bo) {
-    ScanPrefix(kOsp, Key(Triple(s, p, o), kOsp), 1, no_filter, fn);
-  } else {
-    ScanPrefix(kSpo, Triple(0, 0, 0), 0, no_filter, fn);
-  }
-}
 
 }  // namespace wdr::rdf
 

@@ -3,29 +3,30 @@
 
 #include <vector>
 
-#include "rdf/triple_store.h"
+#include "rdf/store_view.h"
 
 namespace wdr::rdf {
 
 // A read-only set-union view over several triple stores (the member
 // stores of a federation). Exposes the same Match / Contains /
-// EstimateCount surface as TripleStore so the query evaluator can join
-// across endpoints without copying their data.
+// EstimateCount surface as StoreView so the query evaluator can join
+// across endpoints without copying their data. Members are held through
+// the storage seam, so a federation can mix backends per endpoint.
 //
 // Triples present in several member stores are reported once (the member
 // with the smallest index wins), preserving set semantics.
 class UnionStore {
  public:
   UnionStore() = default;
-  explicit UnionStore(std::vector<const TripleStore*> members)
+  explicit UnionStore(std::vector<const StoreView*> members)
       : members_(std::move(members)) {}
 
-  void AddMember(const TripleStore* store) { members_.push_back(store); }
+  void AddMember(const StoreView* store) { members_.push_back(store); }
 
   size_t member_count() const { return members_.size(); }
 
   bool Contains(const Triple& t) const {
-    for (const TripleStore* member : members_) {
+    for (const StoreView* member : members_) {
       if (member->Contains(t)) return true;
     }
     return false;
@@ -34,19 +35,19 @@ class UnionStore {
   // Upper bound on the union's size (duplicates counted per member).
   size_t size() const {
     size_t total = 0;
-    for (const TripleStore* member : members_) total += member->size();
+    for (const StoreView* member : members_) total += member->size();
     return total;
   }
 
   size_t EstimateCount(TermId s, TermId p, TermId o) const {
     size_t total = 0;
-    for (const TripleStore* member : members_) {
+    for (const StoreView* member : members_) {
       total += member->EstimateCount(s, p, o);
     }
     return total;
   }
 
-  // Same contract as TripleStore::Match; each distinct triple is reported
+  // Same contract as StoreView::Match; each distinct triple is reported
   // exactly once across members.
   template <typename Fn>
   void Match(TermId s, TermId p, TermId o, Fn&& fn) const {
@@ -70,7 +71,7 @@ class UnionStore {
   }
 
  private:
-  std::vector<const TripleStore*> members_;  // not owned
+  std::vector<const StoreView*> members_;  // not owned
 };
 
 }  // namespace wdr::rdf

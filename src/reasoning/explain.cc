@@ -4,9 +4,12 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "rdf/triple_store.h"
+
 namespace wdr::reasoning {
 namespace {
 
+using rdf::StoreView;
 using rdf::Triple;
 using rdf::TripleHash;
 using rdf::TripleStore;
@@ -19,8 +22,8 @@ struct Provenance {
 
 }  // namespace
 
-Result<Explanation> Explain(const TripleStore& base,
-                            const TripleStore& closure,
+Result<Explanation> Explain(const StoreView& base,
+                            const StoreView& closure,
                             const schema::Vocabulary& vocab,
                             const rdf::Dictionary* dict,
                             const Triple& triple, bool enable_owl) {
@@ -104,7 +107,7 @@ Result<Explanation> Explain(const TripleStore& base,
 }
 
 std::string FormatExplanation(const rdf::Graph& graph,
-                              const TripleStore& base,
+                              const StoreView& base,
                               const Explanation& explanation) {
   if (explanation.steps.empty()) {
     return "(asserted triple — no derivation needed)\n";

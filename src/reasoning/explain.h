@@ -6,7 +6,7 @@
 
 #include "common/status.h"
 #include "rdf/graph.h"
-#include "rdf/triple_store.h"
+#include "rdf/store_view.h"
 #include "reasoning/rules.h"
 #include "schema/vocabulary.h"
 
@@ -35,8 +35,8 @@ struct Explanation {
 // Returns an empty explanation when `triple` is itself a base triple, and
 // NotFound when it is not in the closure at all. When a triple has several
 // derivations, one (arbitrary but deterministic) proof is returned.
-Result<Explanation> Explain(const rdf::TripleStore& base,
-                            const rdf::TripleStore& closure,
+Result<Explanation> Explain(const rdf::StoreView& base,
+                            const rdf::StoreView& closure,
                             const schema::Vocabulary& vocab,
                             const rdf::Dictionary* dict,
                             const rdf::Triple& triple,
@@ -49,7 +49,7 @@ Result<Explanation> Explain(const rdf::TripleStore& base,
 //       <...#Cat> <...#subClassOf> <...#Mammal> .   [asserted]
 //       <...#Tom> <...#type> <...#Cat> .            [asserted]
 std::string FormatExplanation(const rdf::Graph& graph,
-                              const rdf::TripleStore& base,
+                              const rdf::StoreView& base,
                               const Explanation& explanation);
 
 }  // namespace wdr::reasoning

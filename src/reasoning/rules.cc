@@ -26,7 +26,7 @@ const char* RuleName(RuleId rule) {
   return "unknown";
 }
 
-bool RuleEngine::IsOneStepDerivable(const rdf::TripleStore& store,
+bool RuleEngine::IsOneStepDerivable(const rdf::StoreView& store,
                                     const rdf::Triple& t) const {
   const schema::Vocabulary& v = vocab_;
   using rdf::Triple;

@@ -5,8 +5,8 @@
 #include <cstdint>
 
 #include "rdf/dictionary.h"
+#include "rdf/store_view.h"
 #include "rdf/triple.h"
-#include "rdf/triple_store.h"
 #include "schema/vocabulary.h"
 
 namespace wdr::reasoning {
@@ -83,7 +83,7 @@ class RuleEngine {
   // premise. `t` itself is expected to be in `store` already (so rule
   // instances with both premises equal to `t` are found too).
   template <typename Fn>
-  void ForEachConsequence(const rdf::TripleStore& store, const rdf::Triple& t,
+  void ForEachConsequence(const rdf::StoreView& store, const rdf::Triple& t,
                           Fn&& fn) const {
     ForEachDerivation(store, t,
                       [&fn](const rdf::Triple& c, RuleId rule,
@@ -96,13 +96,13 @@ class RuleEngine {
   // instance: `fn(conclusion, rule, other_premise)` where the premises of
   // the derivation are {t, other_premise}. Used by provenance (explain.h).
   template <typename Fn>
-  void ForEachDerivation(const rdf::TripleStore& store, const rdf::Triple& t,
+  void ForEachDerivation(const rdf::StoreView& store, const rdf::Triple& t,
                          Fn&& fn) const;
 
   // True if `t` is derivable by a single rule application whose premises
   // are both in `store` (and distinct from `t`, which the caller must have
   // removed from `store` or never inserted).
-  bool IsOneStepDerivable(const rdf::TripleStore& store,
+  bool IsOneStepDerivable(const rdf::StoreView& store,
                           const rdf::Triple& t) const;
 
  private:
@@ -120,7 +120,7 @@ class RuleEngine {
 // Implementation details only below here.
 
 template <typename Fn>
-void RuleEngine::ForEachDerivation(const rdf::TripleStore& store,
+void RuleEngine::ForEachDerivation(const rdf::StoreView& store,
                                    const rdf::Triple& t, Fn&& fn) const {
   const schema::Vocabulary& v = vocab_;
   using rdf::Triple;

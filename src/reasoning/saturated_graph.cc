@@ -7,13 +7,13 @@
 namespace wdr::reasoning {
 namespace {
 
+using rdf::StoreView;
 using rdf::Triple;
 using rdf::TripleHash;
-using rdf::TripleStore;
 
 // Inserts every triple of `seed` into `closure` and propagates consequences
 // to fixpoint. Returns the number of triples added.
-size_t Propagate(const RuleEngine& engine, TripleStore& closure,
+size_t Propagate(const RuleEngine& engine, StoreView& closure,
                  std::deque<Triple>& worklist) {
   size_t added = 0;
   while (!worklist.empty()) {
@@ -35,21 +35,40 @@ SaturatedGraph::SaturatedGraph(const rdf::Graph& base,
                                const schema::Vocabulary& vocab,
                                bool enable_owl)
     : base_(base), vocab_(vocab), enable_owl_(enable_owl) {
-  Saturator saturator(vocab_, &base_.dict(), enable_owl_);
-  closure_ = saturator.Saturate(base_.store(), &initial_stats_);
+  Rebuild();
+}
+
+SaturatedGraph::SaturatedGraph(const SaturatedGraph& other)
+    : base_(other.base_),
+      closure_(other.closure_->Clone()),
+      vocab_(other.vocab_),
+      enable_owl_(other.enable_owl_),
+      stats_(other.stats_),
+      initial_stats_(other.initial_stats_) {}
+
+SaturatedGraph& SaturatedGraph::operator=(const SaturatedGraph& other) {
+  if (this == &other) return *this;
+  base_ = other.base_;
+  closure_ = other.closure_->Clone();
+  vocab_ = other.vocab_;
+  enable_owl_ = other.enable_owl_;
+  stats_ = other.stats_;
+  initial_stats_ = other.initial_stats_;
+  return *this;
 }
 
 void SaturatedGraph::Rebuild() {
   Saturator saturator(vocab_, &base_.dict(), enable_owl_);
-  closure_ = saturator.Saturate(base_.store(), &initial_stats_);
+  closure_ = rdf::MakeStore(base_.backend());
+  saturator.SaturateInto(base_.store(), *closure_, &initial_stats_);
 }
 
 size_t SaturatedGraph::Insert(const Triple& t) {
   base_.Insert(t);
   ++stats_.inserts;
-  if (!closure_.Insert(t)) return 0;  // already entailed
+  if (!closure_->Insert(t)) return 0;  // already entailed
   std::deque<Triple> worklist{t};
-  size_t added = 1 + Propagate(MakeEngine(), closure_, worklist);
+  size_t added = 1 + Propagate(MakeEngine(), *closure_, worklist);
   stats_.closure_added += added;
   return added;
 }
@@ -69,15 +88,15 @@ size_t SaturatedGraph::Erase(const Triple& t) {
   while (!frontier.empty()) {
     Triple u = frontier.front();
     frontier.pop_front();
-    engine.ForEachConsequence(closure_, u, [&](const Triple& c, RuleId) {
-      if (closure_.Contains(c) && overdeleted.insert(c).second) {
+    engine.ForEachConsequence(*closure_, u, [&](const Triple& c, RuleId) {
+      if (closure_->Contains(c) && overdeleted.insert(c).second) {
         frontier.push_back(c);
       }
     });
   }
 
-  const size_t before = closure_.size();
-  for (const Triple& u : overdeleted) closure_.Erase(u);
+  const size_t before = closure_->size();
+  for (const Triple& u : overdeleted) closure_->Erase(u);
   stats_.overdeleted += overdeleted.size();
 
   // Phase 2 (re-derive): over-deleted triples that are still base facts or
@@ -89,28 +108,28 @@ size_t SaturatedGraph::Erase(const Triple& t) {
   // Base facts first: they are unconditionally present.
   std::deque<Triple> worklist;
   for (const Triple& u : candidates) {
-    if (base_.Contains(u) && closure_.Insert(u)) {
+    if (base_.Contains(u) && closure_->Insert(u)) {
       worklist.push_back(u);
       ++rederived;
     }
   }
-  rederived += Propagate(engine, closure_, worklist);
+  rederived += Propagate(engine, *closure_, worklist);
   bool changed = true;
   while (changed) {
     changed = false;
     for (const Triple& u : candidates) {
-      if (closure_.Contains(u)) continue;
-      if (engine.IsOneStepDerivable(closure_, u)) {
-        closure_.Insert(u);
+      if (closure_->Contains(u)) continue;
+      if (engine.IsOneStepDerivable(*closure_, u)) {
+        closure_->Insert(u);
         std::deque<Triple> wl{u};
-        rederived += 1 + Propagate(engine, closure_, wl);
+        rederived += 1 + Propagate(engine, *closure_, wl);
         changed = true;
       }
     }
   }
   stats_.rederived += rederived;
 
-  const size_t removed = before - closure_.size();
+  const size_t removed = before - closure_->size();
   stats_.closure_removed += removed;
   return removed;
 }

@@ -2,9 +2,10 @@
 #define WDR_REASONING_SATURATED_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "rdf/graph.h"
-#include "rdf/triple_store.h"
+#include "rdf/store_view.h"
 #include "reasoning/rules.h"
 #include "reasoning/saturation.h"
 #include "schema/vocabulary.h"
@@ -33,20 +34,22 @@ struct MaintenanceStats {
 // exactly why the paper's Fig. 3 shows lower thresholds for schema updates.
 class SaturatedGraph {
  public:
-  // Snapshots `base` and computes the initial closure. `enable_owl` adds
-  // the RDFS++ extension rules (rules.h) to both saturation and
-  // maintenance.
+  // Snapshots `base` and computes the initial closure, stored in the same
+  // storage backend as `base`. `enable_owl` adds the RDFS++ extension rules
+  // (rules.h) to both saturation and maintenance.
   SaturatedGraph(const rdf::Graph& base, const schema::Vocabulary& vocab,
                  bool enable_owl = false);
 
-  SaturatedGraph(const SaturatedGraph&) = default;
-  SaturatedGraph& operator=(const SaturatedGraph&) = default;
+  // Copies snapshot the closure store (unique_ptr member, so spelled out).
+  SaturatedGraph(const SaturatedGraph& other);
+  SaturatedGraph& operator=(const SaturatedGraph& other);
   SaturatedGraph(SaturatedGraph&&) = default;
   SaturatedGraph& operator=(SaturatedGraph&&) = default;
 
   const rdf::Graph& base() const { return base_; }
   rdf::Dictionary& dict() { return base_.dict(); }
-  const rdf::TripleStore& closure() const { return closure_; }
+  const rdf::StoreView& closure() const { return *closure_; }
+  rdf::StorageBackend backend() const { return closure_->backend(); }
   const schema::Vocabulary& vocab() const { return vocab_; }
 
   // Inserts `t` into the base graph and maintains the closure.
@@ -73,7 +76,7 @@ class SaturatedGraph {
   }
 
   rdf::Graph base_;
-  rdf::TripleStore closure_;
+  std::unique_ptr<rdf::StoreView> closure_;
   schema::Vocabulary vocab_;
   bool enable_owl_ = false;
   MaintenanceStats stats_;

@@ -4,14 +4,13 @@
 
 namespace wdr::reasoning {
 
-rdf::TripleStore Saturator::Saturate(const rdf::TripleStore& base,
-                                     SaturationStats* stats) const {
-  rdf::TripleStore closure;
+void Saturator::SaturateInto(const rdf::StoreView& base,
+                             rdf::StoreView& closure,
+                             SaturationStats* stats) const {
   std::deque<rdf::Triple> worklist;
-  base.Match(0, 0, 0, [&](const rdf::Triple& t) {
-    closure.Insert(t);
-    worklist.push_back(t);
-  });
+  closure.InsertBatch(base.ToVector());
+  base.Match(0, 0, 0,
+             [&](const rdf::Triple& t) { worklist.push_back(t); });
 
   RuleFirings firings;
   while (!worklist.empty()) {
@@ -32,6 +31,12 @@ rdf::TripleStore Saturator::Saturate(const rdf::TripleStore& base,
     stats->derived_triples = closure.size() - base.size();
     stats->firings = firings;
   }
+}
+
+rdf::TripleStore Saturator::Saturate(const rdf::StoreView& base,
+                                     SaturationStats* stats) const {
+  rdf::TripleStore closure;
+  SaturateInto(base, closure, stats);
   return closure;
 }
 

@@ -30,8 +30,14 @@ class Saturator {
             bool enable_owl = false)
       : engine_(vocab, dict, enable_owl) {}
 
-  // Returns base ∪ entailed triples.
-  rdf::TripleStore Saturate(const rdf::TripleStore& base,
+  // Core: fills `closure` (assumed empty) with base ∪ entailed triples.
+  // Both sides go through the StoreView seam, so base and closure may use
+  // different storage backends.
+  void SaturateInto(const rdf::StoreView& base, rdf::StoreView& closure,
+                    SaturationStats* stats = nullptr) const;
+
+  // Convenience: returns base ∪ entailed triples in an ordered store.
+  rdf::TripleStore Saturate(const rdf::StoreView& base,
                             SaturationStats* stats = nullptr) const;
 
   // Convenience: saturates `graph`'s store using its dictionary.

@@ -48,7 +48,7 @@ Schema Schema::FromGraph(const rdf::Graph& graph, const Vocabulary& vocab) {
   return FromStore(graph.store(), vocab);
 }
 
-Schema Schema::FromStore(const rdf::TripleStore& store,
+Schema Schema::FromStore(const rdf::StoreView& store,
                          const Vocabulary& vocab) {
   Schema schema;
 

@@ -32,8 +32,8 @@ class Schema {
   // Builds the view by scanning the RDFS triples of `graph`.
   static Schema FromGraph(const rdf::Graph& graph, const Vocabulary& vocab);
 
-  // Same, from a bare triple store (e.g. a federation's merged schema).
-  static Schema FromStore(const rdf::TripleStore& store,
+  // Same, from a bare store view (e.g. a federation's merged schema).
+  static Schema FromStore(const rdf::StoreView& store,
                           const Vocabulary& vocab);
 
   // --- Direct (asserted) edges -------------------------------------------

@@ -26,7 +26,9 @@ const char* ReasoningModeName(ReasoningMode mode) {
 }
 
 ReasoningStore::ReasoningStore(ReasoningStoreOptions options)
-    : options_(options), vocab_(schema::Vocabulary::Intern(graph_.dict())) {
+    : options_(options),
+      graph_(options.backend),
+      vocab_(schema::Vocabulary::Intern(graph_.dict())) {
   if (options_.mode == ReasoningMode::kSaturation) {
     saturated_.emplace(graph_, vocab_);
   }
@@ -45,6 +47,14 @@ void ReasoningStore::SetMode(ReasoningMode mode) {
   } else {
     saturated_.reset();
   }
+}
+
+void ReasoningStore::SetBackend(rdf::StorageBackend backend) {
+  if (backend == options_.backend) return;
+  options_.backend = backend;
+  graph_.SetBackend(backend);
+  // The closure store follows the base graph's backend; rebuild it.
+  if (saturated_.has_value()) saturated_.emplace(graph_, vocab_);
 }
 
 void ReasoningStore::RecloseSchema() {
@@ -157,7 +167,7 @@ Result<std::string> ReasoningStore::ExplainTriple(
                          graph_.dict().Intern(scratch.dict().term(t.o)));
   });
 
-  const rdf::TripleStore* closure = nullptr;
+  const rdf::StoreView* closure = nullptr;
   rdf::TripleStore transient;
   if (saturated_.has_value()) {
     closure = &saturated_->closure();

@@ -37,6 +37,8 @@ const char* ReasoningModeName(ReasoningMode mode);
 
 struct ReasoningStoreOptions {
   ReasoningMode mode = ReasoningMode::kSaturation;
+  // Storage engine for the base graph and (in saturation mode) the closure.
+  rdf::StorageBackend backend = rdf::StorageBackend::kOrdered;
   // Passed through to the reformulation engine (kReformulation mode).
   reformulation::ReformulationOptions reformulation;
 };
@@ -119,6 +121,12 @@ class ReasoningStore {
   // Switches technique at run time: entering kSaturation builds the
   // closure; leaving it drops the closure.
   void SetMode(ReasoningMode mode);
+
+  rdf::StorageBackend backend() const { return options_.backend; }
+
+  // Switches the storage engine at run time, carrying the data over (and
+  // rebuilding the closure in saturation mode). No-op if unchanged.
+  void SetBackend(rdf::StorageBackend backend);
 
   // --- Introspection --------------------------------------------------------
 

@@ -12,12 +12,20 @@ namespace {
 using rdf::Graph;
 using rdf::Term;
 
-// Thin helper for inserting schema/instance triples with IRI strings.
+// Thin helper for building schema/instance triples with IRI strings. The
+// triples are encoded as they are generated and inserted as one batch when
+// added() flushes — bulk generation is exactly the workload the flat
+// backend's Build path is for.
 class Builder {
  public:
   explicit Builder(Graph& graph) : graph_(graph) {}
 
-  size_t added() const { return added_; }
+  // Flushes pending triples and returns the cumulative added count.
+  size_t added() {
+    added_ += graph_.InsertBatch(pending_);
+    pending_.clear();
+    return added_;
+  }
 
   void SubClass(const char* sub, const char* super) {
     Add(sub, schema::iri::kSubClassOf, super);
@@ -34,17 +42,18 @@ class Builder {
     Add(s, schema::iri::kType, c);
   }
   void Add(const std::string& s, const std::string& p, const std::string& o) {
-    if (graph_.InsertIris(s, p, o)) ++added_;
+    pending_.push_back(
+        graph_.Encode(Term::Iri(s), Term::Iri(p), Term::Iri(o)));
   }
   void AddLiteral(const std::string& s, const std::string& p,
                   const std::string& value) {
-    if (graph_.Insert(Term::Iri(s), Term::Iri(p), Term::Literal(value))) {
-      ++added_;
-    }
+    pending_.push_back(
+        graph_.Encode(Term::Iri(s), Term::Iri(p), Term::Literal(value)));
   }
 
  private:
   Graph& graph_;
+  std::vector<rdf::Triple> pending_;
   size_t added_ = 0;
 };
 

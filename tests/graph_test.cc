@@ -59,7 +59,7 @@ TEST(GraphTest, CopyIsIndependent) {
 // Reference implementation of BGP evaluation: enumerate the full cartesian
 // product of per-atom matches over the whole store and filter by variable
 // consistency. The production evaluator must agree on random instances.
-query::ResultSet NaiveEvaluate(const TripleStore& store,
+query::ResultSet NaiveEvaluate(const StoreView& store,
                                const query::BgpQuery& q) {
   query::ResultSet result;
   result.var_names = q.ProjectionNames();

@@ -59,8 +59,9 @@ inline std::set<std::vector<std::string>> Rows(const rdf::Graph& g,
   return out;
 }
 
-// Sorted triple vector of a store, for equality checks between stores.
-inline std::vector<rdf::Triple> Triples(const rdf::TripleStore& store) {
+// Sorted triple vector of a store, for equality checks between stores
+// regardless of their storage backend.
+inline std::vector<rdf::Triple> Triples(const rdf::StoreView& store) {
   return store.ToVector();
 }
 
