@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "datalog/parser.h"
 #include "datalog/magic.h"
 #include "datalog/rdf_datalog.h"
@@ -162,4 +164,4 @@ BENCHMARK(BM_TranslateGraph)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+WDR_BENCH_MAIN();

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "federation/federation.h"
 #include "query/evaluator.h"
 #include "reasoning/saturation.h"
@@ -104,4 +106,4 @@ BENCHMARK(BM_CentralizeAndSaturate)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+WDR_BENCH_MAIN();

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "rdf/graph.h"
 #include "schema/schema.h"
 #include "schema/vocabulary.h"
@@ -100,9 +102,13 @@ BENCHMARK(BM_EffectiveDomains);
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string metrics_path = wdr::bench::ConsumeMetricsJsonFlag(&argc, argv);
   PrintFig1Table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!metrics_path.empty() && !wdr::bench::ExportMetricsJson(metrics_path)) {
+    return 1;
+  }
   return 0;
 }

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "reasoning/rules.h"
 #include "reasoning/saturation.h"
 #include "rdf/graph.h"
@@ -139,9 +141,13 @@ BENCHMARK(BM_Rdfs3)->Arg(1000)->Arg(10000);
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string metrics_path = wdr::bench::ConsumeMetricsJsonFlag(&argc, argv);
   PrintFig2Table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!metrics_path.empty() && !wdr::bench::ExportMetricsJson(metrics_path)) {
+    return 1;
+  }
   return 0;
 }

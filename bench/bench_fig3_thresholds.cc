@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "analysis/measure.h"
+#include "bench_util.h"
 #include "analysis/thresholds.h"
 #include "common/rng.h"
 #include "common/strings.h"
@@ -51,7 +52,8 @@ std::string LogBar(double threshold) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string metrics_path = wdr::bench::ConsumeMetricsJsonFlag(&argc, argv);
   wdr::workload::UniversityConfig config;
   config.universities = EnvInt("WDR_FIG3_UNIVERSITIES", 16);
   config.departments_per_university = 5;
@@ -127,5 +129,8 @@ int main() {
       "the best solution'). Small bars amortize within a handful of\n"
       "runs. The spread across queries on one database is the paper's\n"
       "headline observation.\n");
+  if (!metrics_path.empty() && !wdr::bench::ExportMetricsJson(metrics_path)) {
+    return EXIT_FAILURE;
+  }
   return EXIT_SUCCESS;
 }

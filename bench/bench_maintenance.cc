@@ -4,6 +4,8 @@
 // maintenance thresholds finite).
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "common/rng.h"
 #include "reasoning/saturated_graph.h"
 #include "workload/university.h"
@@ -144,4 +146,4 @@ BENCHMARK(BM_SchemaDeleteCascadeDepth)->Arg(2)->Arg(4)->Arg(8)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+WDR_BENCH_MAIN();

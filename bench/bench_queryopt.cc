@@ -5,6 +5,8 @@
 // challenging" (§II-B).
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "query/evaluator.h"
 #include "query/query.h"
 #include "reasoning/saturation.h"
@@ -111,4 +113,4 @@ BENCHMARK(BM_WrittenJoinOrderQ10)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+WDR_BENCH_MAIN();

@@ -4,6 +4,8 @@
 // quantifies "larger" as a function of hierarchy depth and fan-out).
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "query/evaluator.h"
 #include "query/query.h"
 #include "reformulation/reformulator.h"
@@ -164,4 +166,4 @@ BENCHMARK(BM_ReformulateStandardQueries)->DenseRange(0, 9);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+WDR_BENCH_MAIN();

@@ -3,6 +3,8 @@
 // cost, and how much bigger does the database get?).
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "reasoning/saturation.h"
 #include "workload/synthetic.h"
 #include "workload/university.h"
@@ -78,4 +80,4 @@ BENCHMARK(BM_RuleMixUniversity)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+WDR_BENCH_MAIN();

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "common/rng.h"
 #include "rdf/store_view.h"
 
@@ -175,4 +177,4 @@ BENCHMARK(BM_CountEstimate)->ArgName("backend")->Arg(0)->Arg(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+WDR_BENCH_MAIN();

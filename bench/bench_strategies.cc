@@ -12,8 +12,10 @@
 // costs each route pays, and asserts all four agree on answer counts.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "backward/backward_evaluator.h"
+#include "bench_util.h"
 #include "common/timer.h"
 #include "datalog/rdf_datalog.h"
 #include "query/evaluator.h"
@@ -23,7 +25,8 @@
 #include "workload/queries.h"
 #include "workload/university.h"
 
-int main() {
+int main(int argc, char** argv) {
+  std::string metrics_path = wdr::bench::ConsumeMetricsJsonFlag(&argc, argv);
   wdr::workload::UniversityConfig config;
   config.universities = 3;
   wdr::workload::UniversityData data =
@@ -65,6 +68,8 @@ int main() {
   wdr::backward::BackwardChainingEvaluator backward_eval(data.graph.store(),
                                                          schema, data.vocab);
 
+  constexpr int kReps = 5;
+  std::printf("mean of %d repetitions after 1 warmup run\n", kReps);
   std::printf("%-4s %9s | %12s %12s %12s %12s\n", "q", "answers",
               "saturation", "reformulate", "backward", "datalog");
   std::printf("%.*s\n", 72,
@@ -76,31 +81,31 @@ int main() {
        wdr::workload::StandardQuerySet(data.graph.dict())) {
     wdr::query::UnionQuery q = wdr::query::UnionQuery::Single(nq.query);
 
-    timer.Reset();
-    size_t n_sat = closure_eval.Evaluate(q).rows.size();
-    double t_sat = timer.ElapsedMicros();
-
-    timer.Reset();
-    auto reformulated = reformulator.Reformulate(q);
-    size_t n_ref = reformulated.ok()
-                       ? base_eval.Evaluate(*reformulated).rows.size()
-                       : 0;
-    double t_ref = timer.ElapsedMicros();
-
-    timer.Reset();
-    size_t n_bwd = backward_eval.Evaluate(q).rows.size();
-    double t_bwd = timer.ElapsedMicros();
-
-    timer.Reset();
-    auto via_dl = wdr::datalog::AnswerViaDatalog(xlat, *db, q);
-    size_t n_dl = via_dl.ok() ? via_dl->rows.size() : 0;
-    double t_dl = timer.ElapsedMicros();
+    // Warmup + repetitions via the shared harness: single-shot numbers at
+    // the microsecond scale are dominated by cache state.
+    size_t n_sat = 0, n_ref = 0, n_bwd = 0, n_dl = 0;
+    wdr::bench::RepStats t_sat = wdr::bench::TimeReps(1, kReps, [&] {
+      n_sat = closure_eval.Evaluate(q).rows.size();
+    });
+    wdr::bench::RepStats t_ref = wdr::bench::TimeReps(1, kReps, [&] {
+      auto reformulated = reformulator.Reformulate(q);
+      n_ref = reformulated.ok()
+                  ? base_eval.Evaluate(*reformulated).rows.size()
+                  : 0;
+    });
+    wdr::bench::RepStats t_bwd = wdr::bench::TimeReps(1, kReps, [&] {
+      n_bwd = backward_eval.Evaluate(q).rows.size();
+    });
+    wdr::bench::RepStats t_dl = wdr::bench::TimeReps(1, kReps, [&] {
+      auto via_dl = wdr::datalog::AnswerViaDatalog(xlat, *db, q);
+      n_dl = via_dl.ok() ? via_dl->rows.size() : 0;
+    });
 
     bool agree = n_sat == n_ref && n_sat == n_bwd && n_sat == n_dl;
     all_agree = all_agree && agree;
     std::printf("%-4s %9zu | %10.0fus %10.0fus %10.0fus %10.0fus%s\n",
-                nq.name.c_str(), n_sat, t_sat, t_ref, t_bwd, t_dl,
-                agree ? "" : "  << DISAGREE");
+                nq.name.c_str(), n_sat, t_sat.mean_us, t_ref.mean_us,
+                t_bwd.mean_us, t_dl.mean_us, agree ? "" : "  << DISAGREE");
   }
 
   std::printf("\nall strategies agree on every query: %s\n",
@@ -111,5 +116,8 @@ int main() {
       "are pushed into the expansion); the datalog route pays a reified\n"
       "self-join penalty — the paper's open issue asks for 'smart\n"
       "translations' to close that gap.\n");
+  if (!metrics_path.empty() && !wdr::bench::ExportMetricsJson(metrics_path)) {
+    return EXIT_FAILURE;
+  }
   return all_agree ? EXIT_SUCCESS : EXIT_FAILURE;
 }

@@ -1,0 +1,124 @@
+// Shared benchmark-harness plumbing, used by every bench in this
+// directory.
+//
+// Google-Benchmark harnesses replace BENCHMARK_MAIN() with
+// WDR_BENCH_MAIN(), which adds a `--metrics-json=PATH` flag: after the
+// benchmarks run, the live wdr::obs metrics registry is dumped to PATH as
+// one JSON object, so a harness run leaves behind machine-readable
+// counters (scans, compactions, rule firings, ...) next to the timing
+// numbers.
+//
+// Hand-rolled harnesses (bench_strategies, bench_fig3_thresholds) use
+// TimeReps() for warmup + repetition with mean/p50/p99, and the same
+// ExportMetricsJson() for the flag.
+#ifndef WDR_BENCH_BENCH_UTIL_H_
+#define WDR_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace wdr::bench {
+
+// Summary of N timed repetitions, microseconds.
+struct RepStats {
+  double mean_us = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double min_us = 0;
+  double max_us = 0;
+};
+
+// Runs `fn` `warmup` times untimed, then `reps` times timed, and returns
+// the distribution. `reps` must be >= 1.
+template <typename Fn>
+RepStats TimeReps(int warmup, int reps, Fn&& fn) {
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (int i = 0; i < reps; ++i) {
+    Timer timer;
+    fn();
+    samples.push_back(timer.ElapsedMicros());
+  }
+  std::sort(samples.begin(), samples.end());
+  RepStats stats;
+  for (double s : samples) stats.mean_us += s;
+  stats.mean_us /= static_cast<double>(samples.size());
+  auto quantile = [&](double q) {
+    size_t rank = static_cast<size_t>(q * static_cast<double>(samples.size()));
+    if (rank >= samples.size()) rank = samples.size() - 1;
+    return samples[rank];
+  };
+  stats.p50_us = quantile(0.5);
+  stats.p99_us = quantile(0.99);
+  stats.min_us = samples.front();
+  stats.max_us = samples.back();
+  return stats;
+}
+
+// Prints one row of an aligned "name  mean  p50  p99" table; call
+// PrintRepHeader once before the rows.
+inline void PrintRepHeader(const char* label_header) {
+  std::printf("%-24s %12s %12s %12s\n", label_header, "mean", "p50", "p99");
+}
+inline void PrintRepRow(const std::string& label, const RepStats& stats) {
+  std::printf("%-24s %10.1fus %10.1fus %10.1fus\n", label.c_str(),
+              stats.mean_us, stats.p50_us, stats.p99_us);
+}
+
+// Writes the current metrics registry snapshot to `path` as JSON.
+// Returns false (with a message on stderr) if the file cannot be written.
+inline bool ExportMetricsJson(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write metrics to %s\n", path.c_str());
+    return false;
+  }
+  out << obs::MetricsRegistry::Get().Snapshot().ToJson() << "\n";
+  return out.good();
+}
+
+// Extracts `--metrics-json=PATH` from argv (removing it, so Google
+// Benchmark never sees the unknown flag). Returns "" when absent.
+inline std::string ConsumeMetricsJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) {
+      path = argv[i] + 15;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return path;
+}
+
+}  // namespace wdr::bench
+
+// Drop-in replacement for BENCHMARK_MAIN() that understands
+// --metrics-json=PATH.
+#define WDR_BENCH_MAIN()                                                    \
+  int main(int argc, char** argv) {                                         \
+    std::string wdr_metrics_path =                                          \
+        ::wdr::bench::ConsumeMetricsJsonFlag(&argc, argv);                  \
+    ::benchmark::Initialize(&argc, argv);                                   \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
+    ::benchmark::RunSpecifiedBenchmarks();                                  \
+    ::benchmark::Shutdown();                                                \
+    if (!wdr_metrics_path.empty() &&                                        \
+        !::wdr::bench::ExportMetricsJson(wdr_metrics_path)) {               \
+      return 1;                                                             \
+    }                                                                       \
+    return 0;                                                               \
+  }                                                                         \
+  static_assert(true, "require a trailing semicolon")
+
+#endif  // WDR_BENCH_BENCH_UTIL_H_

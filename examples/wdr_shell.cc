@@ -3,7 +3,7 @@
 //
 // Usage:
 //   wdr_shell [--mode=saturation|reformulation|backward|none]
-//             [--backend=ordered|flat] [file.ttl ...]
+//             [--backend=ordered|flat] [--script=FILE] [file.ttl ...]
 //
 // Reads commands from stdin (one per line):
 //   SELECT ...          run a SPARQL query
@@ -11,8 +11,14 @@
 //   .load FILE          load a Turtle/N-Triples file
 //   .mode MODE          switch reasoning technique at run time
 //   .backend ENGINE     switch storage engine (ordered|flat) at run time
-//   .stats              triples / closure size
+//   .profile on|off     per-operator query profiling (EXPLAIN ANALYZE)
+//   .trace FILE / off   capture spans; "off" writes JSON lines to FILE
+//   .stats              store statistics + live wdr.* metrics
 //   .help               this text
+//
+// With --script=FILE, commands come from FILE instead of stdin, errors go
+// to stderr, and the first failing command terminates the shell with a
+// non-zero exit status (so scripts are usable in CI).
 //
 // Without stdin input (or with --demo) runs a scripted demonstration so
 // the binary is exercisable non-interactively.
@@ -23,12 +29,17 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/reasoning_store.h"
 
 namespace {
 
 using wdr::store::ReasoningMode;
 using wdr::store::ReasoningStore;
+
+// Path the next ".trace off" exports to; empty = tracing inactive.
+std::string g_trace_path;
 
 bool ParseMode(const std::string& name, ReasoningMode* mode) {
   if (name == "saturation") {
@@ -54,7 +65,11 @@ void PrintHelp() {
                "  .explain <s> <p> <o> .  prove why a triple is entailed\n"
                "  .mode MODE            saturation|reformulation|backward|none\n"
                "  .backend ENGINE       ordered|flat storage engine\n"
-               "  .stats                store statistics\n"
+               "  .profile on|off       per-operator query profiling\n"
+               "  .trace FILE           start span capture\n"
+               "  .trace off            stop capture, write JSON lines to "
+               "FILE\n"
+               "  .stats                store statistics + live metrics\n"
                "  .help                 this text\n"
                "  .quit                 exit\n";
 }
@@ -78,8 +93,52 @@ int LoadFile(ReasoningStore& store, const std::string& path) {
   return static_cast<int>(*loaded);
 }
 
-void RunCommand(ReasoningStore& store, const std::string& line) {
-  if (line.empty()) return;
+void PrintStats(const ReasoningStore& store) {
+  std::cout << "triples: " << store.size()
+            << "  effective (with closure): " << store.effective_size()
+            << "  mode: " << ReasoningModeName(store.mode()) << "  backend: "
+            << wdr::rdf::StorageBackendName(store.backend()) << "\n";
+  const wdr::obs::MetricsSnapshot snapshot =
+      wdr::obs::MetricsRegistry::Get().Snapshot();
+  for (const auto& [name, value] : snapshot.counters) {
+    if (value != 0) std::cout << "  " << name << " = " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (value != 0) std::cout << "  " << name << " = " << value << "\n";
+  }
+  for (const wdr::obs::HistogramData& h : snapshot.histograms) {
+    if (h.count == 0) continue;
+    std::cout << "  " << h.name << "  count=" << h.count
+              << "  mean=" << static_cast<long long>(h.MeanNanos() / 1000)
+              << "us  p99=" << static_cast<long long>(h.QuantileNanos(0.99) /
+                                                      1000)
+              << "us\n";
+  }
+}
+
+bool StopTrace() {
+  if (g_trace_path.empty()) {
+    std::cerr << "tracing is not active\n";
+    return false;
+  }
+  wdr::obs::SetTraceEnabled(false);
+  std::ofstream out(g_trace_path);
+  if (!out) {
+    std::cerr << "cannot write " << g_trace_path << "\n";
+    g_trace_path.clear();
+    return false;
+  }
+  const size_t events = wdr::obs::ExportTraceJsonLines(out);
+  std::cout << "wrote " << events << " span(s) to " << g_trace_path << "\n";
+  g_trace_path.clear();
+  wdr::obs::ClearTrace();
+  return true;
+}
+
+// Executes one line; returns false if the command failed (used by --script
+// mode to stop with a non-zero exit status).
+bool RunCommand(ReasoningStore& store, const std::string& line) {
+  if (line.empty() || line[0] == '#') return true;
   if (line[0] == '.') {
     std::istringstream words(line);
     std::string command, argument;
@@ -90,57 +149,86 @@ void RunCommand(ReasoningStore& store, const std::string& line) {
       auto proof = store.ExplainTriple(statement);
       if (proof.ok()) {
         std::cout << *proof;
-      } else {
-        std::cerr << proof.status() << "\n";
+        return true;
       }
-      return;
+      std::cerr << proof.status() << "\n";
+      return false;
     }
     if (command == ".load") {
-      LoadFile(store, argument);
-    } else if (command == ".mode") {
+      return LoadFile(store, argument) >= 0;
+    }
+    if (command == ".mode") {
       ReasoningMode mode;
       if (ParseMode(argument, &mode)) {
         store.SetMode(mode);
         std::cout << "mode = " << ReasoningModeName(mode) << "\n";
-      } else {
-        std::cerr << "unknown mode '" << argument << "'\n";
+        return true;
       }
-    } else if (command == ".backend") {
+      std::cerr << "unknown mode '" << argument << "'\n";
+      return false;
+    }
+    if (command == ".backend") {
       wdr::rdf::StorageBackend backend;
       if (wdr::rdf::ParseStorageBackend(argument, &backend)) {
         store.SetBackend(backend);
         std::cout << "backend = " << wdr::rdf::StorageBackendName(backend)
                   << "\n";
-      } else {
-        std::cerr << "unknown backend '" << argument << "'\n";
+        return true;
       }
-    } else if (command == ".stats") {
-      std::cout << "triples: " << store.size()
-                << "  effective (with closure): " << store.effective_size()
-                << "  mode: " << ReasoningModeName(store.mode())
-                << "  backend: "
-                << wdr::rdf::StorageBackendName(store.backend()) << "\n";
-    } else if (command == ".help") {
-      PrintHelp();
-    } else if (command == ".quit") {
-      std::exit(EXIT_SUCCESS);
-    } else {
-      std::cerr << "unknown command; try .help\n";
+      std::cerr << "unknown backend '" << argument << "'\n";
+      return false;
     }
-    return;
+    if (command == ".profile") {
+      if (argument == "on" || argument == "off") {
+        store.SetProfiling(argument == "on");
+        std::cout << "profiling = " << argument << "\n";
+        return true;
+      }
+      std::cerr << "usage: .profile on|off\n";
+      return false;
+    }
+    if (command == ".trace") {
+      if (argument.empty()) {
+        std::cerr << "usage: .trace FILE | .trace off\n";
+        return false;
+      }
+      if (argument == "off") return StopTrace();
+      g_trace_path = argument;
+      wdr::obs::ClearTrace();
+      wdr::obs::SetTraceEnabled(true);
+      std::cout << "tracing to " << g_trace_path << " (stop with .trace "
+                   "off)\n";
+      return true;
+    }
+    if (command == ".stats") {
+      PrintStats(store);
+      return true;
+    }
+    if (command == ".help") {
+      PrintHelp();
+      return true;
+    }
+    if (command == ".quit") {
+      if (!g_trace_path.empty()) StopTrace();
+      std::exit(EXIT_SUCCESS);
+    }
+    std::cerr << "unknown command; try .help\n";
+    return false;
   }
 
   // Updates start with INSERT/DELETE (case-insensitive); otherwise query.
   std::string upper;
   for (char c : line) upper += static_cast<char>(std::toupper(c));
   if (upper.rfind("INSERT", 0) == 0 || upper.rfind("DELETE", 0) == 0 ||
-      upper.rfind("PREFIX", 0) == 0 || upper.rfind("SELECT", 0) == 0) {
-    if (upper.find("SELECT") != std::string::npos) {
+      upper.rfind("PREFIX", 0) == 0 || upper.rfind("SELECT", 0) == 0 ||
+      upper.rfind("ASK", 0) == 0) {
+    if (upper.find("SELECT") != std::string::npos ||
+        upper.rfind("ASK", 0) == 0) {
       wdr::store::QueryInfo info;
       auto result = store.Query(line, &info);
       if (!result.ok()) {
         std::cerr << result.status() << "\n";
-        return;
+        return false;
       }
       for (const wdr::query::Row& row : result->rows) {
         std::cout << "  " << wdr::Join(store.DecodeRow(row), "  ") << "\n";
@@ -152,19 +240,20 @@ void RunCommand(ReasoningStore& store, const std::string& line) {
         std::cout << " (" << info.union_size << " CQs)";
       }
       std::cout << "\n";
-    } else {
-      auto info = store.Update(line);
-      if (!info.ok()) {
-        std::cerr << info.status() << "\n";
-        return;
-      }
-      std::cout << "+" << info->inserted << " -" << info->deleted
-                << " triple(s), closure delta " << info->closure_delta
-                << "\n";
+      if (info.profile != nullptr) std::cout << info.profile->Render();
+      return true;
     }
-    return;
+    auto info = store.Update(line);
+    if (!info.ok()) {
+      std::cerr << info.status() << "\n";
+      return false;
+    }
+    std::cout << "+" << info->inserted << " -" << info->deleted
+              << " triple(s), closure delta " << info->closure_delta << "\n";
+    return true;
   }
   std::cerr << "unrecognized input; try .help\n";
+  return false;
 }
 
 void RunDemo(ReasoningStore& store) {
@@ -179,9 +268,11 @@ void RunDemo(ReasoningStore& store) {
       "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
       "<http://ex.org/Mammal> .",
       ".mode reformulation",
+      ".profile on",
       "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
       "PREFIX ex: <http://ex.org/> "
       "SELECT ?x WHERE { ?x rdf:type ex:Mammal }",
+      ".profile off",
       ".backend flat",
       "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
       "PREFIX ex: <http://ex.org/> "
@@ -201,6 +292,7 @@ void RunDemo(ReasoningStore& store) {
 int main(int argc, char** argv) {
   wdr::store::ReasoningStoreOptions options;
   bool demo = false;
+  std::string script_path;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -214,6 +306,10 @@ int main(int argc, char** argv) {
         std::cerr << "unknown backend in " << arg << "\n";
         return EXIT_FAILURE;
       }
+    } else if (arg.rfind("--script=", 0) == 0) {
+      script_path = arg.substr(9);
+    } else if (arg == "--script" && i + 1 < argc) {
+      script_path = argv[++i];
     } else if (arg == "--demo") {
       demo = true;
     } else {
@@ -224,6 +320,26 @@ int main(int argc, char** argv) {
   ReasoningStore store(options);
   for (const std::string& file : files) {
     if (LoadFile(store, file) < 0) return EXIT_FAILURE;
+  }
+
+  if (!script_path.empty()) {
+    std::ifstream in(script_path);
+    if (!in) {
+      std::cerr << "cannot open script " << script_path << "\n";
+      return EXIT_FAILURE;
+    }
+    std::string line;
+    size_t line_number = 0;
+    while (std::getline(in, line)) {
+      ++line_number;
+      if (!RunCommand(store, line)) {
+        std::cerr << script_path << ":" << line_number
+                  << ": command failed: " << line << "\n";
+        return EXIT_FAILURE;
+      }
+    }
+    if (!g_trace_path.empty()) StopTrace();
+    return EXIT_SUCCESS;
   }
 
   // With no piped input, run the scripted demo so the binary always
@@ -240,5 +356,6 @@ int main(int argc, char** argv) {
   while (std::getline(std::cin, line)) {
     RunCommand(store, line);
   }
+  if (!g_trace_path.empty()) StopTrace();
   return EXIT_SUCCESS;
 }

@@ -1,0 +1,47 @@
+#include "analysis/live_profile.h"
+
+#include <algorithm>
+
+namespace wdr::analysis {
+namespace {
+
+double HistogramMean(const obs::MetricsSnapshot& snapshot,
+                     const std::string& name) {
+  const obs::HistogramData* h = snapshot.histogram(name);
+  return h == nullptr ? 0 : h->MeanSeconds();
+}
+
+}  // namespace
+
+CostProfile CostProfileFromMetrics(const obs::MetricsSnapshot& snapshot) {
+  CostProfile costs;
+  costs.saturation_seconds = HistogramMean(snapshot, "wdr.saturation.build");
+  costs.reformulation_seconds =
+      HistogramMean(snapshot, "wdr.store.reformulation.rewrite");
+  costs.eval_saturated_seconds =
+      HistogramMean(snapshot, "wdr.store.query.saturation");
+  // The reformulation-mode query histogram covers rewrite + evaluation;
+  // CostProfile wants evaluation of the already-rewritten UCQ only.
+  costs.eval_reformulated_seconds =
+      std::max(0.0, HistogramMean(snapshot, "wdr.store.query.reformulation") -
+                        costs.reformulation_seconds);
+  costs.maintain_instance_insert_seconds =
+      HistogramMean(snapshot, "wdr.store.update.instance_insert");
+  costs.maintain_instance_delete_seconds =
+      HistogramMean(snapshot, "wdr.store.update.instance_delete");
+  costs.maintain_schema_insert_seconds =
+      HistogramMean(snapshot, "wdr.store.update.schema_insert");
+  costs.maintain_schema_delete_seconds =
+      HistogramMean(snapshot, "wdr.store.update.schema_delete");
+  return costs;
+}
+
+bool MetricsCoverComparison(const obs::MetricsSnapshot& snapshot) {
+  const obs::HistogramData* sat =
+      snapshot.histogram("wdr.store.query.saturation");
+  const obs::HistogramData* ref =
+      snapshot.histogram("wdr.store.query.reformulation");
+  return sat != nullptr && sat->count > 0 && ref != nullptr && ref->count > 0;
+}
+
+}  // namespace wdr::analysis

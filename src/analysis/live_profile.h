@@ -1,0 +1,33 @@
+#ifndef WDR_ANALYSIS_LIVE_PROFILE_H_
+#define WDR_ANALYSIS_LIVE_PROFILE_H_
+
+#include "analysis/thresholds.h"
+#include "obs/metrics.h"
+
+namespace wdr::analysis {
+
+// Builds a CostProfile from live wdr::obs metrics instead of a dedicated
+// measurement run: each cost is the mean of the corresponding latency
+// histogram accumulated while the store served real traffic.
+//
+//   saturation_seconds            <- wdr.saturation.build
+//   reformulation_seconds         <- wdr.store.reformulation.rewrite
+//   eval_saturated_seconds        <- wdr.store.query.saturation
+//   eval_reformulated_seconds     <- wdr.store.query.reformulation minus
+//                                    the rewrite mean (the query histogram
+//                                    times rewrite + evaluation together)
+//   maintain_*_seconds            <- wdr.store.update.{instance,schema}_*
+//
+// Histograms with no recordings contribute 0; callers that need a full
+// profile should check MetricsCoverComparison() first.
+CostProfile CostProfileFromMetrics(const obs::MetricsSnapshot& snapshot);
+
+// Whether the snapshot has at least one recording for both per-query
+// histograms the saturation-vs-reformulation comparison hinges on
+// (wdr.store.query.saturation and wdr.store.query.reformulation). Without
+// both, Recommend() over CostProfileFromMetrics() output is one-sided.
+bool MetricsCoverComparison(const obs::MetricsSnapshot& snapshot);
+
+}  // namespace wdr::analysis
+
+#endif  // WDR_ANALYSIS_LIVE_PROFILE_H_

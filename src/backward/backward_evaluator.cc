@@ -6,6 +6,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace wdr::backward {
 namespace {
 
@@ -65,8 +67,12 @@ class AtomExpander {
     std::vector<Alternative> result;
     std::unordered_set<std::string> seen;
     std::deque<size_t> frontier;
+    uint64_t memo_hits = 0;
     auto add = [&](Alternative alt) {
-      if (!seen.insert(alt.Key()).second) return;
+      if (!seen.insert(alt.Key()).second) {
+        ++memo_hits;  // rewriting reconverged on a known alternative
+        return;
+      }
       frontier.push_back(result.size());
       result.push_back(std::move(alt));
     };
@@ -77,6 +83,8 @@ class AtomExpander {
       frontier.pop_front();
       RewriteOneStep(current, add);
     }
+    WDR_COUNTER_ADD("wdr.backward.goal_expansions", result.size());
+    WDR_COUNTER_ADD("wdr.backward.memo_hits", memo_hits);
     return result;
   }
 
@@ -192,6 +200,7 @@ class BackwardJoin {
         TermId p = Resolve(alt.pattern.p);
         TermId o = Resolve(alt.pattern.o);
         if (stats_ != nullptr) ++stats_->index_probes;
+        WDR_COUNTER_INC("wdr.backward.index_probes");
         store_.Match(s, p, o, [&](const Triple& t) {
           std::vector<std::pair<VarId, TermId>> match_bound;
           bool match_ok = TryBind(alt.pattern.s, t.s, match_bound) &&
@@ -246,6 +255,7 @@ class BackwardJoin {
 
 ResultSet BackwardChainingEvaluator::Evaluate(const BgpQuery& q,
                                               BackwardStats* stats) const {
+  WDR_COUNTER_INC("wdr.backward.evals");
   AtomExpander expander(*schema_, vocab_);
   std::vector<std::vector<Alternative>> expansions;
   expansions.reserve(q.atoms().size());

@@ -2,6 +2,8 @@
 #define WDR_COMMON_TIMER_H_
 
 #include <chrono>
+#include <type_traits>
+#include <utility>
 
 namespace wdr {
 
@@ -24,6 +26,47 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+// RAII stopwatch: on destruction, delivers the elapsed seconds to a
+// `double&` (overwriting) or to any callable taking a double — e.g. a
+// lambda recording into an obs::Histogram. Replaces the manual
+// `Timer t; ...; out = t.ElapsedSeconds();` idiom; note the sink is
+// written at scope exit, so the timed region must be an enclosing block
+// that closes before the sink is read.
+template <typename Sink = double*>
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& out) : sink_(&out) {}
+  ~ScopedTimer() { Deliver(timer_.ElapsedSeconds()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  // Seconds elapsed so far, without waiting for destruction.
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+
+ protected:
+  explicit ScopedTimer(Sink sink) : sink_(std::move(sink)) {}
+
+ private:
+  void Deliver(double seconds) {
+    if constexpr (std::is_same_v<Sink, double*>) {
+      *sink_ = seconds;
+    } else {
+      sink_(seconds);
+    }
+  }
+
+  Timer timer_;
+  Sink sink_;
+};
+
+// Deduction helper: `ScopedCallbackTimer t([&](double s) { ... });`
+template <typename Fn>
+class ScopedCallbackTimer : public ScopedTimer<Fn> {
+ public:
+  explicit ScopedCallbackTimer(Fn fn) : ScopedTimer<Fn>(std::move(fn)) {}
 };
 
 }  // namespace wdr

@@ -6,6 +6,8 @@
 #include <set>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace wdr::datalog {
 namespace {
 
@@ -122,6 +124,14 @@ Tuple InstantiateHead(const DlAtom& head, const std::vector<Sym>& bindings) {
   return tuple;
 }
 
+// Registry flush, once per materialization run.
+void FlushEvalCounters(const EvalStats& s) {
+  WDR_COUNTER_INC("wdr.datalog.runs");
+  WDR_COUNTER_ADD("wdr.datalog.iterations", s.iterations);
+  WDR_COUNTER_ADD("wdr.datalog.derived_tuples", s.derived_tuples);
+  WDR_COUNTER_ADD("wdr.datalog.rule_evaluations", s.rule_evaluations);
+}
+
 }  // namespace
 
 Result<Database> Materialize(const DlProgram& program, Strategy strategy,
@@ -204,6 +214,7 @@ Result<Database> Materialize(const DlProgram& program, Strategy strategy,
     }
   }
 
+  FlushEvalCounters(local);
   if (stats != nullptr) *stats = local;
   return db;
 }
@@ -300,6 +311,7 @@ Result<Database> MaterializeParallel(const DlProgram& program, int threads,
     delta = std::move(next_delta);
   }
 
+  FlushEvalCounters(local);
   if (stats != nullptr) *stats = local;
   return db;
 }

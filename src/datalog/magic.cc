@@ -6,6 +6,8 @@
 #include <set>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+
 namespace wdr::datalog {
 namespace {
 
@@ -231,6 +233,12 @@ Result<std::vector<Tuple>> AnswerWithMagic(const DlProgram& program,
                                            const DlAtom& query,
                                            EvalStats* stats) {
   WDR_ASSIGN_OR_RETURN(MagicProgram magic, MagicTransform(program, query));
+  WDR_COUNTER_INC("wdr.datalog.magic.transforms");
+  WDR_COUNTER_ADD("wdr.datalog.magic.rules", magic.program.rules().size());
+  if (program.rules().size() <= magic.program.rules().size()) {
+    WDR_COUNTER_ADD("wdr.datalog.magic.rules_added",
+                    magic.program.rules().size() - program.rules().size());
+  }
   WDR_ASSIGN_OR_RETURN(
       Database db, Materialize(magic.program, Strategy::kSemiNaive, stats));
 

@@ -2,6 +2,8 @@
 
 #include "common/timer.h"
 #include "io/turtle.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/sparql_parser.h"
 #include "reasoning/saturation.h"
 #include "reformulation/reformulator.h"
@@ -71,6 +73,10 @@ Result<query::ResultSet> Federation::Query(std::string_view sparql,
 
 Result<query::ResultSet> Federation::Query(const query::UnionQuery& q,
                                            FederationQueryInfo* info) {
+  static obs::Histogram& latency =
+      obs::MetricsRegistry::Get().GetHistogram("wdr.federation.query");
+  obs::Span span("wdr.federation.query", &latency);
+  WDR_COUNTER_INC("wdr.federation.queries");
   Timer timer;
   // The schemas of all endpoints combine: constraints from any endpoint
   // apply to facts from any other. The merged schema is tiny; closing it
@@ -87,12 +93,32 @@ Result<query::ResultSet> Federation::Query(const query::UnionQuery& q,
   for (const Endpoint& endpoint : endpoints_) {
     view.AddMember(endpoint.store.get());
   }
+  view.EnableMemberStats();
   query::FederatedEvaluator evaluator(view);
   query::ResultSet result = evaluator.Evaluate(reformulated);
+
+  // Member 0 is the synthetic closed-schema store; endpoints follow.
+  const std::vector<rdf::UnionStore::MemberStats>& member_stats =
+      view.member_stats();
+  uint64_t endpoint_rows = 0;
+  uint64_t endpoint_matches = 0;
+  for (size_t i = 0; i < endpoints_.size(); ++i) {
+    endpoint_matches += member_stats[i + 1].matches;
+    endpoint_rows += member_stats[i + 1].rows;
+  }
+  WDR_COUNTER_ADD("wdr.federation.endpoint_calls", endpoint_matches);
+  WDR_COUNTER_ADD("wdr.federation.endpoint_rows", endpoint_rows);
+
   if (info != nullptr) {
     info->union_size = reformulated.size();
     info->endpoints_scanned = endpoints_.size();
     info->seconds = timer.ElapsedSeconds();
+    info->endpoints.clear();
+    for (size_t i = 0; i < endpoints_.size(); ++i) {
+      info->endpoints.push_back({endpoints_[i].name,
+                                 member_stats[i + 1].matches,
+                                 member_stats[i + 1].rows});
+    }
   }
   return result;
 }

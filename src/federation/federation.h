@@ -20,9 +20,17 @@ using EndpointId = size_t;
 
 // Per-query diagnostics.
 struct FederationQueryInfo {
+  // One entry per endpoint probed during evaluation.
+  struct EndpointStats {
+    std::string name;
+    uint64_t matches = 0;  // index probes sent to this endpoint
+    uint64_t rows = 0;     // triples this endpoint contributed (post-dedup)
+  };
+
   size_t union_size = 1;        // reformulation disjuncts evaluated
   size_t endpoints_scanned = 0;
   double seconds = 0;
+  std::vector<EndpointStats> endpoints;
 };
 
 // A federation of autonomous RDF endpoints — the paper's §I scenario:

@@ -1,0 +1,195 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace wdr::obs {
+namespace {
+
+// std::map keeps names sorted for Snapshot(); unique_ptr values keep the
+// metric addresses stable across rehash-free growth.
+template <typename M>
+M& GetOrCreate(std::map<std::string, std::unique_ptr<M>>& table,
+               const std::string& name) {
+  auto it = table.find(name);
+  if (it == table.end()) {
+    it = table.emplace(name, std::make_unique<M>()).first;
+  }
+  return *it->second;
+}
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  // Leaked intentionally: instrumented code may run during static
+  // destruction, so the registry must never be destroyed.
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  return GetOrCreate(i.counters, name);
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  return GetOrCreate(i.gauges, name);
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  return GetOrCreate(i.histograms, name);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  Impl& i = impl();
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(i.mu);
+  snap.counters.reserve(i.counters.size());
+  for (const auto& [name, counter] : i.counters) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(i.gauges.size());
+  for (const auto& [name, gauge] : i.gauges) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(i.histograms.size());
+  for (const auto& [name, hist] : i.histograms) {
+    HistogramData data;
+    data.name = name;
+    // Count first, then buckets: concurrent RecordNanos bumps the bucket
+    // before the count, so buckets >= count never under-reports quantiles.
+    data.count = hist->count();
+    data.sum_nanos = hist->sum_nanos();
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      data.buckets[b] = hist->buckets_[b].load(std::memory_order_relaxed);
+    }
+    snap.histograms.push_back(std::move(data));
+  }
+  return snap;
+}
+
+double HistogramData::QuantileNanos(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the quantile sample, rounded up: the p99 of 2 samples is the
+  // 2nd (ceil(1.98)), not the 1st.
+  uint64_t target =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (target == 0) target = 1;
+  uint64_t cumulative = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= target) {
+      return static_cast<double>(b == 0 ? 0 : (uint64_t{1} << b) - 1);
+    }
+  }
+  return static_cast<double>(uint64_t{1} << (Histogram::kBuckets - 1));
+}
+
+uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+int64_t MetricsSnapshot::gauge(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramData* MetricsSnapshot::histogram(
+    const std::string& name) const {
+  for (const HistogramData& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(out, name);
+    out += ':';
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(out, name);
+    out += ':';
+    out += std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramData& h : histograms) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(out, h.name);
+    out += ":{\"count\":" + std::to_string(h.count) +
+           ",\"sum_nanos\":" + std::to_string(h.sum_nanos) +
+           ",\"p50_nanos\":" + std::to_string(h.QuantileNanos(0.5)) +
+           ",\"p99_nanos\":" + std::to_string(h.QuantileNanos(0.99)) +
+           ",\"buckets\":{";
+    bool first_bucket = true;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      out += '"' + std::to_string(b) + "\":" + std::to_string(h.buckets[b]);
+    }
+    out += "}}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace wdr::obs

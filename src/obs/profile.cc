@@ -1,0 +1,101 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace wdr::obs {
+namespace {
+
+void CollectRows(const ProfileNode& node, int depth,
+                 std::vector<std::pair<int, const ProfileNode*>>& rows) {
+  rows.emplace_back(depth, &node);
+  for (const auto& child : node.children) {
+    CollectRows(*child, depth + 1, rows);
+  }
+}
+
+std::string FormatSeconds(double seconds) {
+  char buffer[32];
+  if (seconds >= 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.3fs", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.3fms", seconds * 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.0fus", seconds * 1e6);
+  }
+  return buffer;
+}
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+}  // namespace
+
+ProfileNode& ProfileNode::AddChild(std::string child_label) {
+  children.push_back(std::make_unique<ProfileNode>(std::move(child_label)));
+  return *children.back();
+}
+
+uint64_t ProfileNode::TotalScans() const {
+  uint64_t total = scans;
+  for (const auto& child : children) total += child->TotalScans();
+  return total;
+}
+
+uint64_t ProfileNode::TotalTriples() const {
+  uint64_t total = triples;
+  for (const auto& child : children) total += child->TotalTriples();
+  return total;
+}
+
+std::string ProfileNode::Render() const {
+  std::vector<std::pair<int, const ProfileNode*>> rows;
+  CollectRows(*this, 0, rows);
+  size_t label_width = 0;
+  for (const auto& [depth, node] : rows) {
+    label_width = std::max(label_width,
+                           node->label.size() + static_cast<size_t>(depth) * 2);
+  }
+  std::string out;
+  for (const auto& [depth, node] : rows) {
+    std::string line(static_cast<size_t>(depth) * 2, ' ');
+    line += node->label;
+    line.resize(label_width + 2, ' ');
+    char stats[128];
+    std::snprintf(stats, sizeof(stats),
+                  "rows=%-8llu scans=%-8llu triples=%-10llu %s",
+                  static_cast<unsigned long long>(node->rows),
+                  static_cast<unsigned long long>(node->scans),
+                  static_cast<unsigned long long>(node->triples),
+                  FormatSeconds(node->seconds).c_str());
+    line += stats;
+    // Trim trailing spaces left by the %-8 paddings.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ProfileNode::ToJson() const {
+  std::string out = "{\"label\":\"";
+  AppendEscaped(out, label);
+  out += "\",\"rows\":" + std::to_string(rows) +
+         ",\"triples\":" + std::to_string(triples) +
+         ",\"scans\":" + std::to_string(scans) +
+         ",\"seconds\":" + std::to_string(seconds) + ",\"children\":[";
+  bool first = true;
+  for (const auto& child : children) {
+    if (!first) out += ',';
+    first = false;
+    out += child->ToJson();
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace wdr::obs

@@ -1,0 +1,46 @@
+#ifndef WDR_OBS_PROFILE_H_
+#define WDR_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wdr::obs {
+
+// EXPLAIN-ANALYZE-style per-operator statistics for one query execution:
+// a tree of operators (union → branch → triple-pattern scan) with, per
+// node, rows produced, triples scanned, cursor opens, and inclusive wall
+// time. Built only when profiling is requested (a null ProfileNode* turns
+// all collection off), so the evaluation hot path pays nothing by default.
+struct ProfileNode {
+  std::string label;      // operator description, e.g. "scan (?x type :C)"
+  uint64_t rows = 0;      // bindings/rows this operator produced
+  uint64_t triples = 0;   // triples enumerated from the store
+  uint64_t scans = 0;     // cursor opens (Match calls) issued
+  double seconds = 0;     // inclusive wall time
+  std::vector<std::unique_ptr<ProfileNode>> children;
+
+  ProfileNode() = default;
+  explicit ProfileNode(std::string node_label) : label(std::move(node_label)) {}
+
+  ProfileNode& AddChild(std::string child_label);
+
+  // Sums of the per-node stats over the whole subtree (children only,
+  // excluding this node's own fields).
+  uint64_t TotalScans() const;
+  uint64_t TotalTriples() const;
+
+  // Renders the tree as an aligned, indented table:
+  //   union (2 branches)      rows=5  scans=0   triples=0   1.203ms
+  //     bgp#0                 rows=5  scans=12  triples=84  0.981ms
+  //       scan (?x type :C)   rows=5  scans=7   triples=61  0.611ms
+  std::string Render() const;
+
+  // Nested JSON object mirroring the tree.
+  std::string ToJson() const;
+};
+
+}  // namespace wdr::obs
+
+#endif  // WDR_OBS_PROFILE_H_

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "rdf/dictionary.h"
 
 namespace wdr::query {
 namespace {
@@ -10,6 +15,16 @@ using rdf::kNullTermId;
 using rdf::StoreView;
 using rdf::Triple;
 using rdf::UnionStore;
+
+// Per-atom operator statistics gathered during a profiled join. Indexed by
+// atom position in the query, not by join order, so the profile tree reads
+// in the order the query was written.
+struct AtomStats {
+  uint64_t scans = 0;    // Match calls (one cursor open each)
+  uint64_t triples = 0;  // triples enumerated from the store
+  uint64_t rows = 0;     // bindings successfully extended
+  double seconds = 0;    // inclusive: contains nested operators' time
+};
 
 // Resolves a pattern position under the current bindings: a constant, a
 // bound variable's value, or 0 (wildcard) for an unbound variable.
@@ -40,6 +55,10 @@ class BgpJoin {
     for (size_t i = 0; i < remaining_.size(); ++i) remaining_[i] = i;
     Recurse(emit);
   }
+
+  // Enables per-atom stats collection; `stats` must outlive Run() and have
+  // one entry per query atom.
+  void set_stats(std::vector<AtomStats>* stats) { stats_ = stats; }
 
   const std::vector<TermId>& bindings() const { return bindings_; }
 
@@ -74,19 +93,34 @@ class BgpJoin {
     TermId s = Resolve(atom.s, bindings_);
     TermId p = Resolve(atom.p, bindings_);
     TermId o = Resolve(atom.o, bindings_);
-    store_.Match(s, p, o, [&](const Triple& t) {
-      // Bind unbound variable positions, enforcing repeated-variable
-      // consistency (e.g. ?x ?p ?x).
-      std::vector<std::pair<VarId, TermId>> bound_here;
-      bool ok = TryBind(atom.s, t.s, bound_here) &&
-                TryBind(atom.p, t.p, bound_here) &&
-                TryBind(atom.o, t.o, bound_here);
-      if (ok) Recurse(emit);
-      for (auto it = bound_here.rbegin(); it != bound_here.rend(); ++it) {
-        bindings_[it->first] = kNullTermId;
-      }
-      return !stopped_;
-    });
+    AtomStats* as = stats_ ? &(*stats_)[atom_index] : nullptr;
+    auto match = [&] {
+      store_.Match(s, p, o, [&](const Triple& t) {
+        if (as) ++as->triples;
+        // Bind unbound variable positions, enforcing repeated-variable
+        // consistency (e.g. ?x ?p ?x).
+        std::vector<std::pair<VarId, TermId>> bound_here;
+        bool ok = TryBind(atom.s, t.s, bound_here) &&
+                  TryBind(atom.p, t.p, bound_here) &&
+                  TryBind(atom.o, t.o, bound_here);
+        if (ok) {
+          if (as) ++as->rows;
+          Recurse(emit);
+        }
+        for (auto it = bound_here.rbegin(); it != bound_here.rend(); ++it) {
+          bindings_[it->first] = kNullTermId;
+        }
+        return !stopped_;
+      });
+    };
+    if (as) {
+      ++as->scans;
+      Timer timer;
+      match();
+      as->seconds += timer.ElapsedSeconds();
+    } else {
+      match();
+    }
 
     remaining_.insert(remaining_.begin() + best_pos, atom_index);
   }
@@ -120,7 +154,49 @@ class BgpJoin {
   bool stopped_ = false;
   std::vector<TermId> bindings_;
   std::vector<size_t> remaining_;
+  std::vector<AtomStats>* stats_ = nullptr;  // not owned; null = no profiling
 };
+
+// Short human label for a term: the IRI fragment / last path segment, or
+// the raw id when no dictionary is available.
+std::string TermLabel(const rdf::Dictionary* dict, TermId id) {
+  if (dict == nullptr || !dict->Contains(id)) {
+    return "#" + std::to_string(id);
+  }
+  const std::string& lex = dict->term(id).lexical;
+  size_t pos = lex.find_last_of("/#");
+  if (pos != std::string::npos && pos + 1 < lex.size()) {
+    return lex.substr(pos + 1);
+  }
+  return lex;
+}
+
+std::string PatternTermLabel(const BgpQuery& q, const rdf::Dictionary* dict,
+                             const PatternTerm& t) {
+  if (t.is_const()) return TermLabel(dict, t.id);
+  return "?" + q.var_name(t.var);
+}
+
+std::string AtomLabel(const BgpQuery& q, const rdf::Dictionary* dict,
+                      const TriplePattern& a) {
+  return "scan(" + PatternTermLabel(q, dict, a.s) + " " +
+         PatternTermLabel(q, dict, a.p) + " " +
+         PatternTermLabel(q, dict, a.o) + ")";
+}
+
+// Copies per-atom join stats into `parent` as one child per atom, in
+// written query order.
+void FillAtomProfile(obs::ProfileNode& parent, const BgpQuery& q,
+                     const rdf::Dictionary* dict,
+                     const std::vector<AtomStats>& stats) {
+  for (size_t i = 0; i < q.atoms().size(); ++i) {
+    obs::ProfileNode& child = parent.AddChild(AtomLabel(q, dict, q.atoms()[i]));
+    child.rows = stats[i].rows;
+    child.triples = stats[i].triples;
+    child.scans = stats[i].scans;
+    child.seconds = stats[i].seconds;
+  }
+}
 
 Row ProjectRow(const BgpQuery& q, const std::vector<TermId>& bindings) {
   Row row;
@@ -131,21 +207,34 @@ Row ProjectRow(const BgpQuery& q, const std::vector<TermId>& bindings) {
 
 template <typename Store>
 ResultSet EvaluateBgp(const Store& store, const BgpQuery& q,
-                      bool greedy = true) {
+                      bool greedy = true,
+                      obs::ProfileNode* profile = nullptr,
+                      const rdf::Dictionary* dict = nullptr) {
+  WDR_COUNTER_INC("wdr.query.bgp_evals");
   ResultSet result;
   result.var_names = q.ProjectionNames();
+  std::vector<AtomStats> stats;
+  Timer timer;
+  BgpJoin<Store> join(store, q, greedy);
+  if (profile != nullptr) {
+    stats.resize(q.atoms().size());
+    join.set_stats(&stats);
+  }
   if (q.distinct()) {
     std::set<Row> seen;
-    BgpJoin<Store> join(store, q, greedy);
     join.Run([&](const std::vector<TermId>& bindings) {
       Row row = ProjectRow(q, bindings);
       if (seen.insert(row).second) result.rows.push_back(std::move(row));
     });
   } else {
-    BgpJoin<Store> join(store, q, greedy);
     join.Run([&](const std::vector<TermId>& bindings) {
       result.rows.push_back(ProjectRow(q, bindings));
     });
+  }
+  if (profile != nullptr) {
+    profile->rows += result.rows.size();
+    profile->seconds += timer.ElapsedSeconds();
+    FillAtomProfile(*profile, q, dict, stats);
   }
   return result;
 }
@@ -159,23 +248,72 @@ size_t MaxRowsNeeded(const UnionQuery& q) {
   return cap < q.limit() ? SIZE_MAX : cap;  // overflow guard
 }
 
+// Detailed per-branch profile children are capped: reformulated unions can
+// carry hundreds of disjuncts, and a screenful of identical-shape branches
+// hides the signal. Branches past the cap fold into one aggregate node.
+constexpr size_t kMaxProfiledBranches = 8;
+
 template <typename Store>
 ResultSet EvaluateUnionQuery(const Store& store, const UnionQuery& q,
-                             bool greedy = true) {
+                             bool greedy = true,
+                             obs::ProfileNode* profile = nullptr,
+                             const rdf::Dictionary* dict = nullptr) {
+  WDR_COUNTER_INC("wdr.query.union_evals");
   ResultSet result;
   const size_t max_rows = MaxRowsNeeded(q);
   std::set<Row> seen;
+  Timer timer;
+  obs::ProfileNode* overflow = nullptr;
+  size_t overflow_branches = 0;
+  size_t branch_index = 0;
   for (const BgpQuery& branch : q.branches()) {
     if (result.var_names.empty()) {
       result.var_names = branch.ProjectionNames();
     }
     if (result.rows.size() >= max_rows) break;
+    const size_t rows_before = result.rows.size();
     BgpJoin<Store> join(store, branch, greedy);
+    std::vector<AtomStats> stats;
+    obs::ProfileNode* branch_node = nullptr;
+    if (profile != nullptr) {
+      stats.resize(branch.atoms().size());
+      join.set_stats(&stats);
+      if (branch_index < kMaxProfiledBranches) {
+        branch_node =
+            &profile->AddChild("branch " + std::to_string(branch_index));
+      } else {
+        if (overflow == nullptr) overflow = &profile->AddChild("");
+        branch_node = overflow;
+        ++overflow_branches;
+      }
+    }
+    Timer branch_timer;
     join.Run([&](const std::vector<TermId>& bindings) {
       Row row = ProjectRow(branch, bindings);
       if (seen.insert(row).second) result.rows.push_back(std::move(row));
       return result.rows.size() < max_rows;
     });
+    if (branch_node != nullptr) {
+      branch_node->rows += result.rows.size() - rows_before;
+      branch_node->seconds += branch_timer.ElapsedSeconds();
+      if (branch_node == overflow) {
+        for (const AtomStats& as : stats) {
+          branch_node->scans += as.scans;
+          branch_node->triples += as.triples;
+        }
+      } else {
+        FillAtomProfile(*branch_node, branch, dict, stats);
+      }
+    }
+    ++branch_index;
+  }
+  if (profile != nullptr) {
+    if (overflow != nullptr) {
+      overflow->label =
+          "(+" + std::to_string(overflow_branches) + " more branches)";
+    }
+    profile->rows += result.rows.size();
+    profile->seconds += timer.ElapsedSeconds();
   }
   return result;
 }
@@ -204,23 +342,36 @@ void ResultSet::Normalize(bool dedup) {
   if (dedup) rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
 }
 
-ResultSet Evaluator::Evaluate(const BgpQuery& q) const {
-  return EvaluateBgp(*store_, q, options_.greedy_join_order);
-}
-
-ResultSet Evaluator::Evaluate(const UnionQuery& q) const {
-  ResultSet result = EvaluateUnionQuery(*store_, q, options_.greedy_join_order);
-  ApplySolutionModifiers(q, result);
+ResultSet Evaluator::Evaluate(const BgpQuery& q,
+                              obs::ProfileNode* profile) const {
+  ResultSet result =
+      EvaluateBgp(*store_, q, options_.greedy_join_order, profile,
+                  options_.dict);
+  WDR_COUNTER_ADD("wdr.query.rows", result.rows.size());
   return result;
 }
 
-ResultSet FederatedEvaluator::Evaluate(const BgpQuery& q) const {
-  return EvaluateBgp(*store_, q);
+ResultSet Evaluator::Evaluate(const UnionQuery& q,
+                              obs::ProfileNode* profile) const {
+  ResultSet result = EvaluateUnionQuery(*store_, q, options_.greedy_join_order,
+                                        profile, options_.dict);
+  ApplySolutionModifiers(q, result);
+  WDR_COUNTER_ADD("wdr.query.rows", result.rows.size());
+  return result;
 }
 
-ResultSet FederatedEvaluator::Evaluate(const UnionQuery& q) const {
-  ResultSet result = EvaluateUnionQuery(*store_, q);
+ResultSet FederatedEvaluator::Evaluate(const BgpQuery& q,
+                                       obs::ProfileNode* profile) const {
+  ResultSet result = EvaluateBgp(*store_, q, /*greedy=*/true, profile);
+  WDR_COUNTER_ADD("wdr.query.rows", result.rows.size());
+  return result;
+}
+
+ResultSet FederatedEvaluator::Evaluate(const UnionQuery& q,
+                                       obs::ProfileNode* profile) const {
+  ResultSet result = EvaluateUnionQuery(*store_, q, /*greedy=*/true, profile);
   ApplySolutionModifiers(q, result);
+  WDR_COUNTER_ADD("wdr.query.rows", result.rows.size());
   return result;
 }
 

@@ -4,9 +4,14 @@
 #include <string>
 #include <vector>
 
+#include "obs/profile.h"
 #include "rdf/store_view.h"
 #include "rdf/union_store.h"
 #include "query/query.h"
+
+namespace wdr::rdf {
+class Dictionary;
+}  // namespace wdr::rdf
 
 namespace wdr::query {
 
@@ -50,6 +55,9 @@ class Evaluator {
     // the store's indexes). Disabling falls back to the query's written
     // atom order — the ablation bench_queryopt quantifies the difference.
     bool greedy_join_order = true;
+    // When set, profile-node operator labels render terms through this
+    // dictionary instead of as raw ids.
+    const rdf::Dictionary* dict = nullptr;
   };
 
   explicit Evaluator(const rdf::StoreView& store)
@@ -57,11 +65,17 @@ class Evaluator {
   Evaluator(const rdf::StoreView& store, const Options& options)
       : store_(&store), options_(options) {}
 
-  ResultSet Evaluate(const BgpQuery& q) const;
+  // `profile`, when non-null, receives one child per join operator with
+  // EXPLAIN-ANALYZE-style stats (rows produced, triples enumerated, cursor
+  // opens, inclusive wall time). A null profile collects nothing and adds
+  // no measurable cost to the join.
+  ResultSet Evaluate(const BgpQuery& q,
+                     obs::ProfileNode* profile = nullptr) const;
 
   // Set-union of branch answers (always de-duplicated: a UCQ's answers are
   // a set, and reformulation disjuncts overlap heavily).
-  ResultSet Evaluate(const UnionQuery& q) const;
+  ResultSet Evaluate(const UnionQuery& q,
+                     obs::ProfileNode* profile = nullptr) const;
 
   // Number of rows without materializing them all (still enumerates).
   size_t CountAnswers(const BgpQuery& q) const;
@@ -80,8 +94,10 @@ class FederatedEvaluator {
   explicit FederatedEvaluator(const rdf::UnionStore& store)
       : store_(&store) {}
 
-  ResultSet Evaluate(const BgpQuery& q) const;
-  ResultSet Evaluate(const UnionQuery& q) const;
+  ResultSet Evaluate(const BgpQuery& q,
+                     obs::ProfileNode* profile = nullptr) const;
+  ResultSet Evaluate(const UnionQuery& q,
+                     obs::ProfileNode* profile = nullptr) const;
 
  private:
   const rdf::UnionStore* store_;  // not owned

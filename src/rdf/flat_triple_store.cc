@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace wdr::rdf {
 
 // Merging cursor over one flat index: the contiguous main range and the
@@ -96,6 +98,9 @@ void FlatTripleStore::Build(std::vector<Triple> triples) {
 
 void FlatTripleStore::Compact() {
   if (delta_[0].empty() && tombstones_.empty()) return;
+  WDR_COUNTER_INC("wdr.store.flat.compactions");
+  WDR_COUNTER_ADD("wdr.store.flat.delta_merged", delta_[0].size());
+  WDR_COUNTER_ADD("wdr.store.flat.tombstones_merged", tombstones_.size());
   for (size_t i = 0; i < kIndexOrderCount; ++i) {
     const IndexOrder order = static_cast<IndexOrder>(i);
     std::vector<Triple> merged;
@@ -124,10 +129,15 @@ void FlatTripleStore::Compact() {
 }
 
 void FlatTripleStore::MaybeCompact() {
-  if (open_scans_ > 0) return;  // cursors hold pointers into main_
   const size_t pending = delta_[0].size() + tombstones_.size();
   if (pending < kMergeFloor) return;
   if (pending * 4 < main_[0].size()) return;  // amortize the linear rebuild
+  if (open_scans_ > 0) {
+    // Cursors hold pointers into main_; the merge is retried on the next
+    // mutation after they close.
+    WDR_COUNTER_INC("wdr.store.flat.compactions_deferred");
+    return;
+  }
   Compact();
 }
 
@@ -180,6 +190,7 @@ size_t FlatTripleStore::InsertBatch(std::span<const Triple> batch) {
       batch.size() * 2 >= before) {
     // Large batch relative to the store: one linear rebuild beats
     // per-triple delta maintenance.
+    WDR_COUNTER_INC("wdr.store.flat.bulk_builds");
     std::vector<Triple> all = ToVector();
     all.insert(all.end(), batch.begin(), batch.end());
     Build(std::move(all));
@@ -272,6 +283,7 @@ size_t FlatTripleStore::EstimateCount(TermId s, TermId p, TermId o) const {
 
 void FlatTripleStore::OpenScan(ScanHandle& handle, TermId s, TermId p,
                                TermId o) const {
+  WDR_COUNTER_INC("wdr.store.flat.scans");
   handle.Emplace<FlatScanCursor>(*this, PlanScan(s, p, o));
 }
 

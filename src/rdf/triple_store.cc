@@ -1,5 +1,7 @@
 #include "rdf/triple_store.h"
 
+#include "obs/metrics.h"
+
 namespace wdr::rdf {
 namespace {
 
@@ -63,6 +65,7 @@ void TripleStore::Clear() {
 
 void TripleStore::OpenScan(ScanHandle& handle, TermId s, TermId p,
                            TermId o) const {
+  WDR_COUNTER_INC("wdr.store.ordered.scans");
   const ScanPlan plan = PlanScan(s, p, o);
   handle.Emplace<SetScanCursor>(IndexFor(plan.order), plan);
 }

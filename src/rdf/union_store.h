@@ -17,6 +17,14 @@ namespace wdr::rdf {
 // with the smallest index wins), preserving set semantics.
 class UnionStore {
  public:
+  // Per-member scan accounting, collected only after EnableMemberStats():
+  // how often each member was probed and how many triples it contributed
+  // (post-dedup). The federation layer reports these per endpoint.
+  struct MemberStats {
+    uint64_t matches = 0;  // Match calls issued to this member
+    uint64_t rows = 0;     // triples this member contributed
+  };
+
   UnionStore() = default;
   explicit UnionStore(std::vector<const StoreView*> members)
       : members_(std::move(members)) {}
@@ -24,6 +32,15 @@ class UnionStore {
   void AddMember(const StoreView* store) { members_.push_back(store); }
 
   size_t member_count() const { return members_.size(); }
+
+  // Turns on per-member accounting (off by default: the counters sit on
+  // the match hot path). Resets any previous stats.
+  void EnableMemberStats() const {
+    stats_.assign(members_.size(), MemberStats{});
+  }
+
+  // Empty unless EnableMemberStats() was called.
+  const std::vector<MemberStats>& member_stats() const { return stats_; }
 
   bool Contains(const Triple& t) const {
     for (const StoreView* member : members_) {
@@ -51,12 +68,15 @@ class UnionStore {
   // exactly once across members.
   template <typename Fn>
   void Match(TermId s, TermId p, TermId o, Fn&& fn) const {
+    const bool collect = !stats_.empty();
     for (size_t i = 0; i < members_.size(); ++i) {
       bool keep_going = true;
+      if (collect) ++stats_[i].matches;
       members_[i]->Match(s, p, o, [&](const Triple& t) {
         for (size_t j = 0; j < i; ++j) {
           if (members_[j]->Contains(t)) return true;  // already reported
         }
+        if (collect) ++stats_[i].rows;
         keep_going = internal::InvokeMatchFn(fn, t);
         return keep_going;
       });
@@ -72,6 +92,7 @@ class UnionStore {
 
  private:
   std::vector<const StoreView*> members_;  // not owned
+  mutable std::vector<MemberStats> stats_;  // empty = accounting off
 };
 
 }  // namespace wdr::rdf

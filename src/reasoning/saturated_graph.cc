@@ -4,6 +4,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace wdr::reasoning {
 namespace {
 
@@ -66,16 +69,20 @@ void SaturatedGraph::Rebuild() {
 size_t SaturatedGraph::Insert(const Triple& t) {
   base_.Insert(t);
   ++stats_.inserts;
+  WDR_COUNTER_INC("wdr.maintenance.inserts");
   if (!closure_->Insert(t)) return 0;  // already entailed
   std::deque<Triple> worklist{t};
   size_t added = 1 + Propagate(MakeEngine(), *closure_, worklist);
   stats_.closure_added += added;
+  WDR_COUNTER_ADD("wdr.maintenance.closure_added", added);
   return added;
 }
 
 size_t SaturatedGraph::Erase(const Triple& t) {
   if (!base_.Erase(t)) return 0;
   ++stats_.deletes;
+  WDR_COUNTER_INC("wdr.maintenance.deletes");
+  obs::Span span("wdr.maintenance.dred");
 
   const RuleEngine engine = MakeEngine();
 
@@ -131,6 +138,11 @@ size_t SaturatedGraph::Erase(const Triple& t) {
 
   const size_t removed = before - closure_->size();
   stats_.closure_removed += removed;
+  WDR_COUNTER_ADD("wdr.maintenance.overdeleted", overdeleted.size());
+  WDR_COUNTER_ADD("wdr.maintenance.rederived", rederived);
+  WDR_COUNTER_ADD("wdr.maintenance.closure_removed", removed);
+  span.AddAttr("overdeleted", static_cast<uint64_t>(overdeleted.size()));
+  span.AddAttr("rederived", static_cast<uint64_t>(rederived));
   return removed;
 }
 

@@ -1,21 +1,59 @@
 #include "reasoning/saturation.h"
 
 #include <deque>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace wdr::reasoning {
+namespace {
+
+// Registry flush happens once per saturation run (not per derivation): the
+// worklist loop pays only plain local increments.
+void FlushSaturationCounters(const RuleFirings& firings, size_t derived,
+                             size_t rounds) {
+  WDR_COUNTER_INC("wdr.saturation.runs");
+  WDR_COUNTER_ADD("wdr.saturation.derived", derived);
+  WDR_COUNTER_ADD("wdr.saturation.rounds", rounds);
+  for (int i = 0; i < kRuleCount; ++i) {
+    if (firings.counts[static_cast<size_t>(i)] == 0) continue;
+    const RuleId rule = static_cast<RuleId>(i);
+    obs::MetricsRegistry::Get()
+        .GetCounter(std::string("wdr.saturation.firings.") + RuleName(rule))
+        .Add(firings.counts[static_cast<size_t>(i)]);
+  }
+}
+
+}  // namespace
 
 void Saturator::SaturateInto(const rdf::StoreView& base,
                              rdf::StoreView& closure,
                              SaturationStats* stats) const {
+  static obs::Histogram& latency =
+      obs::MetricsRegistry::Get().GetHistogram("wdr.saturation.build");
+  obs::Span span("wdr.saturation.build", &latency);
+
   std::deque<rdf::Triple> worklist;
   closure.InsertBatch(base.ToVector());
   base.Match(0, 0, 0,
              [&](const rdf::Triple& t) { worklist.push_back(t); });
 
+  // Rounds are worklist generations: round 1 consumes the base triples,
+  // round k+1 consumes the triples derived during round k. The count is
+  // the derivation depth of the closure (BFS levels), useful for judging
+  // how recursive a schema is.
   RuleFirings firings;
+  size_t rounds = worklist.empty() ? 0 : 1;
+  size_t in_round = worklist.size();  // items left in the current generation
   while (!worklist.empty()) {
+    if (in_round == 0) {
+      in_round = worklist.size();
+      ++rounds;
+    }
     rdf::Triple t = worklist.front();
     worklist.pop_front();
+    --in_round;
     engine_.ForEachConsequence(closure, t,
                                [&](const rdf::Triple& c, RuleId rule) {
                                  if (closure.Insert(c)) {
@@ -25,10 +63,16 @@ void Saturator::SaturateInto(const rdf::StoreView& base,
                                });
   }
 
+  const size_t derived = closure.size() - base.size();
+  FlushSaturationCounters(firings, derived, rounds);
+  span.AddAttr("derived", static_cast<uint64_t>(derived));
+  span.AddAttr("rounds", static_cast<uint64_t>(rounds));
+
   if (stats != nullptr) {
     stats->base_triples = base.size();
     stats->closure_triples = closure.size();
-    stats->derived_triples = closure.size() - base.size();
+    stats->derived_triples = derived;
+    stats->rounds = rounds;
     stats->firings = firings;
   }
 }

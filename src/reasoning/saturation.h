@@ -14,6 +14,7 @@ struct SaturationStats {
   size_t base_triples = 0;
   size_t closure_triples = 0;
   size_t derived_triples = 0;  // closure_triples - base_triples
+  size_t rounds = 0;           // fixpoint rounds (worklist generations)
   RuleFirings firings;         // successful derivations per rule
 };
 

@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "reasoning/saturation.h"
 #include "reformulation/subsumption.h"
 
@@ -172,6 +173,11 @@ Result<UnionQuery> Reformulator::Reformulate(const BgpQuery& q,
 
   size_t pruned = 0;
   if (options_.minimize) result = MinimizeUnion(result, &pruned);
+
+  WDR_COUNTER_INC("wdr.reformulation.runs");
+  WDR_COUNTER_ADD("wdr.reformulation.cqs", result.size());
+  WDR_COUNTER_ADD("wdr.reformulation.rewrite_steps", rewrite_steps);
+  WDR_COUNTER_ADD("wdr.reformulation.pruned_cqs", pruned);
 
   if (stats != nullptr) {
     stats->conjunctive_queries = result.size();

@@ -4,12 +4,30 @@
 #include "common/timer.h"
 #include "io/ntriples.h"
 #include "io/turtle.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/sparql_parser.h"
 #include "reasoning/explain.h"
 #include "reasoning/saturation.h"
 #include "store/update_parser.h"
 
 namespace wdr::store {
+namespace {
+
+// Per-update latency histograms, split by schema vs instance triple: the
+// paper's cost model treats the two very differently (schema updates
+// re-close the schema; instance updates run DRed in saturation mode), and
+// the analysis advisor consumes exactly this split.
+obs::Histogram& UpdateHistogram(bool is_schema, bool is_insert) {
+  const char* name = is_schema
+                         ? (is_insert ? "wdr.store.update.schema_insert"
+                                      : "wdr.store.update.schema_delete")
+                         : (is_insert ? "wdr.store.update.instance_insert"
+                                      : "wdr.store.update.instance_delete");
+  return obs::MetricsRegistry::Get().GetHistogram(name);
+}
+
+}  // namespace
 
 const char* ReasoningModeName(ReasoningMode mode) {
   switch (mode) {
@@ -87,56 +105,112 @@ const schema::Schema& ReasoningStore::CachedSchema() {
 }
 
 Result<size_t> ReasoningStore::LoadTurtle(std::string_view text) {
+  obs::Span span("wdr.store.load");
   WDR_ASSIGN_OR_RETURN(size_t added, io::ParseTurtle(text, graph_));
   OnUpdate(/*schema_changed=*/true);
   if (saturated_.has_value()) saturated_.emplace(graph_, vocab_);
+  WDR_COUNTER_ADD("wdr.store.loaded_triples", added);
+  span.AddAttr("triples", static_cast<uint64_t>(added));
   return added;
 }
 
 Result<size_t> ReasoningStore::LoadNTriples(std::string_view text) {
+  obs::Span span("wdr.store.load");
   WDR_ASSIGN_OR_RETURN(size_t added, io::ParseNTriples(text, graph_));
   OnUpdate(/*schema_changed=*/true);
   if (saturated_.has_value()) saturated_.emplace(graph_, vocab_);
+  WDR_COUNTER_ADD("wdr.store.loaded_triples", added);
+  span.AddAttr("triples", static_cast<uint64_t>(added));
   return added;
 }
 
 Result<query::ResultSet> ReasoningStore::Query(std::string_view sparql,
                                                QueryInfo* info) {
+  obs::Histogram& latency = obs::MetricsRegistry::Get().GetHistogram(
+      std::string("wdr.store.query.") + ReasoningModeName(options_.mode));
+  obs::Span span("wdr.store.query", &latency);
+  span.AddAttr("mode", ReasoningModeName(options_.mode));
+  WDR_COUNTER_INC("wdr.store.queries");
+
   Timer timer;
   WDR_ASSIGN_OR_RETURN(query::UnionQuery q,
                        query::ParseSparql(sparql, graph_.dict()));
-  Result<query::ResultSet> result = Dispatch(q, info);
+
+  std::shared_ptr<obs::ProfileNode> profile;
+  if (profiling_ && info != nullptr) {
+    profile = std::make_shared<obs::ProfileNode>();
+    profile->label =
+        std::string("query [mode=") + ReasoningModeName(options_.mode) + "]";
+  }
+  Result<query::ResultSet> result = Dispatch(q, info, profile.get());
   if (info != nullptr) {
     info->mode = options_.mode;
     info->seconds = timer.ElapsedSeconds();
+    info->profile = std::move(profile);
   }
   return result;
 }
 
 Result<query::ResultSet> ReasoningStore::Dispatch(const query::UnionQuery& q,
-                                                  QueryInfo* info) {
+                                                  QueryInfo* info,
+                                                  obs::ProfileNode* profile) {
+  query::Evaluator::Options eval_options;
+  eval_options.dict = &graph_.dict();
   switch (options_.mode) {
     case ReasoningMode::kNone: {
-      query::Evaluator evaluator(graph_.store());
-      return evaluator.Evaluate(q);
+      query::Evaluator evaluator(graph_.store(), eval_options);
+      return evaluator.Evaluate(q, profile);
     }
     case ReasoningMode::kSaturation: {
-      query::Evaluator evaluator(saturated_->closure());
-      return evaluator.Evaluate(q);
+      query::Evaluator evaluator(saturated_->closure(), eval_options);
+      return evaluator.Evaluate(q, profile);
     }
     case ReasoningMode::kReformulation: {
       reformulation::Reformulator reformulator(CachedSchema(), vocab_,
                                                options_.reformulation);
+      reformulation::ReformulationStats ref_stats;
+      double rewrite_seconds = 0;
+      Result<query::UnionQuery> reformulated_or = [&] {
+        ScopedTimer<> rewrite_timer(rewrite_seconds);
+        return reformulator.Reformulate(q, &ref_stats);
+      }();
       WDR_ASSIGN_OR_RETURN(query::UnionQuery reformulated,
-                           reformulator.Reformulate(q));
+                           std::move(reformulated_or));
+      obs::MetricsRegistry::Get()
+          .GetHistogram("wdr.store.reformulation.rewrite")
+          .RecordSeconds(rewrite_seconds);
       if (info != nullptr) info->union_size = reformulated.size();
-      query::Evaluator evaluator(graph_.store());
-      return evaluator.Evaluate(reformulated);
+      if (profile != nullptr) {
+        obs::ProfileNode& rewrite = profile->AddChild(
+            "reformulate (" + std::to_string(reformulated.size()) + " CQs, " +
+            std::to_string(ref_stats.pruned_cqs) + " pruned)");
+        rewrite.rows = reformulated.size();
+        rewrite.seconds = rewrite_seconds;
+      }
+      query::Evaluator evaluator(graph_.store(), eval_options);
+      return evaluator.Evaluate(reformulated, profile);
     }
     case ReasoningMode::kBackward: {
       backward::BackwardChainingEvaluator evaluator(graph_.store(),
                                                     CachedSchema(), vocab_);
-      return evaluator.Evaluate(q);
+      if (profile == nullptr) return evaluator.Evaluate(q);
+      backward::BackwardStats stats;
+      double seconds = 0;
+      Result<query::ResultSet> result = [&] {
+        ScopedTimer<> eval_timer(seconds);
+        return evaluator.Evaluate(q, &stats);
+      }();
+      obs::ProfileNode& node = profile->AddChild(
+          "backward_join (" + std::to_string(stats.atom_alternatives) +
+          " alternatives)");
+      node.scans = stats.index_probes;
+      node.seconds = seconds;
+      profile->seconds += seconds;
+      if (result.ok()) {
+        node.rows = result.value().rows.size();
+        profile->rows = result.value().rows.size();
+      }
+      return result;
     }
   }
   return InternalError("unknown reasoning mode");
@@ -183,38 +257,46 @@ Result<std::string> ReasoningStore::ExplainTriple(
 }
 
 UpdateInfo ReasoningStore::Insert(const rdf::Triple& t) {
-  Timer timer;
   UpdateInfo info;
-  // A triple previously present only as a derived schema edge becomes an
-  // asserted one: stop tracking it as derived.
-  for (auto it = derived_schema_.begin(); it != derived_schema_.end(); ++it) {
-    if (*it == t) {
-      derived_schema_.erase(it);
-      break;
+  const bool is_schema = vocab_.IsSchemaProperty(t.p);
+  {
+    ScopedTimer<> timer(info.seconds);
+    // A triple previously present only as a derived schema edge becomes an
+    // asserted one: stop tracking it as derived.
+    for (auto it = derived_schema_.begin(); it != derived_schema_.end();
+         ++it) {
+      if (*it == t) {
+        derived_schema_.erase(it);
+        break;
+      }
     }
+    info.inserted = graph_.Insert(t) ? 1 : 0;
+    if (saturated_.has_value()) info.closure_delta = saturated_->Insert(t);
+    OnUpdate(is_schema);
   }
-  info.inserted = graph_.Insert(t) ? 1 : 0;
-  if (saturated_.has_value()) info.closure_delta = saturated_->Insert(t);
-  OnUpdate(vocab_.IsSchemaProperty(t.p));
-  info.seconds = timer.ElapsedSeconds();
+  UpdateHistogram(is_schema, /*is_insert=*/true).RecordSeconds(info.seconds);
   return info;
 }
 
 UpdateInfo ReasoningStore::Erase(const rdf::Triple& t) {
-  Timer timer;
   UpdateInfo info;
-  info.deleted = graph_.Erase(t) ? 1 : 0;
-  if (saturated_.has_value()) info.closure_delta = saturated_->Erase(t);
-  // Re-closing may legitimately re-add the erased triple if it is still
-  // entailed by the remaining schema (deleting an entailed triple is a
-  // no-op on the semantics, as the paper's §II-B maintenance discussion
-  // assumes).
-  OnUpdate(vocab_.IsSchemaProperty(t.p));
-  info.seconds = timer.ElapsedSeconds();
+  const bool is_schema = vocab_.IsSchemaProperty(t.p);
+  {
+    ScopedTimer<> timer(info.seconds);
+    info.deleted = graph_.Erase(t) ? 1 : 0;
+    if (saturated_.has_value()) info.closure_delta = saturated_->Erase(t);
+    // Re-closing may legitimately re-add the erased triple if it is still
+    // entailed by the remaining schema (deleting an entailed triple is a
+    // no-op on the semantics, as the paper's §II-B maintenance discussion
+    // assumes).
+    OnUpdate(is_schema);
+  }
+  UpdateHistogram(is_schema, /*is_insert=*/false).RecordSeconds(info.seconds);
   return info;
 }
 
 Result<UpdateInfo> ReasoningStore::Update(std::string_view sparql_update) {
+  obs::Span span("wdr.store.update");
   Timer timer;
   WDR_ASSIGN_OR_RETURN(std::vector<UpdateOp> ops,
                        ParseSparqlUpdate(sparql_update, graph_.dict()));
@@ -228,6 +310,8 @@ Result<UpdateInfo> ReasoningStore::Update(std::string_view sparql_update) {
     }
   }
   total.seconds = timer.ElapsedSeconds();
+  span.AddAttr("inserted", static_cast<uint64_t>(total.inserted));
+  span.AddAttr("deleted", static_cast<uint64_t>(total.deleted));
   return total;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/profile.h"
 #include "query/evaluator.h"
 #include "rdf/graph.h"
 #include "reasoning/saturated_graph.h"
@@ -48,6 +49,9 @@ struct QueryInfo {
   ReasoningMode mode = ReasoningMode::kNone;
   size_t union_size = 1;     // UCQ disjuncts evaluated (reformulation)
   double seconds = 0;        // wall-clock, parse included
+  // Per-operator EXPLAIN-ANALYZE tree; set only when the store's
+  // profiling flag is on (see SetProfiling). Render() pretty-prints it.
+  std::shared_ptr<obs::ProfileNode> profile;
 };
 
 // Counts of applied update operations.
@@ -128,6 +132,12 @@ class ReasoningStore {
   // rebuilding the closure in saturation mode). No-op if unchanged.
   void SetBackend(rdf::StorageBackend backend);
 
+  // Toggles per-query operator profiling. When on, Query() fills
+  // QueryInfo::profile with a per-operator stats tree. Off by default:
+  // profiling adds a timer read per join operator.
+  void SetProfiling(bool on) { profiling_ = on; }
+  bool profiling() const { return profiling_; }
+
   // --- Introspection --------------------------------------------------------
 
   rdf::Graph& graph() { return graph_; }
@@ -150,9 +160,11 @@ class ReasoningStore {
   const schema::Schema& CachedSchema();
 
   Result<query::ResultSet> Dispatch(const query::UnionQuery& q,
-                                    QueryInfo* info);
+                                    QueryInfo* info,
+                                    obs::ProfileNode* profile);
 
   ReasoningStoreOptions options_;
+  bool profiling_ = false;
   rdf::Graph graph_;
   schema::Vocabulary vocab_;
 

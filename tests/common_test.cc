@@ -143,5 +143,28 @@ TEST(TimerTest, MeasuresElapsedTime) {
   EXPECT_GE(t.ElapsedMicros(), 0.0);
 }
 
+TEST(TimerTest, ScopedTimerWritesSinkAtScopeExit) {
+  double elapsed = -1.0;
+  {
+    ScopedTimer<> timer(elapsed);
+    EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+    EXPECT_EQ(elapsed, -1.0);  // not yet delivered
+  }
+  EXPECT_GE(elapsed, 0.0);
+}
+
+TEST(TimerTest, ScopedCallbackTimerInvokesCallable) {
+  double seen = -1.0;
+  int calls = 0;
+  {
+    ScopedCallbackTimer timer([&](double s) {
+      seen = s;
+      ++calls;
+    });
+  }
+  EXPECT_GE(seen, 0.0);
+  EXPECT_EQ(calls, 1);
+}
+
 }  // namespace
 }  // namespace wdr

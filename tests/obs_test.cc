@@ -1,0 +1,321 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "store/reasoning_store.h"
+
+namespace wdr::obs {
+namespace {
+
+// The registry is process-global, so tests read deltas against a snapshot
+// taken before the operation under test rather than absolute values.
+uint64_t CounterDelta(const MetricsSnapshot& before,
+                      const MetricsSnapshot& after, const std::string& name) {
+  return after.counter(name) - before.counter(name);
+}
+
+TEST(MetricsTest, CounterStartsAtZeroAndAccumulates) {
+  Counter& c = MetricsRegistry::Get().GetCounter("wdr.test.counter_basic");
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name returns the same object.
+  EXPECT_EQ(&MetricsRegistry::Get().GetCounter("wdr.test.counter_basic"), &c);
+}
+
+TEST(MetricsTest, GaugeLastWriteWins) {
+  Gauge& g = MetricsRegistry::Get().GetGauge("wdr.test.gauge_basic");
+  g.Set(7);
+  g.Add(-10);
+  EXPECT_EQ(g.value(), -3);
+}
+
+TEST(MetricsTest, CachedCounterMacroHitsTheRegistry) {
+  MetricsSnapshot before = MetricsRegistry::Get().Snapshot();
+  for (int i = 0; i < 5; ++i) WDR_COUNTER_INC("wdr.test.macro");
+  WDR_COUNTER_ADD("wdr.test.macro", 10);
+  MetricsSnapshot after = MetricsRegistry::Get().Snapshot();
+  EXPECT_EQ(CounterDelta(before, after, "wdr.test.macro"), 15u);
+}
+
+TEST(MetricsTest, HistogramMeanIsExactAndQuantilesBucketed) {
+  Histogram& h = MetricsRegistry::Get().GetHistogram("wdr.test.hist_basic");
+  h.RecordNanos(100);
+  h.RecordNanos(300);
+  MetricsSnapshot snap = MetricsRegistry::Get().Snapshot();
+  const HistogramData* data = snap.histogram("wdr.test.hist_basic");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->count, 2u);
+  // Mean carries no bucketing error: exact sum over exact count.
+  EXPECT_DOUBLE_EQ(data->MeanNanos(), 200.0);
+  // p99 of 2 samples must be the larger one's bucket (ceil(1.98) = rank 2),
+  // not the smaller's — a truncating rank computation returns the 100ns
+  // bucket here.
+  EXPECT_GE(data->QuantileNanos(0.99), 255.0);
+  // p50 is rank 1: the 100ns sample's bucket upper bound (127).
+  EXPECT_LT(data->QuantileNanos(0.5), 128.0);
+  // Quantiles are within-2x upper bounds.
+  EXPECT_LE(data->QuantileNanos(0.99), 600.0);
+}
+
+TEST(MetricsTest, HistogramRecordSecondsClampsNegative) {
+  Histogram& h = MetricsRegistry::Get().GetHistogram("wdr.test.hist_neg");
+  h.RecordSeconds(-1.0);
+  MetricsSnapshot snap = MetricsRegistry::Get().Snapshot();
+  const HistogramData* data = snap.histogram("wdr.test.hist_neg");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->count, 1u);
+  EXPECT_EQ(data->sum_nanos, 0u);
+}
+
+TEST(MetricsTest, SnapshotJsonContainsAllThreeSections) {
+  MetricsRegistry::Get().GetCounter("wdr.test.json_counter").Add(3);
+  MetricsRegistry::Get().GetGauge("wdr.test.json_gauge").Set(-5);
+  MetricsRegistry::Get().GetHistogram("wdr.test.json_hist").RecordNanos(1000);
+  std::string json = MetricsRegistry::Get().Snapshot().ToJson();
+
+  EXPECT_NE(json.find("\"wdr.test.json_counter\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"wdr.test.json_gauge\":-5"), std::string::npos);
+  EXPECT_NE(json.find("\"wdr.test.json_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":"), std::string::npos);
+
+  // Structural round-trip check without a JSON library: braces and quotes
+  // must balance, and the object must start/end cleanly.
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  int depth = 0;
+  size_t quotes = 0;
+  bool escaped = false;
+  bool in_string = false;
+  for (char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = true;
+      continue;
+    }
+    if (c == '"') {
+      in_string = !in_string;
+      ++quotes;
+      continue;
+    }
+    if (in_string) continue;
+    if (c == '{') ++depth;
+    if (c == '}') {
+      --depth;
+      ASSERT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(quotes % 2, 0u);
+}
+
+TEST(MetricsTest, ConcurrentWritersNeverTearASnapshot) {
+  Counter& c = MetricsRegistry::Get().GetCounter("wdr.test.concurrent");
+  Histogram& h =
+      MetricsRegistry::Get().GetHistogram("wdr.test.concurrent_hist");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        c.Add();
+        h.RecordNanos(64);
+      }
+    });
+  }
+  uint64_t last_counter = 0;
+  uint64_t last_hist_count = 0;
+  for (int i = 0; i < 200; ++i) {
+    MetricsSnapshot snap = MetricsRegistry::Get().Snapshot();
+    uint64_t counter = snap.counter("wdr.test.concurrent");
+    const HistogramData* data = snap.histogram("wdr.test.concurrent_hist");
+    ASSERT_NE(data, nullptr);
+    // Monotonicity across snapshots: a torn read would show regression.
+    EXPECT_GE(counter, last_counter);
+    EXPECT_GE(data->count, last_hist_count);
+    last_counter = counter;
+    last_hist_count = data->count;
+    // Snapshot reads buckets after count, and writers bump the bucket
+    // before the count, so the bucket sum can never under-report.
+    uint64_t bucket_sum = 0;
+    for (uint64_t b : data->buckets) bucket_sum += b;
+    EXPECT_GE(bucket_sum, data->count);
+  }
+  stop.store(true);
+  for (std::thread& w : writers) w.join();
+  MetricsSnapshot final_snap = MetricsRegistry::Get().Snapshot();
+  EXPECT_EQ(final_snap.counter("wdr.test.concurrent"), c.value());
+}
+
+TEST(ProfileTest, TreeRendersEveryNodeWithStats) {
+  ProfileNode root("query");
+  root.rows = 5;
+  root.seconds = 0.001;
+  ProfileNode& child = root.AddChild("scan (?x type Cat)");
+  child.rows = 5;
+  child.scans = 2;
+  child.triples = 40;
+  EXPECT_EQ(root.TotalScans(), 2u);
+  EXPECT_EQ(root.TotalTriples(), 40u);
+
+  std::string rendered = root.Render();
+  EXPECT_NE(rendered.find("query"), std::string::npos);
+  EXPECT_NE(rendered.find("scan (?x type Cat)"), std::string::npos);
+  EXPECT_NE(rendered.find("rows=5"), std::string::npos);
+  EXPECT_NE(rendered.find("triples=40"), std::string::npos);
+
+  std::string json = root.ToJson();
+  EXPECT_NE(json.find("\"label\":"), std::string::npos);
+  EXPECT_NE(json.find("\"children\":["), std::string::npos);
+}
+
+TEST(TraceTest, SpansRecordIntoRingBufferWhenEnabled) {
+  ClearTrace();
+  SetTraceEnabled(true);
+  {
+    Span outer("wdr.test.outer");
+    outer.AddAttr("k", std::string("v"));
+    outer.AddAttr("n", uint64_t{7});
+    Span inner("wdr.test.inner");
+  }
+  SetTraceEnabled(false);
+  std::vector<TraceEvent> events = TraceEvents();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner ends first, so it is buffered first, parented to the outer.
+  EXPECT_EQ(events[0].name, "wdr.test.inner");
+  EXPECT_EQ(events[1].name, "wdr.test.outer");
+  EXPECT_EQ(events[0].parent_id, events[1].span_id);
+  EXPECT_EQ(events[1].parent_id, 0u);
+  ASSERT_EQ(events[1].attrs.size(), 2u);
+  EXPECT_EQ(events[1].attrs[0].first, "k");
+  EXPECT_EQ(events[1].attrs[0].second, "v");
+  EXPECT_EQ(events[1].attrs[1].second, "7");
+
+  std::ostringstream out;
+  EXPECT_EQ(ExportTraceJsonLines(out), 2u);
+  EXPECT_NE(out.str().find("\"name\":\"wdr.test.outer\""), std::string::npos);
+  ClearTrace();
+  EXPECT_TRUE(TraceEvents().empty());
+}
+
+TEST(TraceTest, DisabledSpanIsInertAndUnbuffered) {
+  ClearTrace();
+  ASSERT_FALSE(TraceEnabled());
+  {
+    Span span("wdr.test.ghost");
+    span.AddAttr("k", std::string("v"));
+    EXPECT_EQ(span.ElapsedNanos(), 0u);
+  }
+  EXPECT_TRUE(TraceEvents().empty());
+}
+
+// --- End-to-end: instrumented reasoning paths ------------------------------
+
+constexpr const char* kThreeTriples = R"(
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix ex: <http://ex.org/> .
+ex:Cat rdfs:subClassOf ex:Mammal .
+ex:Mammal rdfs:subClassOf ex:Animal .
+ex:tom a ex:Cat .
+)";
+
+constexpr const char* kAnimalQuery =
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+    "PREFIX ex: <http://ex.org/>\n"
+    "SELECT ?x WHERE { ?x rdf:type ex:Animal }";
+
+TEST(ObsIntegrationTest, SaturationCountersAreDeterministic) {
+  MetricsSnapshot before = MetricsRegistry::Get().Snapshot();
+  store::ReasoningStoreOptions options;
+  options.mode = store::ReasoningMode::kSaturation;
+  store::ReasoningStore store(options);
+  ASSERT_TRUE(store.LoadTurtle(kThreeTriples).ok());
+  MetricsSnapshot after = MetricsRegistry::Get().Snapshot();
+
+  // The 3-triple graph saturates to exactly these derivations:
+  //   rdfs11: Cat subClassOf Mammal + Mammal subClassOf Animal
+  //           |= Cat subClassOf Animal                          (1 firing)
+  //   rdfs9 : tom type Cat walks the subclass hierarchy
+  //           |= tom type Mammal, tom type Animal               (2 firings,
+  //           plus duplicates re-derived via Cat subClassOf Animal and the
+  //           re-enqueued tom-type facts that the store deduplicates)
+  // 3 saturator runs: the store constructor's initial (empty) closure,
+  // the schema re-closure after load, and the full closure rebuild.
+  EXPECT_EQ(CounterDelta(before, after, "wdr.saturation.runs"), 3u);
+  EXPECT_EQ(CounterDelta(before, after, "wdr.saturation.derived"), 3u);
+  EXPECT_EQ(CounterDelta(before, after, "wdr.saturation.firings.rdfs11"), 1u);
+  EXPECT_GE(CounterDelta(before, after, "wdr.saturation.firings.rdfs9"), 2u);
+  EXPECT_EQ(CounterDelta(before, after, "wdr.saturation.firings.rdfs2"), 0u);
+  EXPECT_EQ(CounterDelta(before, after, "wdr.store.loaded_triples"), 3u);
+  const HistogramData* build = after.histogram("wdr.saturation.build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_GE(build->count, 1u);
+}
+
+TEST(ObsIntegrationTest, ProfileTreeRowsMatchAnswerCount) {
+  for (store::ReasoningMode mode :
+       {store::ReasoningMode::kSaturation,
+        store::ReasoningMode::kReformulation,
+        store::ReasoningMode::kBackward}) {
+    store::ReasoningStoreOptions options;
+    options.mode = mode;
+    store::ReasoningStore store(options);
+    ASSERT_TRUE(store.LoadTurtle(kThreeTriples).ok());
+    store.SetProfiling(true);
+
+    store::QueryInfo info;
+    auto result = store.Query(kAnimalQuery, &info);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->rows.size(), 1u);
+    ASSERT_NE(info.profile, nullptr)
+        << store::ReasoningModeName(mode);
+    EXPECT_EQ(info.profile->rows, result->rows.size())
+        << store::ReasoningModeName(mode);
+    EXPECT_NE(info.profile->label.find(store::ReasoningModeName(mode)),
+              std::string::npos);
+    EXPECT_FALSE(info.profile->children.empty());
+    EXPECT_GT(info.profile->seconds, 0.0);
+
+    // Profiling off: no tree is built.
+    store.SetProfiling(false);
+    store::QueryInfo off_info;
+    ASSERT_TRUE(store.Query(kAnimalQuery, &off_info).ok());
+    EXPECT_EQ(off_info.profile, nullptr);
+  }
+}
+
+TEST(ObsIntegrationTest, QueryHistogramsAccumulatePerMode) {
+  MetricsSnapshot before = MetricsRegistry::Get().Snapshot();
+  store::ReasoningStoreOptions options;
+  options.mode = store::ReasoningMode::kReformulation;
+  store::ReasoningStore store(options);
+  ASSERT_TRUE(store.LoadTurtle(kThreeTriples).ok());
+  ASSERT_TRUE(store.Query(kAnimalQuery).ok());
+  MetricsSnapshot after = MetricsRegistry::Get().Snapshot();
+
+  const HistogramData* h = after.histogram("wdr.store.query.reformulation");
+  ASSERT_NE(h, nullptr);
+  const HistogramData* h_before =
+      before.histogram("wdr.store.query.reformulation");
+  uint64_t before_count = h_before == nullptr ? 0 : h_before->count;
+  EXPECT_EQ(h->count - before_count, 1u);
+  EXPECT_EQ(CounterDelta(before, after, "wdr.store.queries"), 1u);
+  EXPECT_GE(CounterDelta(before, after, "wdr.reformulation.runs"), 1u);
+}
+
+}  // namespace
+}  // namespace wdr::obs
