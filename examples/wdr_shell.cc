@@ -3,7 +3,8 @@
 //
 // Usage:
 //   wdr_shell [--mode=saturation|reformulation|backward|none]
-//             [--backend=ordered|flat] [--script=FILE] [file.ttl ...]
+//             [--backend=ordered|flat] [--threads=N] [--script=FILE]
+//             [file.ttl ...]
 //
 // Reads commands from stdin (one per line):
 //   SELECT ...          run a SPARQL query
@@ -11,6 +12,7 @@
 //   .load FILE          load a Turtle/N-Triples file
 //   .mode MODE          switch reasoning technique at run time
 //   .backend ENGINE     switch storage engine (ordered|flat) at run time
+//   .threads N          saturation worker threads for closure builds
 //   .profile on|off     per-operator query profiling (EXPLAIN ANALYZE)
 //   .trace FILE / off   capture spans; "off" writes JSON lines to FILE
 //   .stats              store statistics + live wdr.* metrics
@@ -22,6 +24,7 @@
 //
 // Without stdin input (or with --demo) runs a scripted demonstration so
 // the binary is exercisable non-interactively.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -65,6 +68,7 @@ void PrintHelp() {
                "  .explain <s> <p> <o> .  prove why a triple is entailed\n"
                "  .mode MODE            saturation|reformulation|backward|none\n"
                "  .backend ENGINE       ordered|flat storage engine\n"
+               "  .threads N            saturation worker threads (N >= 1)\n"
                "  .profile on|off       per-operator query profiling\n"
                "  .trace FILE           start span capture\n"
                "  .trace off            stop capture, write JSON lines to "
@@ -178,6 +182,18 @@ bool RunCommand(ReasoningStore& store, const std::string& line) {
       std::cerr << "unknown backend '" << argument << "'\n";
       return false;
     }
+    if (command == ".threads") {
+      char* end = nullptr;
+      const long threads = std::strtol(argument.c_str(), &end, 10);
+      if (end != nullptr && *end == '\0' && threads >= 1) {
+        store.SetSaturationThreads(static_cast<int>(threads));
+        std::cout << "saturation threads = " << store.saturation_threads()
+                  << "\n";
+        return true;
+      }
+      std::cerr << "usage: .threads N (N >= 1)\n";
+      return false;
+    }
     if (command == ".profile") {
       if (argument == "on" || argument == "off") {
         store.SetProfiling(argument == "on");
@@ -273,6 +289,8 @@ void RunDemo(ReasoningStore& store) {
       "PREFIX ex: <http://ex.org/> "
       "SELECT ?x WHERE { ?x rdf:type ex:Mammal }",
       ".profile off",
+      ".threads 2",
+      ".mode saturation",
       ".backend flat",
       "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
       "PREFIX ex: <http://ex.org/> "
@@ -306,6 +324,13 @@ int main(int argc, char** argv) {
         std::cerr << "unknown backend in " << arg << "\n";
         return EXIT_FAILURE;
       }
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      int threads = std::atoi(arg.substr(10).c_str());
+      if (threads < 1) {
+        std::cerr << "invalid thread count in " << arg << "\n";
+        return EXIT_FAILURE;
+      }
+      options.saturation.threads = threads;
     } else if (arg.rfind("--script=", 0) == 0) {
       script_path = arg.substr(9);
     } else if (arg == "--script" && i + 1 < argc) {

@@ -37,7 +37,8 @@ Result<MeasureReport> MeasureCostProfile(const rdf::Graph& graph,
 
   // One-time saturation cost.
   Timer timer;
-  reasoning::SaturatedGraph saturated(graph, vocab);
+  reasoning::SaturatedGraph saturated(graph, vocab, /*enable_owl=*/false,
+                                      options.saturation);
   report.costs.saturation_seconds = timer.ElapsedSeconds();
   report.closure_triples = saturated.closure().size();
 

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "query/query.h"
 #include "rdf/graph.h"
+#include "reasoning/saturation.h"
 #include "schema/vocabulary.h"
 
 namespace wdr::analysis {
@@ -23,6 +24,10 @@ struct UpdateSample {
 struct MeasureOptions {
   // Query evaluations are repeated and averaged.
   int query_repetitions = 3;
+  // Applied to the closure build and maintenance being measured, so the
+  // thresholds reflect the deployment's actual saturation configuration
+  // (parallel saturation lowers the amortization point).
+  reasoning::SaturationOptions saturation;
 };
 
 // Side measurements produced along the way, reported by the benches.

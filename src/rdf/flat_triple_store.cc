@@ -14,7 +14,7 @@ class FlatScanCursor final : public ScanCursor {
  public:
   FlatScanCursor(const FlatTripleStore& store, const ScanPlan& plan)
       : store_(&store), plan_(plan) {
-    ++store_->open_scans_;
+    store_->open_scans_.fetch_add(1, std::memory_order_relaxed);
     std::tie(mcur_, mend_) = store_->MainRange(plan_);
     Triple lo;
     plan_.KeyBounds(&lo, &hi_);
@@ -25,7 +25,9 @@ class FlatScanCursor final : public ScanCursor {
     check_tombstones_ = !store_->tombstones_.empty();
   }
 
-  ~FlatScanCursor() override { --store_->open_scans_; }
+  ~FlatScanCursor() override {
+    store_->open_scans_.fetch_sub(1, std::memory_order_relaxed);
+  }
 
   size_t NextBatch(Triple* out, size_t cap) override {
     size_t n = 0;
@@ -132,7 +134,7 @@ void FlatTripleStore::MaybeCompact() {
   const size_t pending = delta_[0].size() + tombstones_.size();
   if (pending < kMergeFloor) return;
   if (pending * 4 < main_[0].size()) return;  // amortize the linear rebuild
-  if (open_scans_ > 0) {
+  if (open_scans_.load(std::memory_order_relaxed) > 0) {
     // Cursors hold pointers into main_; the merge is retried on the next
     // mutation after they close.
     WDR_COUNTER_INC("wdr.store.flat.compactions_deferred");
@@ -186,7 +188,8 @@ size_t FlatTripleStore::InsertBatch(std::span<const Triple> batch) {
     Build(std::vector<Triple>(batch.begin(), batch.end()));
     return size();
   }
-  if (open_scans_ == 0 && batch.size() >= kMergeFloor &&
+  if (open_scans_.load(std::memory_order_relaxed) == 0 &&
+      batch.size() >= kMergeFloor &&
       batch.size() * 2 >= before) {
     // Large batch relative to the store: one linear rebuild beats
     // per-triple delta maintenance.

@@ -2,11 +2,13 @@
 #define WDR_RDF_FLAT_TRIPLE_STORE_H_
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <set>
 #include <span>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "rdf/store_view.h"
@@ -43,8 +45,22 @@ class FlatTripleStore final : public StoreView {
     }
     return *this;
   }
-  FlatTripleStore(FlatTripleStore&&) = default;
-  FlatTripleStore& operator=(FlatTripleStore&&) = default;
+  // Moves transfer the data but not the open-scan count (moving a store
+  // with live cursors is a caller bug either way: cursors hold pointers
+  // into the source). Spelled out because the atomic counter is not
+  // movable.
+  FlatTripleStore(FlatTripleStore&& other) noexcept
+      : main_(std::move(other.main_)),
+        delta_(std::move(other.delta_)),
+        tombstones_(std::move(other.tombstones_)) {}
+  FlatTripleStore& operator=(FlatTripleStore&& other) noexcept {
+    if (this != &other) {
+      main_ = std::move(other.main_);
+      delta_ = std::move(other.delta_);
+      tombstones_ = std::move(other.tombstones_);
+    }
+    return *this;
+  }
 
   // Bulk load: replaces the contents with `triples` (sorted and
   // de-duplicated here), leaving an empty delta. The loaders and the
@@ -103,8 +119,11 @@ class FlatTripleStore final : public StoreView {
   // Main-array triples erased since the last merge (s/p/o space).
   std::unordered_set<Triple, TripleHash> tombstones_;
   // Open cursors holding pointers into main_; merges are deferred while
-  // any scan is live.
-  mutable size_t open_scans_ = 0;
+  // any scan is live. Atomic because concurrent *readers* (parallel
+  // saturation workers scanning a frozen store) open and close cursors
+  // from several threads at once; relaxed ordering suffices since the
+  // count only gates compaction, which runs on the (single) writer thread.
+  mutable std::atomic<size_t> open_scans_{0};
 };
 
 }  // namespace wdr::rdf

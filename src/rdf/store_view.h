@@ -189,6 +189,14 @@ bool ParseStorageBackend(std::string_view name, StorageBackend* backend);
 // (ordered sets, flat arrays, future columnar/sharded backends) live behind
 // this interface; no consumer outside src/rdf names a backend type on its
 // evaluation path.
+//
+// Concurrency contract: any number of threads may *read* one store
+// concurrently (Contains/Count/EstimateCount/OpenScan/Match/ToVector) as
+// long as no thread mutates it — backends keep their read paths free of
+// non-atomic mutable state. Mutations require exclusive access; there is
+// no internal locking. Parallel saturation relies on exactly this split:
+// worker threads scan a frozen closure, and a single merge thread writes
+// between rounds.
 class StoreView {
  public:
   virtual ~StoreView() = default;

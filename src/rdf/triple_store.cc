@@ -1,5 +1,7 @@
 #include "rdf/triple_store.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 
 namespace wdr::rdf {
@@ -55,6 +57,37 @@ bool TripleStore::Erase(const Triple& t) {
   pos_.erase(PermuteKey(t, IndexOrder::kPos));
   osp_.erase(PermuteKey(t, IndexOrder::kOsp));
   return true;
+}
+
+size_t TripleStore::InsertBatch(std::span<const Triple> batch) {
+  if (batch.empty()) return 0;
+  std::vector<Triple> keys(batch.begin(), batch.end());
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  const size_t before = spo_.size();
+  {
+    auto hint = spo_.begin();
+    for (const Triple& t : keys) {
+      hint = spo_.insert(hint, t);
+      ++hint;
+    }
+  }
+  const size_t added = spo_.size() - before;
+  if (added != 0) {
+    for (IndexOrder order : {IndexOrder::kPos, IndexOrder::kOsp}) {
+      std::set<Triple>& index = order == IndexOrder::kPos ? pos_ : osp_;
+      std::vector<Triple> permuted;
+      permuted.reserve(keys.size());
+      for (const Triple& t : keys) permuted.push_back(PermuteKey(t, order));
+      std::sort(permuted.begin(), permuted.end());
+      auto hint = index.begin();
+      for (const Triple& t : permuted) {
+        hint = index.insert(hint, t);
+        ++hint;
+      }
+    }
+  }
+  return added;
 }
 
 void TripleStore::Clear() {

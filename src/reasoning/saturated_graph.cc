@@ -14,30 +14,13 @@ using rdf::StoreView;
 using rdf::Triple;
 using rdf::TripleHash;
 
-// Inserts every triple of `seed` into `closure` and propagates consequences
-// to fixpoint. Returns the number of triples added.
-size_t Propagate(const RuleEngine& engine, StoreView& closure,
-                 std::deque<Triple>& worklist) {
-  size_t added = 0;
-  while (!worklist.empty()) {
-    Triple t = worklist.front();
-    worklist.pop_front();
-    engine.ForEachConsequence(closure, t, [&](const Triple& c, RuleId) {
-      if (closure.Insert(c)) {
-        ++added;
-        worklist.push_back(c);
-      }
-    });
-  }
-  return added;
-}
-
 }  // namespace
 
 SaturatedGraph::SaturatedGraph(const rdf::Graph& base,
                                const schema::Vocabulary& vocab,
-                               bool enable_owl)
-    : base_(base), vocab_(vocab), enable_owl_(enable_owl) {
+                               bool enable_owl,
+                               const SaturationOptions& options)
+    : base_(base), vocab_(vocab), enable_owl_(enable_owl), options_(options) {
   Rebuild();
 }
 
@@ -46,6 +29,7 @@ SaturatedGraph::SaturatedGraph(const SaturatedGraph& other)
       closure_(other.closure_->Clone()),
       vocab_(other.vocab_),
       enable_owl_(other.enable_owl_),
+      options_(other.options_),
       stats_(other.stats_),
       initial_stats_(other.initial_stats_) {}
 
@@ -55,6 +39,7 @@ SaturatedGraph& SaturatedGraph::operator=(const SaturatedGraph& other) {
   closure_ = other.closure_->Clone();
   vocab_ = other.vocab_;
   enable_owl_ = other.enable_owl_;
+  options_ = other.options_;
   stats_ = other.stats_;
   initial_stats_ = other.initial_stats_;
   return *this;
@@ -63,7 +48,11 @@ SaturatedGraph& SaturatedGraph::operator=(const SaturatedGraph& other) {
 void SaturatedGraph::Rebuild() {
   Saturator saturator(vocab_, &base_.dict(), enable_owl_);
   closure_ = rdf::MakeStore(base_.backend());
-  saturator.SaturateInto(base_.store(), *closure_, &initial_stats_);
+  // The store is freshly constructed (empty), so this cannot fail.
+  Status status =
+      saturator.SaturateInto(base_.store(), *closure_, options_,
+                             &initial_stats_);
+  (void)status;
 }
 
 size_t SaturatedGraph::Insert(const Triple& t) {
@@ -71,8 +60,8 @@ size_t SaturatedGraph::Insert(const Triple& t) {
   ++stats_.inserts;
   WDR_COUNTER_INC("wdr.maintenance.inserts");
   if (!closure_->Insert(t)) return 0;  // already entailed
-  std::deque<Triple> worklist{t};
-  size_t added = 1 + Propagate(MakeEngine(), *closure_, worklist);
+  size_t added =
+      1 + PropagateRounds(MakeEngine(), *closure_, {t}, options_);
   stats_.closure_added += added;
   WDR_COUNTER_ADD("wdr.maintenance.closure_added", added);
   return added;
@@ -109,29 +98,33 @@ size_t SaturatedGraph::Erase(const Triple& t) {
   // Phase 2 (re-derive): over-deleted triples that are still base facts or
   // still follow from the surviving closure come back, propagating through
   // the normal insertion path. Iterate to fixpoint: a re-derived triple can
-  // in turn justify another over-deleted one.
+  // in turn justify another over-deleted one. Each batch of rediscovered
+  // triples propagates via PropagateRounds, so re-derivation parallelizes
+  // with the same round-barrier machinery as the initial build.
   std::vector<Triple> candidates(overdeleted.begin(), overdeleted.end());
   size_t rederived = 0;
   // Base facts first: they are unconditionally present.
-  std::deque<Triple> worklist;
+  std::vector<Triple> batch;
   for (const Triple& u : candidates) {
-    if (base_.Contains(u) && closure_->Insert(u)) {
-      worklist.push_back(u);
-      ++rederived;
-    }
+    if (base_.Contains(u) && closure_->Insert(u)) batch.push_back(u);
   }
-  rederived += Propagate(engine, *closure_, worklist);
+  rederived += batch.size() +
+               PropagateRounds(engine, *closure_, std::move(batch), options_);
   bool changed = true;
   while (changed) {
     changed = false;
+    batch.clear();
     for (const Triple& u : candidates) {
       if (closure_->Contains(u)) continue;
       if (engine.IsOneStepDerivable(*closure_, u)) {
         closure_->Insert(u);
-        std::deque<Triple> wl{u};
-        rederived += 1 + Propagate(engine, *closure_, wl);
-        changed = true;
+        batch.push_back(u);
       }
+    }
+    if (!batch.empty()) {
+      rederived += batch.size() + PropagateRounds(engine, *closure_,
+                                                  std::move(batch), options_);
+      changed = true;
     }
   }
   stats_.rederived += rederived;

@@ -48,7 +48,8 @@ ReasoningStore::ReasoningStore(ReasoningStoreOptions options)
       graph_(options.backend),
       vocab_(schema::Vocabulary::Intern(graph_.dict())) {
   if (options_.mode == ReasoningMode::kSaturation) {
-    saturated_.emplace(graph_, vocab_);
+    saturated_.emplace(graph_, vocab_, /*enable_owl=*/false,
+                       options_.saturation);
   }
 }
 
@@ -61,7 +62,8 @@ void ReasoningStore::SetMode(ReasoningMode mode) {
   if (mode == options_.mode) return;
   options_.mode = mode;
   if (mode == ReasoningMode::kSaturation) {
-    saturated_.emplace(graph_, vocab_);
+    saturated_.emplace(graph_, vocab_, /*enable_owl=*/false,
+                       options_.saturation);
   } else {
     saturated_.reset();
   }
@@ -72,7 +74,17 @@ void ReasoningStore::SetBackend(rdf::StorageBackend backend) {
   options_.backend = backend;
   graph_.SetBackend(backend);
   // The closure store follows the base graph's backend; rebuild it.
-  if (saturated_.has_value()) saturated_.emplace(graph_, vocab_);
+  if (saturated_.has_value()) {
+    saturated_.emplace(graph_, vocab_, /*enable_owl=*/false,
+                       options_.saturation);
+  }
+}
+
+void ReasoningStore::SetSaturationThreads(int threads) {
+  options_.saturation.threads = threads < 1 ? 1 : threads;
+  if (saturated_.has_value()) {
+    saturated_->set_saturation_options(options_.saturation);
+  }
 }
 
 void ReasoningStore::RecloseSchema() {
@@ -108,7 +120,10 @@ Result<size_t> ReasoningStore::LoadTurtle(std::string_view text) {
   obs::Span span("wdr.store.load");
   WDR_ASSIGN_OR_RETURN(size_t added, io::ParseTurtle(text, graph_));
   OnUpdate(/*schema_changed=*/true);
-  if (saturated_.has_value()) saturated_.emplace(graph_, vocab_);
+  if (saturated_.has_value()) {
+    saturated_.emplace(graph_, vocab_, /*enable_owl=*/false,
+                       options_.saturation);
+  }
   WDR_COUNTER_ADD("wdr.store.loaded_triples", added);
   span.AddAttr("triples", static_cast<uint64_t>(added));
   return added;
@@ -118,7 +133,10 @@ Result<size_t> ReasoningStore::LoadNTriples(std::string_view text) {
   obs::Span span("wdr.store.load");
   WDR_ASSIGN_OR_RETURN(size_t added, io::ParseNTriples(text, graph_));
   OnUpdate(/*schema_changed=*/true);
-  if (saturated_.has_value()) saturated_.emplace(graph_, vocab_);
+  if (saturated_.has_value()) {
+    saturated_.emplace(graph_, vocab_, /*enable_owl=*/false,
+                       options_.saturation);
+  }
   WDR_COUNTER_ADD("wdr.store.loaded_triples", added);
   span.AddAttr("triples", static_cast<uint64_t>(added));
   return added;

@@ -42,6 +42,10 @@ struct ReasoningStoreOptions {
   rdf::StorageBackend backend = rdf::StorageBackend::kOrdered;
   // Passed through to the reformulation engine (kReformulation mode).
   reformulation::ReformulationOptions reformulation;
+  // Passed through to the saturator (kSaturation mode): threads for the
+  // closure build and for DRed re-derivation. Answers are identical at any
+  // thread count.
+  reasoning::SaturationOptions saturation;
 };
 
 // Per-query diagnostics.
@@ -131,6 +135,12 @@ class ReasoningStore {
   // Switches the storage engine at run time, carrying the data over (and
   // rebuilding the closure in saturation mode). No-op if unchanged.
   void SetBackend(rdf::StorageBackend backend);
+
+  // Sets the saturation worker-thread count for subsequent closure builds
+  // and maintenance propagation (values < 1 clamp to 1). Does not trigger
+  // a rebuild — the current closure is already correct.
+  void SetSaturationThreads(int threads);
+  int saturation_threads() const { return options_.saturation.threads; }
 
   // Toggles per-query operator profiling. When on, Query() fills
   // QueryInfo::profile with a per-operator stats tree. Off by default:

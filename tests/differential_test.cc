@@ -1,0 +1,83 @@
+// Randomized differential test: locks every reasoning mode together.
+//
+// Each seed builds a random schema-closed graph and asserts that all
+// answering routes — saturation (sequential and parallel at 1/2/8
+// threads), reformulation, backward chaining, Datalog, and Datalog with
+// magic sets — agree on both storage backends. Environment knobs:
+//
+//   WDR_SEED            base seed (default 20250807)
+//   WDR_DIFF_INSTANCES  number of instances (default 50)
+//
+// A failure prints the offending seed; rerun just that instance with
+// WDR_SEED=<seed> WDR_DIFF_INSTANCES=1.
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "reasoning/saturation.h"
+#include "tests/differential_util.h"
+#include "tests/test_util.h"
+
+namespace wdr {
+namespace {
+
+constexpr uint64_t kDefaultBaseSeed = 20250807;
+constexpr uint64_t kDefaultInstances = 50;
+
+TEST(DifferentialTest, AllModesAgreeOnRandomInstances) {
+  const uint64_t base_seed = test::EnvU64("WDR_SEED", kDefaultBaseSeed);
+  const uint64_t instances =
+      test::EnvU64("WDR_DIFF_INSTANCES", kDefaultInstances);
+  std::printf("differential: %llu instances, base seed %llu\n",
+              static_cast<unsigned long long>(instances),
+              static_cast<unsigned long long>(base_seed));
+  for (uint64_t i = 0; i < instances; ++i) {
+    EXPECT_TRUE(test::RunDifferentialInstance(base_seed + i));
+  }
+}
+
+// Larger, cyclic instances stress the round-barrier schedule harder: more
+// rounds, bigger deltas, subclass/subproperty cycles.
+TEST(DifferentialTest, AllModesAgreeOnDenseCyclicInstances) {
+  const uint64_t base_seed =
+      test::EnvU64("WDR_SEED", kDefaultBaseSeed) ^ 0xdeadbeefull;
+  test::DifferentialConfig config;
+  config.graph.classes = 10;
+  config.graph.properties = 6;
+  config.graph.individuals = 16;
+  config.graph.schema_triples = 24;
+  config.graph.instance_triples = 80;
+  config.queries_per_instance = 3;
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(test::RunDifferentialInstance(base_seed + i, config));
+  }
+}
+
+// Contract check for the bug fixed alongside the parallel saturator:
+// SaturateInto used to silently mix a non-empty closure into the result;
+// now it must refuse.
+TEST(SaturateIntoContract, RejectsNonEmptyClosure) {
+  rdf::Graph g;
+  schema::Vocabulary vocab = schema::Vocabulary::Intern(g.dict());
+  test::Add(g, "Cat", schema::iri::kSubClassOf, "Animal");
+  test::Add(g, "Tom", schema::iri::kType, "Cat");
+
+  reasoning::Saturator saturator(vocab, &g.dict());
+  rdf::TripleStore closure;
+  closure.Insert(rdf::Triple(1, 2, 3));
+  Status status =
+      saturator.SaturateInto(g.store(), closure, reasoning::SaturationOptions{});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // The pre-existing triple must not have been mixed into anything.
+  EXPECT_EQ(closure.size(), 1u);
+
+  rdf::TripleStore fresh;
+  EXPECT_TRUE(
+      saturator.SaturateInto(g.store(), fresh, reasoning::SaturationOptions{})
+          .ok());
+  EXPECT_GT(fresh.size(), g.size());
+}
+
+}  // namespace
+}  // namespace wdr

@@ -1,0 +1,261 @@
+// Reusable randomized differential-testing harness: one seed drives one
+// workload instance (random graph + random queries), and every reasoning
+// route the library offers must produce identical answers on it —
+//
+//   {saturation sequential, saturation parallel(1, 2, 8), reformulation,
+//    backward chaining, Datalog, Datalog + magic sets}
+//     × {ordered, flat} storage backends
+//
+// plus closure-level equality between the sequential saturator, the
+// parallel saturator at every thread count, and the Datalog
+// materialization. Failures always name the seed, so any mismatch is
+// reproducible with WDR_SEED=<seed>.
+#ifndef WDR_TESTS_DIFFERENTIAL_UTIL_H_
+#define WDR_TESTS_DIFFERENTIAL_UTIL_H_
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "backward/backward_evaluator.h"
+#include "common/rng.h"
+#include "datalog/magic.h"
+#include "datalog/rdf_datalog.h"
+#include "query/evaluator.h"
+#include "reasoning/saturated_graph.h"
+#include "reformulation/reformulator.h"
+#include "schema/schema.h"
+#include "tests/test_util.h"
+
+namespace wdr::test {
+
+// Integer environment knob (e.g. WDR_SEED, WDR_DIFF_INSTANCES); `fallback`
+// when unset or empty.
+inline uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<uint64_t>(std::strtoull(value, nullptr, 10));
+}
+
+// Closure as a sorted triple vector: iteration order of the flat backend
+// depends on insertion history, which legitimately differs between the
+// sequential and parallel schedules, so set equality is what we compare.
+inline std::vector<rdf::Triple> SortedTriples(const rdf::StoreView& store) {
+  std::vector<rdf::Triple> triples = store.ToVector();
+  std::sort(triples.begin(), triples.end());
+  return triples;
+}
+
+struct DifferentialConfig {
+  RandomGraphConfig graph;
+  int queries_per_instance = 4;
+  // Thread counts exercised for parallel saturation (1 covers the
+  // "parallel machinery, sequential schedule" corner).
+  std::vector<int> parallel_threads = {1, 2, 8};
+};
+
+// Answers a BGP/union query through the Datalog + magic-sets route: each
+// branch is wrapped in a fresh `answer` predicate whose single defining
+// rule is the branch body, and AnswerWithMagic runs on the all-free answer
+// atom. Presets are not supported (the random workload never sets them).
+inline Result<query::ResultSet> AnswerViaMagic(
+    const datalog::RdfDatalogTranslation& xlat, const query::UnionQuery& q) {
+  query::ResultSet result;
+  std::set<query::Row> seen;
+  for (const query::BgpQuery& branch : q.branches()) {
+    if (result.var_names.empty()) result.var_names = branch.ProjectionNames();
+    // Translate atoms as AnswerViaDatalog does; a branch mentioning a term
+    // the graph never interned can only match nothing.
+    std::vector<datalog::DlAtom> body;
+    bool impossible = false;
+    auto translate = [&](const query::PatternTerm& t) -> datalog::DlTerm {
+      if (t.is_var()) return datalog::DlTerm::Variable(t.var);
+      if (t.id >= xlat.sym_of_term.size()) {
+        impossible = true;
+        return datalog::DlTerm::Constant(0);
+      }
+      return datalog::DlTerm::Constant(xlat.sym_of_term[t.id]);
+    };
+    for (const query::TriplePattern& atom : branch.atoms()) {
+      datalog::DlAtom dl;
+      dl.pred = xlat.triple_pred;
+      dl.args = {translate(atom.s), translate(atom.p), translate(atom.o)};
+      body.push_back(std::move(dl));
+    }
+    if (impossible) continue;
+    const std::vector<query::VarId> projection(branch.projection().begin(),
+                                               branch.projection().end());
+
+    datalog::DlProgram program = xlat.program;
+    const datalog::PredId answer =
+        program.InternPred("__diff_answer", projection.size());
+    datalog::DlRule rule;
+    rule.head.pred = answer;
+    uint32_t max_var = 0;
+    for (query::VarId v : projection) {
+      rule.head.args.push_back(
+          datalog::DlTerm::Variable(static_cast<datalog::DlVarId>(v)));
+      if (static_cast<uint32_t>(v) > max_var) max_var = v;
+    }
+    for (const datalog::DlAtom& atom : body) {
+      for (const datalog::DlTerm& term : atom.args) {
+        if (term.is_var && term.id > max_var) max_var = term.id;
+      }
+    }
+    rule.body = std::move(body);
+    for (uint32_t v = 0; v <= max_var; ++v) {
+      rule.var_names.push_back("v" + std::to_string(v));
+    }
+    program.AddRule(std::move(rule));
+
+    // All-free query atom: tuple column i is query-atom variable i, which
+    // is head position i, which is projection position i.
+    datalog::DlAtom query_atom;
+    query_atom.pred = answer;
+    for (size_t i = 0; i < projection.size(); ++i) {
+      query_atom.args.push_back(
+          datalog::DlTerm::Variable(static_cast<datalog::DlVarId>(i)));
+    }
+    WDR_ASSIGN_OR_RETURN(std::vector<datalog::Tuple> tuples,
+                         datalog::AnswerWithMagic(program, query_atom));
+    for (const datalog::Tuple& tuple : tuples) {
+      query::Row row(projection.size(), rdf::kNullTermId);
+      for (size_t i = 0; i < projection.size(); ++i) {
+        row[i] = xlat.term_of_sym[tuple[i]];
+      }
+      if (seen.insert(row).second) result.rows.push_back(std::move(row));
+    }
+  }
+  query::ApplySolutionModifiers(q, result);
+  return result;
+}
+
+// Runs the full differential check for one seed. Every assertion failure
+// message carries the seed, so CI output pinpoints the repro immediately.
+inline ::testing::AssertionResult RunDifferentialInstance(
+    uint64_t seed, const DifferentialConfig& config = {}) {
+  auto fail = [&](const std::string& what) {
+    return ::testing::AssertionFailure()
+           << what << " [seed=" << seed << " — rerun with WDR_SEED=" << seed
+           << "]";
+  };
+
+  Rng graph_rng(seed);
+  RandomGraph rg = MakeRandomGraph(graph_rng, config.graph);
+  // Schema closure is the correctness precondition of the rewriting
+  // techniques (q_ref(G) = q(G∞) needs schema-closed G).
+  reformulation::CloseSchema(rg.graph, rg.vocab);
+
+  // Per-query canonical answers from the ordered backend, compared against
+  // the flat backend's on the second pass.
+  std::vector<std::set<std::vector<std::string>>> canonical;
+
+  for (rdf::StorageBackend backend :
+       {rdf::StorageBackend::kOrdered, rdf::StorageBackend::kFlat}) {
+    const char* backend_name = rdf::StorageBackendName(backend);
+    rdf::Graph graph = rg.graph;
+    graph.SetBackend(backend);
+
+    // --- Closure equality: sequential vs parallel vs Datalog. ------------
+    reasoning::SaturatedGraph sequential(graph, rg.vocab);
+    const std::vector<rdf::Triple> closure_seq =
+        SortedTriples(sequential.closure());
+    for (int threads : config.parallel_threads) {
+      reasoning::SaturationOptions options;
+      options.threads = threads;
+      reasoning::SaturatedGraph parallel(graph, rg.vocab,
+                                         /*enable_owl=*/false, options);
+      if (SortedTriples(parallel.closure()) != closure_seq) {
+        return fail(std::string("parallel closure (threads=") +
+                    std::to_string(threads) + ", backend=" + backend_name +
+                    ") differs from sequential");
+      }
+    }
+    Result<rdf::TripleStore> via_datalog =
+        datalog::MaterializeViaDatalog(graph, rg.vocab);
+    if (!via_datalog.ok()) {
+      return fail("MaterializeViaDatalog failed: " +
+                  via_datalog.status().ToString());
+    }
+    if (SortedTriples(*via_datalog) != closure_seq) {
+      return fail(std::string("Datalog materialization (backend=") +
+                  backend_name + ") differs from the native closure");
+    }
+
+    // --- Answer-set equality across every answering route. ---------------
+    schema::Schema schema = schema::Schema::FromGraph(graph, rg.vocab);
+    query::Evaluator closure_eval(sequential.closure());
+    query::Evaluator base_eval(graph.store());
+    reformulation::Reformulator reformulator(schema, rg.vocab);
+    backward::BackwardChainingEvaluator backward_eval(graph.store(), schema,
+                                                      rg.vocab);
+    datalog::RdfDatalogTranslation xlat =
+        datalog::TranslateGraph(graph, rg.vocab);
+    Result<datalog::Database> db =
+        datalog::Materialize(xlat.program, datalog::Strategy::kSemiNaive);
+    if (!db.ok()) {
+      return fail("Datalog materialization failed: " + db.status().ToString());
+    }
+
+    // Query stream: derived from the seed only, so both backends (and any
+    // rerun) see the same queries.
+    Rng query_rng(seed ^ 0x9e3779b97f4a7c15ull);
+    for (int k = 0; k < config.queries_per_instance; ++k) {
+      const query::UnionQuery q =
+          query::UnionQuery::Single(MakeRandomQuery(query_rng, rg));
+      const std::string label = "query " + std::to_string(k) +
+                                " (backend=" + backend_name + ")";
+
+      query::ResultSet via_sat = closure_eval.Evaluate(q);
+      const std::set<std::vector<std::string>> expected =
+          Rows(rg.graph, via_sat);
+
+      Result<query::UnionQuery> reformulated = reformulator.Reformulate(q);
+      if (!reformulated.ok()) {
+        return fail(label +
+                    ": reformulation failed: " +
+                    reformulated.status().ToString());
+      }
+      if (Rows(rg.graph, base_eval.Evaluate(*reformulated)) != expected) {
+        return fail(label + ": reformulation differs from saturation");
+      }
+
+      if (Rows(rg.graph, backward_eval.Evaluate(q)) != expected) {
+        return fail(label + ": backward chaining differs from saturation");
+      }
+
+      Result<query::ResultSet> via_dl = datalog::AnswerViaDatalog(xlat, *db, q);
+      if (!via_dl.ok()) {
+        return fail(label + ": Datalog answering failed: " +
+                    via_dl.status().ToString());
+      }
+      if (Rows(rg.graph, *via_dl) != expected) {
+        return fail(label + ": Datalog differs from saturation");
+      }
+
+      Result<query::ResultSet> via_magic = AnswerViaMagic(xlat, q);
+      if (!via_magic.ok()) {
+        return fail(label + ": magic-sets answering failed: " +
+                    via_magic.status().ToString());
+      }
+      if (Rows(rg.graph, *via_magic) != expected) {
+        return fail(label + ": magic sets differ from saturation");
+      }
+
+      if (backend == rdf::StorageBackend::kOrdered) {
+        canonical.push_back(expected);
+      } else if (expected != canonical[static_cast<size_t>(k)]) {
+        return fail(label + ": flat backend differs from ordered backend");
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace wdr::test
+
+#endif  // WDR_TESTS_DIFFERENTIAL_UTIL_H_

@@ -149,57 +149,73 @@ TEST_F(IncrementalTest, StatsAccumulate) {
   EXPECT_GT(sg.stats().closure_removed, 0u);
 }
 
-// Property: after any random stream of inserts and deletes (instance and
-// schema alike), the maintained closure equals the closure recomputed from
-// the maintained base. This is invariant 3 of DESIGN.md.
-TEST(IncrementalPropertyTest, RandomUpdateStreamMatchesRebuild) {
-  for (uint64_t seed = 0; seed < 15; ++seed) {
-    Rng rng(seed);
-    test::RandomGraph rg = test::MakeRandomGraph(rng, {});
-    SaturatedGraph sg(rg.graph, rg.vocab);
+// Drives one seeded random stream of inserts and deletes (instance and
+// schema alike) through a SaturatedGraph maintained with `options`, then
+// checks the maintained closure against a from-scratch sequential
+// re-saturation of the maintained base. Invariant 3 of DESIGN.md.
+void RunRandomUpdateStream(uint64_t seed, const SaturationOptions& options) {
+  Rng rng(seed);
+  test::RandomGraph rg = test::MakeRandomGraph(rng, {});
+  SaturatedGraph sg(rg.graph, rg.vocab, /*enable_owl=*/false, options);
 
-    // Build an update pool: triples currently in the base plus fresh ones.
-    std::vector<Triple> base = rg.graph.store().ToVector();
-    for (int step = 0; step < 40; ++step) {
-      bool remove = rng.Chance(0.45) && !base.empty();
-      if (remove) {
-        size_t pick = static_cast<size_t>(rng.Uniform(0, base.size() - 1));
-        sg.Erase(base[pick]);
-        base.erase(base.begin() + pick);
-      } else {
-        // Random (possibly already present) triple over the same universe.
-        auto pick_any = [&](const std::vector<rdf::TermId>& pool) {
-          return pool[static_cast<size_t>(rng.Uniform(0, pool.size() - 1))];
-        };
-        Triple t;
-        switch (rng.Uniform(0, 3)) {
-          case 0:
-            t = Triple(pick_any(rg.individuals), rg.vocab.type,
-                       pick_any(rg.classes));
-            break;
-          case 1:
-            t = Triple(pick_any(rg.classes), rg.vocab.sub_class_of,
-                       pick_any(rg.classes));
-            break;
-          case 2:
-            t = Triple(pick_any(rg.properties), rg.vocab.domain,
-                       pick_any(rg.classes));
-            break;
-          default:
-            t = Triple(pick_any(rg.individuals), pick_any(rg.properties),
-                       pick_any(rg.individuals));
-        }
-        sg.Insert(t);
-        if (std::find(base.begin(), base.end(), t) == base.end()) {
-          base.push_back(t);
-        }
+  // Build an update pool: triples currently in the base plus fresh ones.
+  std::vector<Triple> base = rg.graph.store().ToVector();
+  for (int step = 0; step < 40; ++step) {
+    bool remove = rng.Chance(0.45) && !base.empty();
+    if (remove) {
+      size_t pick = static_cast<size_t>(rng.Uniform(0, base.size() - 1));
+      sg.Erase(base[pick]);
+      base.erase(base.begin() + pick);
+    } else {
+      // Random (possibly already present) triple over the same universe.
+      auto pick_any = [&](const std::vector<rdf::TermId>& pool) {
+        return pool[static_cast<size_t>(rng.Uniform(0, pool.size() - 1))];
+      };
+      Triple t;
+      switch (rng.Uniform(0, 3)) {
+        case 0:
+          t = Triple(pick_any(rg.individuals), rg.vocab.type,
+                     pick_any(rg.classes));
+          break;
+        case 1:
+          t = Triple(pick_any(rg.classes), rg.vocab.sub_class_of,
+                     pick_any(rg.classes));
+          break;
+        case 2:
+          t = Triple(pick_any(rg.properties), rg.vocab.domain,
+                     pick_any(rg.classes));
+          break;
+        default:
+          t = Triple(pick_any(rg.individuals), pick_any(rg.properties),
+                     pick_any(rg.individuals));
+      }
+      sg.Insert(t);
+      if (std::find(base.begin(), base.end(), t) == base.end()) {
+        base.push_back(t);
       }
     }
+  }
 
-    Saturator saturator(sg.vocab(), &sg.base().dict());
-    TripleStore expected = saturator.Saturate(sg.base().store());
-    ASSERT_EQ(sg.closure().ToVector(), expected.ToVector())
-        << "seed " << seed;
+  Saturator saturator(sg.vocab(), &sg.base().dict());
+  TripleStore expected = saturator.Saturate(sg.base().store());
+  ASSERT_EQ(sg.closure().ToVector(), expected.ToVector())
+      << "seed " << seed << " threads " << options.threads;
+}
+
+TEST(IncrementalPropertyTest, RandomUpdateStreamMatchesRebuild) {
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    RunRandomUpdateStream(seed, SaturationOptions{});
+  }
+}
+
+// Same invariant with the parallel saturator doing all DRed re-derivation:
+// the maintained closure must still equal a from-scratch *sequential*
+// rebuild, on every seed.
+TEST(IncrementalPropertyTest, ParallelRandomUpdateStreamMatchesRebuild) {
+  SaturationOptions options;
+  options.threads = 4;
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    RunRandomUpdateStream(seed, options);
   }
 }
 
