@@ -3,8 +3,8 @@
 //
 // Usage:
 //   wdr_shell [--mode=saturation|reformulation|backward|none]
-//             [--backend=ordered|flat] [--threads=N] [--script=FILE]
-//             [file.ttl ...]
+//             [--backend=ordered|flat] [--threads=N] [--query-threads=N]
+//             [--script=FILE] [file.ttl ...]
 //
 // Reads commands from stdin (one per line):
 //   SELECT ...          run a SPARQL query
@@ -13,6 +13,7 @@
 //   .mode MODE          switch reasoning technique at run time
 //   .backend ENGINE     switch storage engine (ordered|flat) at run time
 //   .threads N          saturation worker threads for closure builds
+//   .qthreads N         worker threads for union-query branches
 //   .profile on|off     per-operator query profiling (EXPLAIN ANALYZE)
 //   .trace FILE / off   capture spans; "off" writes JSON lines to FILE
 //   .stats              store statistics + live wdr.* metrics
@@ -69,6 +70,7 @@ void PrintHelp() {
                "  .mode MODE            saturation|reformulation|backward|none\n"
                "  .backend ENGINE       ordered|flat storage engine\n"
                "  .threads N            saturation worker threads (N >= 1)\n"
+               "  .qthreads N           union-branch query threads (N >= 1)\n"
                "  .profile on|off       per-operator query profiling\n"
                "  .trace FILE           start span capture\n"
                "  .trace off            stop capture, write JSON lines to "
@@ -194,6 +196,17 @@ bool RunCommand(ReasoningStore& store, const std::string& line) {
       std::cerr << "usage: .threads N (N >= 1)\n";
       return false;
     }
+    if (command == ".qthreads") {
+      char* end = nullptr;
+      const long threads = std::strtol(argument.c_str(), &end, 10);
+      if (end != nullptr && *end == '\0' && threads >= 1) {
+        store.SetQueryThreads(static_cast<int>(threads));
+        std::cout << "query threads = " << store.query_threads() << "\n";
+        return true;
+      }
+      std::cerr << "usage: .qthreads N (N >= 1)\n";
+      return false;
+    }
     if (command == ".profile") {
       if (argument == "on" || argument == "off") {
         store.SetProfiling(argument == "on");
@@ -290,6 +303,7 @@ void RunDemo(ReasoningStore& store) {
       "SELECT ?x WHERE { ?x rdf:type ex:Mammal }",
       ".profile off",
       ".threads 2",
+      ".qthreads 2",
       ".mode saturation",
       ".backend flat",
       "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
@@ -331,6 +345,13 @@ int main(int argc, char** argv) {
         return EXIT_FAILURE;
       }
       options.saturation.threads = threads;
+    } else if (arg.rfind("--query-threads=", 0) == 0) {
+      int threads = std::atoi(arg.substr(16).c_str());
+      if (threads < 1) {
+        std::cerr << "invalid thread count in " << arg << "\n";
+        return EXIT_FAILURE;
+      }
+      options.query.threads = threads;
     } else if (arg.rfind("--script=", 0) == 0) {
       script_path = arg.substr(9);
     } else if (arg == "--script" && i + 1 < argc) {

@@ -46,7 +46,7 @@ Result<MeasureReport> MeasureCostProfile(const rdf::Graph& graph,
 
   // Per-run evaluation over G∞.
   {
-    query::Evaluator evaluator(saturated.closure());
+    query::Evaluator evaluator(saturated.closure(), options.query);
     timer.Reset();
     for (int r = 0; r < reps; ++r) {
       query::ResultSet result = evaluator.Evaluate(q);
@@ -67,7 +67,7 @@ Result<MeasureReport> MeasureCostProfile(const rdf::Graph& graph,
     report.costs.reformulation_seconds = timer.ElapsedSeconds();
     report.reformulation_cqs = reformulated.size();
 
-    query::Evaluator evaluator(graph.store());
+    query::Evaluator evaluator(graph.store(), options.query);
     timer.Reset();
     for (int r = 0; r < reps; ++r) {
       query::ResultSet result = evaluator.Evaluate(reformulated);

@@ -94,11 +94,14 @@ Result<query::ResultSet> Federation::Query(const query::UnionQuery& q,
     view.AddMember(endpoint.store.get());
   }
   view.EnableMemberStats();
-  query::FederatedEvaluator evaluator(view);
+  query::EvaluatorOptions eval_options = query_options_;
+  eval_options.dict = &dict_;
+  query::FederatedEvaluator evaluator(view, eval_options);
   query::ResultSet result = evaluator.Evaluate(reformulated);
 
   // Member 0 is the synthetic closed-schema store; endpoints follow.
-  const std::vector<rdf::UnionStore::MemberStats>& member_stats =
+  // Snapshot by value: the live counters are atomics.
+  const std::vector<rdf::UnionStore::MemberStats> member_stats =
       view.member_stats();
   uint64_t endpoint_rows = 0;
   uint64_t endpoint_matches = 0;

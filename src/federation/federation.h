@@ -91,6 +91,14 @@ class Federation {
 
   rdf::StorageBackend backend() const { return backend_; }
 
+  // Worker threads for the branches of the reformulated union (values < 1
+  // clamp to 1); see EvaluatorOptions::threads. Answers are identical at
+  // any thread count.
+  void SetQueryThreads(int threads) {
+    query_options_.threads = threads < 1 ? 1 : threads;
+  }
+  int query_threads() const { return query_options_.threads; }
+
  private:
   struct Endpoint {
     std::string name;
@@ -103,6 +111,7 @@ class Federation {
   rdf::Dictionary dict_;
   schema::Vocabulary vocab_;
   rdf::StorageBackend backend_;
+  query::EvaluatorOptions query_options_;
   std::vector<Endpoint> endpoints_;
 };
 

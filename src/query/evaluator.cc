@@ -1,10 +1,19 @@
 #include "query/evaluator.h"
 
 #include <algorithm>
-#include <set>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
 
-#include "common/timer.h"
 #include "obs/metrics.h"
 #include "rdf/dictionary.h"
 
@@ -16,14 +25,225 @@ using rdf::StoreView;
 using rdf::Triple;
 using rdf::UnionStore;
 
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Lowers `target` to `value` if smaller (atomic fetch-min).
+void AtomicMin(std::atomic<size_t>& target, size_t value) {
+  size_t current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
 // Per-atom operator statistics gathered during a profiled join. Indexed by
 // atom position in the query, not by join order, so the profile tree reads
-// in the order the query was written.
+// in the order the query was written. Timing is one interval per atom
+// activation (raw clock reads accumulated into `nanos`, not a Timer object
+// per Match call); `nanos` is INCLUSIVE — an atom's time contains the time
+// of every operator nested under it, so a parent's time is never smaller
+// than a child's.
 struct AtomStats {
-  uint64_t scans = 0;    // Match calls (one cursor open each)
-  uint64_t triples = 0;  // triples enumerated from the store
+  uint64_t scans = 0;    // live cursor opens (scan-cache replays open none)
+  uint64_t triples = 0;  // triples enumerated (from the store or the cache)
   uint64_t rows = 0;     // bindings successfully extended
-  double seconds = 0;    // inclusive: contains nested operators' time
+  uint64_t nanos = 0;    // inclusive: contains nested operators' time
+};
+
+// Cross-branch scan-signature cache, shared by every branch of one union
+// evaluation (and by every worker when the branches run in parallel).
+// Reformulated UCQs are grids of structurally similar BGPs, so the same
+// resolved (s,p,o) scans — leading atoms shared verbatim between branches,
+// and fully-ground or bound inner probes re-resolved to the same ids —
+// recur dozens of times; the cache replays a completed scan as a flat
+// vector instead of re-opening store cursors. Replayed sequences are the
+// exact triple order the live cursor produced, so answers are bit-identical
+// with the cache on or off.
+//
+// Concurrency: lookups take a shared lock, insertions a unique lock.
+// Entries are never erased while the evaluation runs, so replay pointers
+// stay valid after the lock is released (values are heap vectors behind
+// stable unique_ptrs). Two workers missing the same signature may both
+// materialize it; the first insert wins and the duplicate is dropped.
+class ScanCache {
+ public:
+  // Per-signature cap: scans longer than this are marked oversized and
+  // always stream live, so one unselective pattern cannot pin a large
+  // slice of the store.
+  static constexpr size_t kMaxCachedTriples = 1 << 16;
+  // Caps on distinct signatures and on total cached triples (inner atoms
+  // resolve against every outer binding, so the key space can be large).
+  static constexpr size_t kMaxEntries = 1 << 16;
+  static constexpr size_t kMaxTotalTriples = 1 << 22;
+
+  struct Lookup {
+    const std::vector<Triple>* triples = nullptr;  // replay on hit
+    bool oversized = false;  // known too big: stream live, skip the tee
+  };
+
+  Lookup Find(const Triple& key) {
+    {
+      std::shared_lock<std::shared_mutex> lock(mutex_);
+      auto it = map_.find(key);
+      if (it != map_.end()) {
+        if (it->second == nullptr) {
+          misses_.fetch_add(1, std::memory_order_relaxed);
+          return {nullptr, true};
+        }
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return {it->second.get(), false};
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return {nullptr, false};
+  }
+
+  // Records the completed scan for `key`, consuming `*triples` (the
+  // caller's tee buffer is moved from, not copied); `triples == nullptr`
+  // records an oversized marker instead. Returns the sequence now cached
+  // under `key` — the one just stored, or an earlier winner's identical
+  // copy — so the caller can replay it; nullptr when only a marker is (or
+  // could be) recorded, in which case the caller's buffer was not consumed.
+  const std::vector<Triple>* Insert(const Triple& key,
+                                    std::vector<Triple>* triples) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (triples != nullptr &&
+        total_triples_ + triples->size() > kMaxTotalTriples) {
+      triples = nullptr;  // budget exhausted: degrade to a marker
+    }
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      if (map_.size() >= kMaxEntries) return nullptr;
+      it = map_.try_emplace(key).first;
+      if (triples != nullptr) {
+        total_triples_ += triples->size();
+        it->second =
+            std::make_unique<std::vector<Triple>>(std::move(*triples));
+      }
+    }
+    return it->second.get();
+  }
+
+  // Memoized greedy-ordering cardinality estimate for `key`, true on hit.
+  // On the ordered store EstimateCount is itself a capped scan, and the
+  // greedy pass re-estimates the same resolved pattern for every binding
+  // of every branch (e.g. (?y type C) once per outer ?x) — the memo makes
+  // each distinct estimate one probe per union evaluation. Estimates are
+  // deterministic store functions, so memoization cannot change the join
+  // order a branch picks.
+  bool FindEstimate(const Triple& key, size_t* count) {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = estimates_.find(key);
+    if (it == estimates_.end()) return false;
+    *count = it->second;
+    return true;
+  }
+
+  void InsertEstimate(const Triple& key, size_t count) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (estimates_.size() >= kMaxEntries) return;
+    estimates_.emplace(key, count);
+  }
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+  void FlushCounters() const {
+    WDR_COUNTER_ADD("wdr.query.scan_cache.hits", hits());
+    WDR_COUNTER_ADD("wdr.query.scan_cache.misses", misses());
+  }
+
+ private:
+  std::shared_mutex mutex_;
+  std::unordered_map<Triple, std::unique_ptr<std::vector<Triple>>,
+                     rdf::TripleHash>
+      map_;
+  std::unordered_map<Triple, size_t, rdf::TripleHash> estimates_;
+  size_t total_triples_ = 0;  // guarded by mutex_
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+// Lazily-built, process-wide pool of parked query workers. Branch-parallel
+// union evaluation is latency-sensitive — whole evaluations complete in
+// microseconds to milliseconds — and creating a handful of threads costs
+// ~100µs, an order of magnitude more than waking parked ones. The pool
+// grows to the largest worker count ever requested and parks its threads
+// between queries; threads live for the rest of the process (the singleton
+// is deliberately leaked so no destructor ever races a parked worker).
+// One dispatch runs at a time; concurrent dispatches from different
+// evaluator instances serialize on the dispatch mutex.
+class WorkerPool {
+ public:
+  static WorkerPool& Get() {
+    static WorkerPool* pool = new WorkerPool();
+    return *pool;
+  }
+
+  // Runs job(id) for id in [1, extra] on pool threads while the calling
+  // thread runs job(0); returns when every invocation has finished.
+  // `job` must not re-enter Dispatch (a pool worker blocking on the
+  // dispatch mutex while its own dispatcher waits for it would deadlock).
+  void Dispatch(int extra, const std::function<void(int)>& job) {
+    if (extra <= 0) {
+      job(0);
+      return;
+    }
+    std::unique_lock<std::mutex> dispatch_lock(dispatch_mutex_);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      while (static_cast<int>(threads_.size()) < extra) {
+        const int id = static_cast<int>(threads_.size()) + 1;
+        threads_.emplace_back([this, id] { WorkerLoop(id); });
+      }
+      job_ = &job;
+      active_ = extra;
+      remaining_ = extra;
+      ++generation_;
+    }
+    work_ready_.notify_all();
+    job(0);  // the caller's share, concurrent with the pool workers
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return remaining_ == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  WorkerPool() = default;
+
+  void WorkerLoop(int id) {
+    uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(int)>* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_ready_.wait(lock, [&] { return generation_ != seen; });
+        seen = generation_;
+        if (id > active_) continue;  // this round needs fewer workers
+        job = job_;
+      }
+      (*job)(id);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--remaining_ == 0) done_.notify_one();
+      }
+    }
+  }
+
+  std::mutex dispatch_mutex_;  // serializes whole dispatches
+  std::mutex mutex_;           // guards all state below
+  std::condition_variable work_ready_;
+  std::condition_variable done_;
+  std::vector<std::thread> threads_;
+  const std::function<void(int)>* job_ = nullptr;
+  int active_ = 0;
+  int remaining_ = 0;
+  uint64_t generation_ = 0;
 };
 
 // Resolves a pattern position under the current bindings: a constant, a
@@ -53,12 +273,28 @@ class BgpJoin {
   void Run(EmitFn&& emit) {
     remaining_.resize(q_.atoms().size());
     for (size_t i = 0; i < remaining_.size(); ++i) remaining_[i] = i;
+    // One tee buffer per join depth: a nested activation must not clobber
+    // the buffer its parent is still filling.
+    if (cache_ != nullptr) scratch_.resize(q_.atoms().size());
     Recurse(emit);
   }
 
   // Enables per-atom stats collection; `stats` must outlive Run() and have
   // one entry per query atom.
   void set_stats(std::vector<AtomStats>* stats) { stats_ = stats; }
+
+  // Shares `cache` (may be null) across this join's scans; see ScanCache.
+  // `eager` selects materialize-first misses: the scan is completed into
+  // the tee and published BEFORE its triples are processed, so concurrent
+  // branches hit the entry after one scan's latency instead of a whole
+  // subtree's, and even the publishing branch joins from the flat copy
+  // rather than a live cursor. Bounded queries (ASK / LIMIT) pass eager =
+  // false: they may stop mid-scan, and pre-reading a scan to completion
+  // would do work their early-cancellation exists to avoid.
+  void set_scan_cache(ScanCache* cache, bool eager = true) {
+    cache_ = cache;
+    eager_cache_ = eager;
+  }
 
   const std::vector<TermId>& bindings() const { return bindings_; }
 
@@ -70,16 +306,19 @@ class BgpJoin {
       if (!internal_emit(emit)) stopped_ = true;
       return;
     }
+    const size_t depth = q_.atoms().size() - remaining_.size();
     // Pick the cheapest atom under current bindings (or the first
-    // remaining one when greedy ordering is disabled).
+    // remaining one when greedy ordering is disabled). A single remaining
+    // atom needs no cost-estimation pass: it is the choice either way, and
+    // leaf-level recursion is the hottest path of the join.
     size_t best_pos = 0;
-    if (greedy_) {
+    if (greedy_ && remaining_.size() > 1) {
       size_t best_cost = SIZE_MAX;
       for (size_t i = 0; i < remaining_.size(); ++i) {
         const TriplePattern& a = q_.atoms()[remaining_[i]];
-        size_t cost = store_.EstimateCount(Resolve(a.s, bindings_),
-                                           Resolve(a.p, bindings_),
-                                           Resolve(a.o, bindings_));
+        size_t cost = EstimateCost(Resolve(a.s, bindings_),
+                                   Resolve(a.p, bindings_),
+                                   Resolve(a.o, bindings_));
         if (cost < best_cost) {
           best_cost = cost;
           best_pos = i;
@@ -94,35 +333,120 @@ class BgpJoin {
     TermId p = Resolve(atom.p, bindings_);
     TermId o = Resolve(atom.o, bindings_);
     AtomStats* as = stats_ ? &(*stats_)[atom_index] : nullptr;
-    auto match = [&] {
-      store_.Match(s, p, o, [&](const Triple& t) {
-        if (as) ++as->triples;
-        // Bind unbound variable positions, enforcing repeated-variable
-        // consistency (e.g. ?x ?p ?x).
-        std::vector<std::pair<VarId, TermId>> bound_here;
-        bool ok = TryBind(atom.s, t.s, bound_here) &&
-                  TryBind(atom.p, t.p, bound_here) &&
-                  TryBind(atom.o, t.o, bound_here);
-        if (ok) {
-          if (as) ++as->rows;
-          Recurse(emit);
-        }
-        for (auto it = bound_here.rbegin(); it != bound_here.rend(); ++it) {
-          bindings_[it->first] = kNullTermId;
-        }
-        return !stopped_;
-      });
+    auto process = [&](const Triple& t) {
+      if (as) ++as->triples;
+      // Bind unbound variable positions, enforcing repeated-variable
+      // consistency (e.g. ?x ?p ?x). At most three variables bind per
+      // triple, so the undo log is a fixed array, not an allocation.
+      VarId bound_here[3];
+      size_t bound_count = 0;
+      bool ok = TryBind(atom.s, t.s, bound_here, bound_count) &&
+                TryBind(atom.p, t.p, bound_here, bound_count) &&
+                TryBind(atom.o, t.o, bound_here, bound_count);
+      if (ok) {
+        if (as) ++as->rows;
+        Recurse(emit);
+      }
+      while (bound_count > 0) {
+        bindings_[bound_here[--bound_count]] = kNullTermId;
+      }
+      return !stopped_;
     };
+    auto match = [&] { Match(depth, s, p, o, as, process); };
     if (as) {
-      ++as->scans;
-      Timer timer;
+      const uint64_t start = NowNanos();
       match();
-      as->seconds += timer.ElapsedSeconds();
+      as->nanos += NowNanos() - start;
     } else {
       match();
     }
 
     remaining_.insert(remaining_.begin() + best_pos, atom_index);
+  }
+
+  // One cardinality estimate for the greedy ordering pass, memoized in
+  // the shared cache when one is attached (a cached scan's length is the
+  // exact count, which the estimate approximates — but the memo stores
+  // the store's own estimate so ordering is identical with and without
+  // the cache).
+  size_t EstimateCost(TermId s, TermId p, TermId o) {
+    if (cache_ == nullptr || (s | p | o) == 0) {
+      return store_.EstimateCount(s, p, o);
+    }
+    const Triple key(s, p, o);
+    size_t cost = 0;
+    if (cache_->FindEstimate(key, &cost)) return cost;
+    cost = store_.EstimateCount(s, p, o);
+    cache_->InsertEstimate(key, cost);
+    return cost;
+  }
+
+  // One pattern scan, through the shared scan cache when one is attached:
+  // replay a memoized sequence, or tee the live scan into a depth-local
+  // buffer and memoize it if it ran to completion within the size cap.
+  template <typename ProcessFn>
+  void Match(size_t depth, TermId s, TermId p, TermId o, AtomStats* as,
+             ProcessFn&& process) {
+    if (cache_ == nullptr || (s | p | o) == 0) {
+      if (as) ++as->scans;
+      store_.Match(s, p, o, process);
+      return;
+    }
+    const Triple key(s, p, o);
+    const ScanCache::Lookup found = cache_->Find(key);
+    if (found.triples != nullptr) {
+      for (const Triple& t : *found.triples) {
+        if (!process(t)) return;
+      }
+      return;
+    }
+    if (as) ++as->scans;
+    if (found.oversized) {
+      store_.Match(s, p, o, process);
+      return;
+    }
+    std::vector<Triple>& tee = scratch_[depth];
+    tee.clear();
+    if (eager_cache_) {
+      // Materialize-first: read the whole scan, publish, then process the
+      // flat copy (the winner's copy on an insert race — identical bytes).
+      bool oversized = false;
+      store_.Match(s, p, o, [&](const Triple& t) {
+        if (tee.size() >= ScanCache::kMaxCachedTriples) {
+          oversized = true;
+          return false;
+        }
+        tee.push_back(t);
+        return true;
+      });
+      if (oversized) {
+        cache_->Insert(key, nullptr);  // marker: always stream live
+        store_.Match(s, p, o, process);
+        return;
+      }
+      const std::vector<Triple>* stored = cache_->Insert(key, &tee);
+      for (const Triple& t : stored != nullptr ? *stored : tee) {
+        if (!process(t)) return;
+      }
+      return;
+    }
+    // Lazy: tee alongside processing so an early stop aborts the scan too.
+    bool completed = true;
+    bool oversized = false;
+    store_.Match(s, p, o, [&](const Triple& t) {
+      if (!oversized) {
+        if (tee.size() < ScanCache::kMaxCachedTriples) {
+          tee.push_back(t);
+        } else {
+          oversized = true;
+        }
+      }
+      const bool keep_going = process(t);
+      // An early-stopped scan is a prefix, not the sequence: uncacheable.
+      if (!keep_going) completed = false;
+      return keep_going;
+    });
+    if (completed) cache_->Insert(key, oversized ? nullptr : &tee);
   }
 
   // Adapts emit callbacks returning void (never stop) or bool.
@@ -136,13 +460,13 @@ class BgpJoin {
     }
   }
 
-  bool TryBind(const PatternTerm& term, TermId value,
-               std::vector<std::pair<VarId, TermId>>& bound_here) {
+  bool TryBind(const PatternTerm& term, TermId value, VarId (&bound_here)[3],
+               size_t& bound_count) {
     if (term.is_const()) return term.id == value;
     TermId& slot = bindings_[term.var];
     if (slot == kNullTermId) {
       slot = value;
-      bound_here.emplace_back(term.var, value);
+      bound_here[bound_count++] = term.var;
       return true;
     }
     return slot == value;
@@ -155,6 +479,9 @@ class BgpJoin {
   std::vector<TermId> bindings_;
   std::vector<size_t> remaining_;
   std::vector<AtomStats>* stats_ = nullptr;  // not owned; null = no profiling
+  ScanCache* cache_ = nullptr;               // not owned; null = no caching
+  bool eager_cache_ = true;                  // see set_scan_cache
+  std::vector<std::vector<Triple>> scratch_;  // per-depth tee buffers
 };
 
 // Short human label for a term: the IRI fragment / last path segment, or
@@ -185,7 +512,7 @@ std::string AtomLabel(const BgpQuery& q, const rdf::Dictionary* dict,
 }
 
 // Copies per-atom join stats into `parent` as one child per atom, in
-// written query order.
+// written query order. Per-atom seconds are inclusive (see AtomStats).
 void FillAtomProfile(obs::ProfileNode& parent, const BgpQuery& q,
                      const rdf::Dictionary* dict,
                      const std::vector<AtomStats>& stats) {
@@ -194,7 +521,7 @@ void FillAtomProfile(obs::ProfileNode& parent, const BgpQuery& q,
     child.rows = stats[i].rows;
     child.triples = stats[i].triples;
     child.scans = stats[i].scans;
-    child.seconds = stats[i].seconds;
+    child.seconds = static_cast<double>(stats[i].nanos) * 1e-9;
   }
 }
 
@@ -203,6 +530,17 @@ Row ProjectRow(const BgpQuery& q, const std::vector<TermId>& bindings) {
   row.reserve(q.projection().size());
   for (VarId v : q.projection()) row.push_back(bindings[v]);
   return row;
+}
+
+// Projects into a caller-owned scratch row. Deduplicating emission paths
+// reuse one scratch across all emissions: on reformulated unions the vast
+// majority of emissions are duplicates of an already-seen row, and probing
+// the seen-set with the scratch makes the duplicate case allocation-free
+// (the row is only copied into the set when it is genuinely new).
+void ProjectRowInto(const BgpQuery& q, const std::vector<TermId>& bindings,
+                    Row& row) {
+  row.clear();
+  for (VarId v : q.projection()) row.push_back(bindings[v]);
 }
 
 template <typename Store>
@@ -214,17 +552,18 @@ ResultSet EvaluateBgp(const Store& store, const BgpQuery& q,
   ResultSet result;
   result.var_names = q.ProjectionNames();
   std::vector<AtomStats> stats;
-  Timer timer;
+  const uint64_t start = NowNanos();
   BgpJoin<Store> join(store, q, greedy);
   if (profile != nullptr) {
     stats.resize(q.atoms().size());
     join.set_stats(&stats);
   }
   if (q.distinct()) {
-    std::set<Row> seen;
+    std::unordered_set<Row, RowHash> seen;
+    Row scratch;
     join.Run([&](const std::vector<TermId>& bindings) {
-      Row row = ProjectRow(q, bindings);
-      if (seen.insert(row).second) result.rows.push_back(std::move(row));
+      ProjectRowInto(q, bindings, scratch);
+      if (seen.insert(scratch).second) result.rows.push_back(scratch);
     });
   } else {
     join.Run([&](const std::vector<TermId>& bindings) {
@@ -233,7 +572,7 @@ ResultSet EvaluateBgp(const Store& store, const BgpQuery& q,
   }
   if (profile != nullptr) {
     profile->rows += result.rows.size();
-    profile->seconds += timer.ElapsedSeconds();
+    profile->seconds += static_cast<double>(NowNanos() - start) * 1e-9;
     FillAtomProfile(*profile, q, dict, stats);
   }
   return result;
@@ -253,16 +592,18 @@ size_t MaxRowsNeeded(const UnionQuery& q) {
 // hides the signal. Branches past the cap fold into one aggregate node.
 constexpr size_t kMaxProfiledBranches = 8;
 
+// The reference union evaluation: branches in order, one global hash-set
+// dedup, early break once the row budget is met. The parallel path below
+// is differential-tested to reproduce this output bit for bit.
 template <typename Store>
-ResultSet EvaluateUnionQuery(const Store& store, const UnionQuery& q,
-                             bool greedy = true,
-                             obs::ProfileNode* profile = nullptr,
-                             const rdf::Dictionary* dict = nullptr) {
-  WDR_COUNTER_INC("wdr.query.union_evals");
+ResultSet EvaluateUnionSequential(const Store& store, const UnionQuery& q,
+                                  const EvaluatorOptions& options,
+                                  ScanCache* cache,
+                                  obs::ProfileNode* profile,
+                                  const rdf::Dictionary* dict) {
   ResultSet result;
   const size_t max_rows = MaxRowsNeeded(q);
-  std::set<Row> seen;
-  Timer timer;
+  std::unordered_set<Row, RowHash> seen;
   obs::ProfileNode* overflow = nullptr;
   size_t overflow_branches = 0;
   size_t branch_index = 0;
@@ -272,7 +613,8 @@ ResultSet EvaluateUnionQuery(const Store& store, const UnionQuery& q,
     }
     if (result.rows.size() >= max_rows) break;
     const size_t rows_before = result.rows.size();
-    BgpJoin<Store> join(store, branch, greedy);
+    BgpJoin<Store> join(store, branch, options.greedy_join_order);
+    join.set_scan_cache(cache, /*eager=*/max_rows == SIZE_MAX);
     std::vector<AtomStats> stats;
     obs::ProfileNode* branch_node = nullptr;
     if (profile != nullptr) {
@@ -287,15 +629,17 @@ ResultSet EvaluateUnionQuery(const Store& store, const UnionQuery& q,
         ++overflow_branches;
       }
     }
-    Timer branch_timer;
+    const uint64_t branch_start = NowNanos();
+    Row scratch;
     join.Run([&](const std::vector<TermId>& bindings) {
-      Row row = ProjectRow(branch, bindings);
-      if (seen.insert(row).second) result.rows.push_back(std::move(row));
+      ProjectRowInto(branch, bindings, scratch);
+      if (seen.insert(scratch).second) result.rows.push_back(scratch);
       return result.rows.size() < max_rows;
     });
     if (branch_node != nullptr) {
       branch_node->rows += result.rows.size() - rows_before;
-      branch_node->seconds += branch_timer.ElapsedSeconds();
+      branch_node->seconds +=
+          static_cast<double>(NowNanos() - branch_start) * 1e-9;
       if (branch_node == overflow) {
         for (const AtomStats& as : stats) {
           branch_node->scans += as.scans;
@@ -307,14 +651,247 @@ ResultSet EvaluateUnionQuery(const Store& store, const UnionQuery& q,
     }
     ++branch_index;
   }
-  if (profile != nullptr) {
+  if (overflow != nullptr) {
+    overflow->label =
+        "(+" + std::to_string(overflow_branches) + " more branches)";
+  }
+  return result;
+}
+
+// Everything one parallel worker produces for one branch. Workers write
+// only their own branches' slots; the merge thread reads them after the
+// join, so no slot is ever touched concurrently.
+struct BranchOutput {
+  std::vector<Row> rows;        // locally deduped, first-occurrence order
+  std::vector<AtomStats> stats; // filled only when profiling
+  uint64_t nanos = 0;           // branch wall time (profiling only)
+  bool evaluated = false;       // cancelled branches stay false
+};
+
+// Evaluates one branch into `out`, de-duplicating through the worker's
+// accumulated `seen` set. A worker claims chunks off a monotone cursor, so
+// the branches one worker evaluates form a strictly increasing sequence;
+// a row suppressed here as already-seen was therefore recorded in one of
+// THIS worker's earlier (lower-index) branch outputs, which the in-order
+// merge consumes first — the merge would have dropped the duplicate
+// anyway, so suppression leaves the merged stream bit-identical while
+// keeping branch buffers near distinct-row size. `worker_rows` counts the
+// rows this worker has kept across all its branches; for bounded queries
+// (ASK / LIMIT), every kept row reaches the merge at or before the current
+// branch, so `worker_rows >= max_rows` guarantees the in-order merge meets
+// its budget by this branch and every later branch is cancelled through
+// `stop_after`. Cancellation never changes the result: the merge never
+// consumes a branch past `stop_after`.
+template <typename Store>
+void EvaluateBranch(const Store& store, const BgpQuery& branch,
+                    size_t branch_index, const EvaluatorOptions& options,
+                    ScanCache* cache, size_t max_rows,
+                    std::atomic<size_t>& stop_after, bool profiled,
+                    std::unordered_set<Row, RowHash>& seen, Row& scratch,
+                    size_t& worker_rows, BranchOutput& out) {
+  out.evaluated = true;
+  BgpJoin<Store> join(store, branch, options.greedy_join_order);
+  join.set_scan_cache(cache, /*eager=*/max_rows == SIZE_MAX);
+  if (profiled) {
+    out.stats.resize(branch.atoms().size());
+    join.set_stats(&out.stats);
+  }
+  const uint64_t start = NowNanos();
+  if (max_rows == SIZE_MAX) {
+    join.Run([&](const std::vector<TermId>& bindings) {
+      ProjectRowInto(branch, bindings, scratch);
+      if (seen.insert(scratch).second) out.rows.push_back(scratch);
+    });
+  } else {
+    join.Run([&](const std::vector<TermId>& bindings) {
+      if (stop_after.load(std::memory_order_relaxed) < branch_index) {
+        return false;  // a lower branch already satisfies the budget
+      }
+      ProjectRowInto(branch, bindings, scratch);
+      if (seen.insert(scratch).second) {
+        out.rows.push_back(scratch);
+        ++worker_rows;
+      }
+      if (worker_rows >= max_rows) {
+        AtomicMin(stop_after, branch_index);
+        return false;
+      }
+      return true;
+    });
+  }
+  out.nanos = NowNanos() - start;
+}
+
+// Branch-parallel union evaluation, mirroring the saturator's design:
+// branches are split into contiguous chunks (a few per worker) claimed off
+// an atomic cursor; workers evaluate against the frozen store — safe under
+// the StoreView readers-concurrent contract — into per-branch buffers, and
+// a single thread merges the buffers IN BRANCH ORDER through one hash-set
+// dedup. The merged row stream is therefore the sequential stream: results
+// are bit-identical at every thread count. ASK/LIMIT cancellation is the
+// `stop_after` branch bound (see EvaluateBranch); the merge consumes no
+// branch past it, so cancelled work is work the sequential evaluation
+// would not have needed either.
+template <typename Store>
+ResultSet EvaluateUnionParallel(const Store& store, const UnionQuery& q,
+                                const EvaluatorOptions& options,
+                                ScanCache* cache, int workers,
+                                obs::ProfileNode* profile,
+                                const rdf::Dictionary* dict) {
+  static obs::Histogram& branch_wait =
+      obs::MetricsRegistry::Get().GetHistogram("wdr.query.branch_wait");
+
+  const size_t n = q.branches().size();
+  const size_t max_rows = MaxRowsNeeded(q);
+  const bool profiled = profile != nullptr;
+
+  // A few chunks per worker: branch costs are skewed (one unselective
+  // disjunct can dominate), and small chunks let the other workers drain
+  // the rest meanwhile.
+  const size_t target_chunks = static_cast<size_t>(workers) * 4;
+  const size_t chunk_size =
+      std::max<size_t>(1, (n + target_chunks - 1) / target_chunks);
+  const size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+
+  std::vector<BranchOutput> outputs(n);
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<size_t> stop_after{SIZE_MAX};
+  std::vector<uint64_t> busy_nanos(static_cast<size_t>(workers), 0);
+
+  auto work = [&](int worker_id) {
+    const uint64_t start = NowNanos();
+    uint64_t branches_done = 0;
+    uint64_t rows_built = 0;
+    // Worker-lifetime dedup state; see EvaluateBranch for why sharing the
+    // seen-set across one worker's (increasing) branches is sound.
+    std::unordered_set<Row, RowHash> seen;
+    Row scratch;
+    size_t worker_rows = 0;
+    for (;;) {
+      const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      const size_t lo = c * chunk_size;
+      const size_t hi = std::min(n, lo + chunk_size);
+      for (size_t b = lo; b < hi; ++b) {
+        if (b > stop_after.load(std::memory_order_relaxed)) continue;
+        EvaluateBranch(store, q.branches()[b], b, options, cache, max_rows,
+                       stop_after, profiled, seen, scratch, worker_rows,
+                       outputs[b]);
+        ++branches_done;
+        rows_built += outputs[b].rows.size();
+      }
+    }
+    busy_nanos[static_cast<size_t>(worker_id)] = NowNanos() - start;
+    if (branches_done != 0) {
+      obs::MetricsRegistry::Get()
+          .GetCounter("wdr.query.worker." + std::to_string(worker_id) +
+                      ".branches")
+          .Add(branches_done);
+      obs::MetricsRegistry::Get()
+          .GetCounter("wdr.query.worker." + std::to_string(worker_id) +
+                      ".rows")
+          .Add(rows_built);
+    }
+  };
+
+  WorkerPool::Get().Dispatch(workers - 1, work);
+
+  // Idle-at-the-barrier time per worker (how long each waited on the
+  // slowest); large values mean skewed branch costs.
+  const uint64_t slowest =
+      *std::max_element(busy_nanos.begin(), busy_nanos.end());
+  for (uint64_t busy : busy_nanos) branch_wait.RecordNanos(slowest - busy);
+
+  // In-order merge: identical to the sequential dedup stream.
+  ResultSet result;
+  result.var_names = q.branches().front().ProjectionNames();
+  std::unordered_set<Row, RowHash> seen;
+  std::vector<size_t> contributed(profiled ? n : 0, 0);
+  const size_t last =
+      std::min(stop_after.load(std::memory_order_relaxed), n - 1);
+  for (size_t b = 0; b <= last && result.rows.size() < max_rows; ++b) {
+    const size_t rows_before = result.rows.size();
+    for (Row& row : outputs[b].rows) {
+      if (seen.insert(row).second) {
+        result.rows.push_back(std::move(row));
+        if (result.rows.size() >= max_rows) break;
+      }
+    }
+    if (profiled) contributed[b] = result.rows.size() - rows_before;
+  }
+
+  if (profiled) {
+    // Same shape as the sequential profile; `rows` is the branch's merge
+    // contribution. Under cancellation the evaluated set can differ from a
+    // sequential run's (workers may finish branches the merge never
+    // needed) — the profile reports work actually done.
+    obs::ProfileNode* overflow = nullptr;
+    size_t overflow_branches = 0;
+    for (size_t b = 0; b < n; ++b) {
+      if (!outputs[b].evaluated) continue;
+      obs::ProfileNode* branch_node = nullptr;
+      if (b < kMaxProfiledBranches) {
+        branch_node = &profile->AddChild("branch " + std::to_string(b));
+      } else {
+        if (overflow == nullptr) overflow = &profile->AddChild("");
+        branch_node = overflow;
+        ++overflow_branches;
+      }
+      branch_node->rows += b < contributed.size() ? contributed[b] : 0;
+      branch_node->seconds += static_cast<double>(outputs[b].nanos) * 1e-9;
+      if (branch_node == overflow) {
+        for (const AtomStats& as : outputs[b].stats) {
+          branch_node->scans += as.scans;
+          branch_node->triples += as.triples;
+        }
+      } else {
+        FillAtomProfile(*branch_node, q.branches()[b], dict,
+                        outputs[b].stats);
+      }
+    }
     if (overflow != nullptr) {
       overflow->label =
           "(+" + std::to_string(overflow_branches) + " more branches)";
     }
-    profile->rows += result.rows.size();
-    profile->seconds += timer.ElapsedSeconds();
   }
+  return result;
+}
+
+template <typename Store>
+ResultSet EvaluateUnionQuery(const Store& store, const UnionQuery& q,
+                             const EvaluatorOptions& options,
+                             obs::ProfileNode* profile = nullptr,
+                             const rdf::Dictionary* dict = nullptr) {
+  WDR_COUNTER_INC("wdr.query.union_evals");
+  if (q.branches().empty()) return ResultSet{};
+
+  // The cache pays off through cross-branch sharing; a single-branch
+  // union has nothing to share with.
+  std::optional<ScanCache> cache;
+  if (options.scan_cache && q.branches().size() >= 2) cache.emplace();
+  ScanCache* cache_ptr = cache.has_value() ? &*cache : nullptr;
+
+  const size_t n = q.branches().size();
+  const int workers = static_cast<int>(std::min<size_t>(
+      options.threads < 1 ? 1 : static_cast<size_t>(options.threads), n));
+
+  const uint64_t start = NowNanos();
+  ResultSet result =
+      workers > 1
+          ? EvaluateUnionParallel(store, q, options, cache_ptr, workers,
+                                  profile, dict)
+          : EvaluateUnionSequential(store, q, options, cache_ptr, profile,
+                                    dict);
+  if (profile != nullptr) {
+    profile->rows += result.rows.size();
+    profile->seconds += static_cast<double>(NowNanos() - start) * 1e-9;
+    if (cache_ptr != nullptr) {
+      profile->AddChild("scan_cache (" + std::to_string(cache_ptr->hits()) +
+                        " hits, " + std::to_string(cache_ptr->misses()) +
+                        " misses)");
+    }
+  }
+  if (cache_ptr != nullptr) cache_ptr->FlushCounters();
   return result;
 }
 
@@ -353,8 +930,8 @@ ResultSet Evaluator::Evaluate(const BgpQuery& q,
 
 ResultSet Evaluator::Evaluate(const UnionQuery& q,
                               obs::ProfileNode* profile) const {
-  ResultSet result = EvaluateUnionQuery(*store_, q, options_.greedy_join_order,
-                                        profile, options_.dict);
+  ResultSet result =
+      EvaluateUnionQuery(*store_, q, options_, profile, options_.dict);
   ApplySolutionModifiers(q, result);
   WDR_COUNTER_ADD("wdr.query.rows", result.rows.size());
   return result;
@@ -362,21 +939,41 @@ ResultSet Evaluator::Evaluate(const UnionQuery& q,
 
 ResultSet FederatedEvaluator::Evaluate(const BgpQuery& q,
                                        obs::ProfileNode* profile) const {
-  ResultSet result = EvaluateBgp(*store_, q, /*greedy=*/true, profile);
+  ResultSet result = EvaluateBgp(*store_, q, options_.greedy_join_order,
+                                 profile, options_.dict);
   WDR_COUNTER_ADD("wdr.query.rows", result.rows.size());
   return result;
 }
 
 ResultSet FederatedEvaluator::Evaluate(const UnionQuery& q,
                                        obs::ProfileNode* profile) const {
-  ResultSet result = EvaluateUnionQuery(*store_, q, /*greedy=*/true, profile);
+  ResultSet result =
+      EvaluateUnionQuery(*store_, q, options_, profile, options_.dict);
   ApplySolutionModifiers(q, result);
   WDR_COUNTER_ADD("wdr.query.rows", result.rows.size());
   return result;
 }
 
 size_t Evaluator::CountAnswers(const BgpQuery& q) const {
-  return Evaluate(q).rows.size();
+  WDR_COUNTER_INC("wdr.query.bgp_evals");
+  BgpJoin<rdf::StoreView> join(*store_, q, options_.greedy_join_order);
+  size_t count = 0;
+  if (q.distinct()) {
+    // DISTINCT still needs the set of projected rows, but never a
+    // ResultSet: rows live only inside the dedup structure.
+    std::unordered_set<Row, RowHash> seen;
+    Row scratch;
+    join.Run([&](const std::vector<TermId>& bindings) {
+      ProjectRowInto(q, bindings, scratch);
+      seen.insert(scratch);
+    });
+    count = seen.size();
+  } else {
+    // Non-distinct counting needs no projection at all.
+    join.Run([&](const std::vector<TermId>&) { ++count; });
+  }
+  WDR_COUNTER_ADD("wdr.query.rows", count);
+  return count;
 }
 
 }  // namespace wdr::query

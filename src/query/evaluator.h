@@ -38,6 +38,33 @@ struct ResultSet {
 // answer-equivalent.
 void ApplySolutionModifiers(const UnionQuery& q, ResultSet& result);
 
+// Knobs shared by Evaluator and FederatedEvaluator.
+struct EvaluatorOptions {
+  // Pick the cheapest remaining atom at each join step (estimated via
+  // the store's indexes). Disabling falls back to the query's written
+  // atom order — the ablation bench_queryopt quantifies the difference.
+  bool greedy_join_order = true;
+  // When set, profile-node operator labels render terms through this
+  // dictionary instead of as raw ids.
+  const rdf::Dictionary* dict = nullptr;
+  // Worker threads for the branches of a UnionQuery (values < 1 clamp
+  // to 1). Branches are partitioned into contiguous chunks claimed off an
+  // atomic cursor; workers evaluate against the frozen store (the
+  // StoreView readers-concurrent contract) into per-branch row buffers,
+  // and a single thread merges the buffers in branch order — so the
+  // result is bit-identical to the sequential evaluation at any thread
+  // count. ASK/LIMIT cancel outstanding branches through a shared atomic
+  // branch bound once some branch alone satisfies the row budget.
+  int threads = 1;
+  // Cross-branch scan-signature cache: reformulated branches repeatedly
+  // issue identical resolved (s,p,o) scans, so each union evaluation
+  // memoizes completed small scans and replays them as flat vectors,
+  // shared read-only across workers. Answers are identical either way
+  // (a cached scan is the exact triple sequence of the live cursor);
+  // wdr.query.scan_cache.{hits,misses} measure effectiveness.
+  bool scan_cache = true;
+};
+
 // BGP / union-of-BGP query evaluation over a triple store, per the paper's
 // "query evaluation" (no reasoning): only explicit triples of the store are
 // matched. Reasoning enters either by evaluating over a saturated store or
@@ -50,15 +77,7 @@ void ApplySolutionModifiers(const UnionQuery& q, ResultSet& result);
 // expanded via the best store index.
 class Evaluator {
  public:
-  struct Options {
-    // Pick the cheapest remaining atom at each join step (estimated via
-    // the store's indexes). Disabling falls back to the query's written
-    // atom order — the ablation bench_queryopt quantifies the difference.
-    bool greedy_join_order = true;
-    // When set, profile-node operator labels render terms through this
-    // dictionary instead of as raw ids.
-    const rdf::Dictionary* dict = nullptr;
-  };
+  using Options = EvaluatorOptions;
 
   explicit Evaluator(const rdf::StoreView& store)
       : store_(&store), options_() {}
@@ -77,7 +96,9 @@ class Evaluator {
   ResultSet Evaluate(const UnionQuery& q,
                      obs::ProfileNode* profile = nullptr) const;
 
-  // Number of rows without materializing them all (still enumerates).
+  // Number of rows without materializing a ResultSet: counts stream
+  // through the join's emit callback (still enumerates; DISTINCT queries
+  // keep a hash set of projected rows, others never even project).
   size_t CountAnswers(const BgpQuery& q) const;
 
  private:
@@ -92,7 +113,10 @@ class Evaluator {
 class FederatedEvaluator {
  public:
   explicit FederatedEvaluator(const rdf::UnionStore& store)
-      : store_(&store) {}
+      : store_(&store), options_() {}
+  FederatedEvaluator(const rdf::UnionStore& store,
+                     const EvaluatorOptions& options)
+      : store_(&store), options_(options) {}
 
   ResultSet Evaluate(const BgpQuery& q,
                      obs::ProfileNode* profile = nullptr) const;
@@ -101,6 +125,7 @@ class FederatedEvaluator {
 
  private:
   const rdf::UnionStore* store_;  // not owned
+  EvaluatorOptions options_;
 };
 
 }  // namespace wdr::query

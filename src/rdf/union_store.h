@@ -1,6 +1,8 @@
 #ifndef WDR_RDF_UNION_STORE_H_
 #define WDR_RDF_UNION_STORE_H_
 
+#include <atomic>
+#include <memory>
 #include <vector>
 
 #include "rdf/store_view.h"
@@ -34,13 +36,25 @@ class UnionStore {
   size_t member_count() const { return members_.size(); }
 
   // Turns on per-member accounting (off by default: the counters sit on
-  // the match hot path). Resets any previous stats.
+  // the match hot path). Resets any previous stats. The counters are
+  // relaxed atomics so concurrent readers (parallel union-query branches
+  // scanning the federation) account without racing.
   void EnableMemberStats() const {
-    stats_.assign(members_.size(), MemberStats{});
+    stats_size_ = members_.size();
+    stats_ = std::make_unique<AtomicMemberStats[]>(stats_size_);
   }
 
-  // Empty unless EnableMemberStats() was called.
-  const std::vector<MemberStats>& member_stats() const { return stats_; }
+  // Snapshot of the per-member counters, by value (the live counters keep
+  // advancing under concurrent scans). Empty unless EnableMemberStats()
+  // was called.
+  std::vector<MemberStats> member_stats() const {
+    std::vector<MemberStats> snapshot(stats_size_);
+    for (size_t i = 0; i < stats_size_; ++i) {
+      snapshot[i].matches = stats_[i].matches.load(std::memory_order_relaxed);
+      snapshot[i].rows = stats_[i].rows.load(std::memory_order_relaxed);
+    }
+    return snapshot;
+  }
 
   bool Contains(const Triple& t) const {
     for (const StoreView* member : members_) {
@@ -68,15 +82,17 @@ class UnionStore {
   // exactly once across members.
   template <typename Fn>
   void Match(TermId s, TermId p, TermId o, Fn&& fn) const {
-    const bool collect = !stats_.empty();
+    const bool collect = stats_size_ != 0;
     for (size_t i = 0; i < members_.size(); ++i) {
       bool keep_going = true;
-      if (collect) ++stats_[i].matches;
+      if (collect) {
+        stats_[i].matches.fetch_add(1, std::memory_order_relaxed);
+      }
       members_[i]->Match(s, p, o, [&](const Triple& t) {
         for (size_t j = 0; j < i; ++j) {
           if (members_[j]->Contains(t)) return true;  // already reported
         }
-        if (collect) ++stats_[i].rows;
+        if (collect) stats_[i].rows.fetch_add(1, std::memory_order_relaxed);
         keep_going = internal::InvokeMatchFn(fn, t);
         return keep_going;
       });
@@ -91,8 +107,16 @@ class UnionStore {
   }
 
  private:
+  struct AtomicMemberStats {
+    std::atomic<uint64_t> matches{0};
+    std::atomic<uint64_t> rows{0};
+  };
+
   std::vector<const StoreView*> members_;  // not owned
-  mutable std::vector<MemberStats> stats_;  // empty = accounting off
+  // null = accounting off. Heap array (not vector) because the elements
+  // are atomics, which are neither copyable nor movable.
+  mutable std::unique_ptr<AtomicMemberStats[]> stats_;
+  mutable size_t stats_size_ = 0;
 };
 
 }  // namespace wdr::rdf

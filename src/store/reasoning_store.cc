@@ -87,6 +87,10 @@ void ReasoningStore::SetSaturationThreads(int threads) {
   }
 }
 
+void ReasoningStore::SetQueryThreads(int threads) {
+  options_.query.threads = threads < 1 ? 1 : threads;
+}
+
 void ReasoningStore::RecloseSchema() {
   for (const rdf::Triple& t : derived_schema_) graph_.Erase(t);
   derived_schema_.clear();
@@ -172,7 +176,7 @@ Result<query::ResultSet> ReasoningStore::Query(std::string_view sparql,
 Result<query::ResultSet> ReasoningStore::Dispatch(const query::UnionQuery& q,
                                                   QueryInfo* info,
                                                   obs::ProfileNode* profile) {
-  query::Evaluator::Options eval_options;
+  query::Evaluator::Options eval_options = options_.query;
   eval_options.dict = &graph_.dict();
   switch (options_.mode) {
     case ReasoningMode::kNone: {

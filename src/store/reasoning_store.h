@@ -46,6 +46,11 @@ struct ReasoningStoreOptions {
   // closure build and for DRed re-derivation. Answers are identical at any
   // thread count.
   reasoning::SaturationOptions saturation;
+  // Passed through to the query evaluator in every mode: union-branch
+  // worker threads and the cross-branch scan cache (most effective in
+  // kReformulation mode, where unions are large). Answers are identical
+  // at any setting.
+  query::EvaluatorOptions query;
 };
 
 // Per-query diagnostics.
@@ -141,6 +146,13 @@ class ReasoningStore {
   // a rebuild — the current closure is already correct.
   void SetSaturationThreads(int threads);
   int saturation_threads() const { return options_.saturation.threads; }
+
+  // Sets the worker-thread count for the branches of subsequent union
+  // queries (values < 1 clamp to 1) — most useful in kReformulation mode,
+  // where reformulated unions carry many branches. Answers are identical
+  // at any thread count.
+  void SetQueryThreads(int threads);
+  int query_threads() const { return options_.query.threads; }
 
   // Toggles per-query operator profiling. When on, Query() fills
   // QueryInfo::profile with a per-operator stats tree. Off by default:

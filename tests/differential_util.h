@@ -224,6 +224,35 @@ inline ::testing::AssertionResult RunDifferentialInstance(
         return fail(label + ": reformulation differs from saturation");
       }
 
+      // Parallel UCQ evaluation must reproduce the sequential row stream
+      // BIT FOR BIT — same rows in the same order, not just the same set —
+      // at every thread count, with the scan cache on or off (replayed
+      // scans keep live-cursor order and memoized estimates keep the
+      // greedy join order, so caching never reorders answers either).
+      {
+        query::EvaluatorOptions reference_options;
+        reference_options.threads = 1;
+        reference_options.scan_cache = false;
+        query::Evaluator reference_eval(graph.store(), reference_options);
+        const query::ResultSet reference =
+            reference_eval.Evaluate(*reformulated);
+        for (int threads : {1, 2, 8}) {
+          for (bool cache : {false, true}) {
+            query::EvaluatorOptions options;
+            options.threads = threads;
+            options.scan_cache = cache;
+            query::Evaluator parallel_eval(graph.store(), options);
+            const query::ResultSet got = parallel_eval.Evaluate(*reformulated);
+            if (got.rows != reference.rows) {
+              return fail(label + ": parallel UCQ evaluation (threads=" +
+                          std::to_string(threads) +
+                          ", cache=" + (cache ? "on" : "off") +
+                          ") is not bit-identical to sequential");
+            }
+          }
+        }
+      }
+
       if (Rows(rg.graph, backward_eval.Evaluate(q)) != expected) {
         return fail(label + ": backward chaining differs from saturation");
       }
