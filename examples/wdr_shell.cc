@@ -4,7 +4,7 @@
 // Usage:
 //   wdr_shell [--mode=saturation|reformulation|backward|none]
 //             [--backend=ordered|flat] [--threads=N] [--query-threads=N]
-//             [--script=FILE] [file.ttl ...]
+//             [--plan] [--explain] [--script=FILE] [file.ttl ...]
 //
 // Reads commands from stdin (one per line):
 //   SELECT ...          run a SPARQL query
@@ -14,10 +14,17 @@
 //   .backend ENGINE     switch storage engine (ordered|flat) at run time
 //   .threads N          saturation worker threads for closure builds
 //   .qthreads N         worker threads for union-query branches
+//   .plan on|off        cost-based physical plans (hash joins, batching)
+//   .explain QUERY      run QUERY, print its operator tree (in plan mode:
+//                       the chosen plan with estimated vs actual rows)
 //   .profile on|off     per-operator query profiling (EXPLAIN ANALYZE)
 //   .trace FILE / off   capture spans; "off" writes JSON lines to FILE
 //   .stats              store statistics + live wdr.* metrics
 //   .help               this text
+//
+// --plan starts the store in plan mode; --explain prints the operator
+// tree after every query (combine with --plan for estimated-vs-actual
+// cardinalities per operator).
 //
 // With --script=FILE, commands come from FILE instead of stdin, errors go
 // to stderr, and the first failing command terminates the shell with a
@@ -45,6 +52,9 @@ using wdr::store::ReasoningStore;
 // Path the next ".trace off" exports to; empty = tracing inactive.
 std::string g_trace_path;
 
+// --explain: print the operator tree after every query.
+bool g_explain = false;
+
 bool ParseMode(const std::string& name, ReasoningMode* mode) {
   if (name == "saturation") {
     *mode = ReasoningMode::kSaturation;
@@ -71,6 +81,10 @@ void PrintHelp() {
                "  .backend ENGINE       ordered|flat storage engine\n"
                "  .threads N            saturation worker threads (N >= 1)\n"
                "  .qthreads N           union-branch query threads (N >= 1)\n"
+               "  .plan on|off          cost-based physical plans (hash "
+               "joins)\n"
+               "  .explain SELECT ...   show a query's operator tree (plan "
+               "mode: estimated vs actual rows)\n"
                "  .profile on|off       per-operator query profiling\n"
                "  .trace FILE           start span capture\n"
                "  .trace off            stop capture, write JSON lines to "
@@ -150,8 +164,34 @@ bool RunCommand(ReasoningStore& store, const std::string& line) {
     std::string command, argument;
     words >> command >> argument;
     if (command == ".explain") {
-      // Everything after ".explain " is one N-Triples statement.
+      // Everything after ".explain " is either a SPARQL query (query-form
+      // explain: run it and print the operator tree) or one N-Triples
+      // statement (proof-form explain: why is the triple entailed).
       std::string statement = line.substr(std::string(".explain").size());
+      std::string upper;
+      for (char c : statement) upper += static_cast<char>(std::toupper(c));
+      const size_t first = upper.find_first_not_of(" \t");
+      if (first != std::string::npos &&
+          (upper.rfind("SELECT", first) == first ||
+           upper.rfind("ASK", first) == first ||
+           upper.rfind("PREFIX", first) == first)) {
+        const bool was_profiling = store.profiling();
+        store.SetProfiling(true);
+        wdr::store::QueryInfo info;
+        auto result = store.Query(statement, &info);
+        store.SetProfiling(was_profiling);
+        if (!result.ok()) {
+          std::cerr << result.status() << "\n";
+          return false;
+        }
+        std::cout << result->rows.size() << " answer(s) in "
+                  << static_cast<long long>(info.seconds * 1e6) << "us via "
+                  << ReasoningModeName(info.mode)
+                  << (store.plan_mode() ? " [plan]" : " [legacy join]")
+                  << "\n";
+        if (info.profile != nullptr) std::cout << info.profile->Render();
+        return true;
+      }
       auto proof = store.ExplainTriple(statement);
       if (proof.ok()) {
         std::cout << *proof;
@@ -207,6 +247,15 @@ bool RunCommand(ReasoningStore& store, const std::string& line) {
       std::cerr << "usage: .qthreads N (N >= 1)\n";
       return false;
     }
+    if (command == ".plan") {
+      if (argument == "on" || argument == "off") {
+        store.SetPlanMode(argument == "on");
+        std::cout << "plan = " << argument << "\n";
+        return true;
+      }
+      std::cerr << "usage: .plan on|off\n";
+      return false;
+    }
     if (command == ".profile") {
       if (argument == "on" || argument == "off") {
         store.SetProfiling(argument == "on");
@@ -253,8 +302,11 @@ bool RunCommand(ReasoningStore& store, const std::string& line) {
       upper.rfind("ASK", 0) == 0) {
     if (upper.find("SELECT") != std::string::npos ||
         upper.rfind("ASK", 0) == 0) {
+      const bool was_profiling = store.profiling();
+      if (g_explain) store.SetProfiling(true);
       wdr::store::QueryInfo info;
       auto result = store.Query(line, &info);
+      if (g_explain) store.SetProfiling(was_profiling);
       if (!result.ok()) {
         std::cerr << result.status() << "\n";
         return false;
@@ -309,6 +361,12 @@ void RunDemo(ReasoningStore& store) {
       "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
       "PREFIX ex: <http://ex.org/> "
       "SELECT ?x WHERE { ?x rdf:type ex:Mammal }",
+      ".plan on",
+      ".explain PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+      "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> "
+      "PREFIX ex: <http://ex.org/> "
+      "SELECT ?x ?y WHERE { ?x rdf:type ?y . ?y rdfs:subClassOf ex:Mammal }",
+      ".plan off",
       ".stats",
   };
   std::cout << "(no stdin input — running the scripted demo; pipe commands "
@@ -352,6 +410,10 @@ int main(int argc, char** argv) {
         return EXIT_FAILURE;
       }
       options.query.threads = threads;
+    } else if (arg == "--plan") {
+      options.query.plan = true;
+    } else if (arg == "--explain") {
+      g_explain = true;
     } else if (arg.rfind("--script=", 0) == 0) {
       script_path = arg.substr(9);
     } else if (arg == "--script" && i + 1 < argc) {

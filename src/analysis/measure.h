@@ -33,7 +33,11 @@ struct MeasureOptions {
   // G), so the thresholds reflect the deployment's query configuration.
   // Branch-parallel evaluation and the scan cache speed up the
   // reformulated side far more than the saturated side (large unions vs.
-  // single BGPs), raising the measured saturation thresholds.
+  // single BGPs), raising the measured saturation thresholds. The plan
+  // knob (EvaluatorOptions::plan) rides along too: with it on, both sides
+  // are measured under cost-based physical plans (statistics are built
+  // per evaluation — leave `stats` null; the graphs being measured are
+  // snapshots).
   query::EvaluatorOptions query;
 };
 

@@ -106,8 +106,18 @@ Result<rdf::TripleStore> MaterializeViaDatalog(const rdf::Graph& graph,
                                                const schema::Vocabulary& vocab,
                                                Strategy strategy,
                                                EvalStats* stats) {
+  MaterializeOptions options;
+  options.strategy = strategy;
+  return MaterializeViaDatalog(graph, vocab, options, stats);
+}
+
+Result<rdf::TripleStore> MaterializeViaDatalog(const rdf::Graph& graph,
+                                               const schema::Vocabulary& vocab,
+                                               const MaterializeOptions& options,
+                                               EvalStats* stats) {
   RdfDatalogTranslation xlat = TranslateGraph(graph, vocab);
-  WDR_ASSIGN_OR_RETURN(Database db, Materialize(xlat.program, strategy, stats));
+  WDR_ASSIGN_OR_RETURN(Database db,
+                       MaterializeWithOptions(xlat.program, options, stats));
   rdf::TripleStore closure;
   for (const Tuple& t : db.relation(xlat.triple_pred).tuples()) {
     closure.Insert(rdf::Triple(xlat.term_of_sym[t[0]], xlat.term_of_sym[t[1]],
@@ -118,7 +128,8 @@ Result<rdf::TripleStore> MaterializeViaDatalog(const rdf::Graph& graph,
 
 Result<query::ResultSet> AnswerViaDatalog(const RdfDatalogTranslation& xlat,
                                           const Database& db,
-                                          const query::UnionQuery& q) {
+                                          const query::UnionQuery& q,
+                                          const BodyPlanOptions* plan) {
   query::ResultSet result;
   std::set<query::Row> seen;
   for (const BgpQuery& branch : q.branches()) {
@@ -172,8 +183,9 @@ Result<query::ResultSet> AnswerViaDatalog(const RdfDatalogTranslation& xlat,
         effective_cols.push_back(i);
       }
     }
-    WDR_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
-                         EvaluateQuery(xlat.program, db, body, effective));
+    WDR_ASSIGN_OR_RETURN(
+        std::vector<Tuple> rows,
+        EvaluateQuery(xlat.program, db, body, effective, plan));
     for (const Tuple& tuple : rows) {
       query::Row row(projection.size(), rdf::kNullTermId);
       for (size_t i = 0; i < effective_cols.size(); ++i) {

@@ -1,0 +1,63 @@
+// Columnar batch of rows flowing between physical operators. All reasoning
+// paths in this repo bind 32-bit ids — rdf::TermId for triple stores,
+// datalog::Sym for Datalog relations — so one Value type serves every
+// client and batches are plain flat arrays of uint32_t.
+#ifndef WDR_EXEC_BATCH_H_
+#define WDR_EXEC_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wdr::exec {
+
+// Shared value type: rdf::TermId and datalog::Sym are both uint32_t.
+using Value = uint32_t;
+
+// Column index inside a plan's row schema.
+using ColId = uint32_t;
+inline constexpr ColId kNoColumn = 0xffffffffu;
+
+// Fixed-capacity column-major buffer: column c occupies the contiguous
+// range [c * capacity, c * capacity + rows). Operators own one Batch,
+// fill it row by row, and push it downstream when full (and once more,
+// partially filled, at end of stream).
+class Batch {
+ public:
+  static constexpr size_t kDefaultRows = 1024;
+
+  Batch() = default;
+  Batch(size_t width, size_t capacity) { Reset(width, capacity); }
+
+  void Reset(size_t width, size_t capacity) {
+    width_ = width;
+    capacity_ = capacity;
+    rows_ = 0;
+    data_.assign(width * capacity, 0);
+  }
+
+  size_t width() const { return width_; }
+  size_t capacity() const { return capacity_; }
+  size_t rows() const { return rows_; }
+  bool empty() const { return rows_ == 0; }
+  bool full() const { return rows_ >= capacity_; }
+
+  Value* col(size_t c) { return data_.data() + c * capacity_; }
+  const Value* col(size_t c) const { return data_.data() + c * capacity_; }
+
+  Value at(size_t c, size_t r) const { return data_[c * capacity_ + r]; }
+  Value& at(size_t c, size_t r) { return data_[c * capacity_ + r]; }
+
+  void set_rows(size_t n) { rows_ = n; }
+  void Clear() { rows_ = 0; }
+
+ private:
+  size_t width_ = 0;
+  size_t capacity_ = 0;
+  size_t rows_ = 0;
+  std::vector<Value> data_;
+};
+
+}  // namespace wdr::exec
+
+#endif  // WDR_EXEC_BATCH_H_

@@ -1,0 +1,41 @@
+// Batch-at-a-time push executor for the physical-plan IR. Operators are
+// run depth-first; each owns one output Batch it fills and pushes
+// downstream when full. Output order is deterministic for a fixed plan,
+// source contents, and batch size: scans stream sources in index order,
+// bound loops preserve outer order, and hash joins keep build-side
+// insertion order inside each bucket while streaming the probe side in
+// order.
+#ifndef WDR_EXEC_EXECUTOR_H_
+#define WDR_EXEC_EXECUTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "exec/batch.h"
+#include "exec/plan.h"
+#include "exec/source.h"
+#include "obs/profile.h"
+
+namespace wdr::exec {
+
+struct ExecOptions {
+  size_t batch_rows = Batch::kDefaultRows;
+};
+
+// Per-row output callback: `row` holds `width` values laid out in the
+// plan root's column order. Return false to stop execution early (ASK,
+// LIMIT reached upstream in the driving evaluator).
+using RowSink = FunctionRef<bool(const Value* row, size_t width)>;
+
+// Runs `plan` against `sources` (indexed by PlanNode::source), streaming
+// result rows to `emit` in deterministic order. When `profile` is
+// non-null, one child per plan node is appended under it with estimated
+// vs. actual cardinalities (and scan/triple counts for scan operators).
+// Returns false iff `emit` requested an early stop.
+bool Run(const PlanNode& plan, const std::vector<const TupleSource*>& sources,
+         const ExecOptions& options, RowSink emit,
+         obs::ProfileNode* profile = nullptr);
+
+}  // namespace wdr::exec
+
+#endif  // WDR_EXEC_EXECUTOR_H_

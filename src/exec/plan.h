@@ -1,0 +1,119 @@
+// Physical-plan IR shared by the query evaluator, the Datalog
+// materializer, and the backward-chaining evaluator. A plan is a tree of
+// operators over columnar batches of uint32 values; the planner
+// (planner.h) builds plans, the executor (executor.h) runs them.
+#ifndef WDR_EXEC_PLAN_H_
+#define WDR_EXEC_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/batch.h"
+
+namespace wdr::exec {
+
+enum class OpKind : uint8_t {
+  kIndexScan,            // leaf: stream a source, emit output columns
+  kBoundNestedLoopJoin,  // per input row, probe a source with bound columns
+  kHashJoin,             // children = {probe, build}; build side drained first
+  kFilter,               // keep rows passing all predicates
+  kProject,              // reorder/drop columns
+  kHashDedup,            // keep the first occurrence of each row
+  kUnion,                // concatenate children (identical schemas)
+  kLimit,                // skip `offset` rows, pass at most `limit`
+};
+
+const char* OpKindName(OpKind kind);
+
+// Process-wide default for the `plan` knobs of every evaluator that
+// compiles into this IR (query, Datalog, backward chaining): true iff the
+// environment variable WDR_PLAN is exactly "1" (read once). Lets one CI
+// matrix entry run the entire test suite through the planner while the
+// regular entry keeps the legacy joins as reference.
+bool PlanModeDefault();
+
+// One position of a source pattern as seen by a scan or bound-loop
+// operator.
+struct Slot {
+  enum class Kind : uint8_t {
+    kConst,   // position must equal `value`
+    kInput,   // position must equal input column `col` (bound-loop only)
+    kOutput,  // position is emitted into output column `col`
+    kAny,     // position unconstrained and dropped
+  };
+
+  Kind kind = Kind::kAny;
+  Value value = 0;
+  ColId col = kNoColumn;
+
+  static Slot Const(Value v) { return {Kind::kConst, v, kNoColumn}; }
+  static Slot Input(ColId c) { return {Kind::kInput, 0, c}; }
+  static Slot Output(ColId c) { return {Kind::kOutput, 0, c}; }
+  static Slot Any() { return {Kind::kAny, 0, kNoColumn}; }
+};
+
+// One way a conjunct can match. Backward chaining expands an atom into
+// several alternatives (the original pattern plus every rule rewriting);
+// plain BGP and Datalog atoms have exactly one. All alternatives of a node
+// produce the same output columns: a column an alternative's slots do not
+// cover must appear in its presets.
+struct ScanAlt {
+  std::vector<Slot> slots;  // one per source column
+  // Output column := constant, applied to every emitted row (variables a
+  // rewriting grounds without a matching pattern position).
+  std::vector<std::pair<ColId, Value>> presets;
+  // Input column must equal constant for this alternative to apply
+  // (bound-loop only: variables already bound upstream that a rewriting
+  // grounds).
+  std::vector<std::pair<ColId, Value>> checks;
+};
+
+// col == other (when other != kNoColumn), else col == value.
+struct FilterPred {
+  ColId col = kNoColumn;
+  ColId other = kNoColumn;
+  Value value = 0;
+};
+
+struct PlanNode {
+  OpKind kind;
+  uint32_t width = 0;  // output column count
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  // kIndexScan / kBoundNestedLoopJoin: which TupleSource, and how to match.
+  size_t source = 0;
+  std::vector<ScanAlt> alts;
+
+  // kHashJoin: equality keys as (probe column, build column) pairs, plus
+  // the build columns appended after the probe columns in the output
+  // (build key columns are omitted — they duplicate probe columns).
+  std::vector<std::pair<ColId, ColId>> keys;
+  std::vector<ColId> payload;
+
+  // kFilter.
+  std::vector<FilterPred> preds;
+
+  // kProject: output column i reads input column cols[i]; kNoColumn emits
+  // the null value 0 (a projected variable the body never binds).
+  std::vector<ColId> cols;
+
+  // kLimit.
+  size_t limit = SIZE_MAX;
+  size_t offset = 0;
+
+  double est_rows = -1;  // planner cardinality estimate; <0 = unknown
+  std::string label;     // human-readable operator description
+
+  explicit PlanNode(OpKind k) : kind(k) {}
+
+  // Indented tree with per-operator estimates, for EXPLAIN output.
+  std::string Render() const;
+};
+
+}  // namespace wdr::exec
+
+#endif  // WDR_EXEC_PLAN_H_

@@ -1,0 +1,35 @@
+#include "exec/statistics.h"
+
+#include <algorithm>
+
+namespace wdr::exec {
+namespace {
+
+double PerPredicate(const PredicateStats& ps, bool s_bound, bool o_bound) {
+  double est = static_cast<double>(ps.count);
+  if (s_bound) est /= static_cast<double>(std::max<uint64_t>(1, ps.distinct_subjects));
+  if (o_bound) est /= static_cast<double>(std::max<uint64_t>(1, ps.distinct_objects));
+  return est;
+}
+
+}  // namespace
+
+double Statistics::Estimate(BoundMode s, BoundMode p, Value p_value,
+                            BoundMode o) const {
+  const bool s_bound = s != BoundMode::kWild;
+  const bool o_bound = o != BoundMode::kWild;
+  if (p == BoundMode::kConst) {
+    const PredicateStats* ps = Predicate(p_value);
+    return ps == nullptr ? 0.0 : PerPredicate(*ps, s_bound, o_bound);
+  }
+  double total = 0;
+  for (const auto& [pred, ps] : preds_) {
+    total += PerPredicate(ps, s_bound, o_bound);
+  }
+  if (p == BoundMode::kRuntime && !preds_.empty()) {
+    total /= static_cast<double>(preds_.size());
+  }
+  return total;
+}
+
+}  // namespace wdr::exec

@@ -1,0 +1,81 @@
+// Per-predicate cardinality statistics over a triple store, feeding the
+// cost-based planner: triple count plus distinct subject/object counts per
+// predicate give selectivities for every bound/wild combination of a
+// triple pattern. Built in one O(store) pass; staleness is detected by
+// comparing total_triples() against the live store size.
+#ifndef WDR_EXEC_STATISTICS_H_
+#define WDR_EXEC_STATISTICS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "exec/batch.h"
+
+namespace wdr::exec {
+
+struct PredicateStats {
+  uint64_t count = 0;
+  uint64_t distinct_subjects = 0;
+  uint64_t distinct_objects = 0;
+};
+
+// How a pattern position is constrained when asking for an estimate.
+enum class BoundMode : uint8_t {
+  kWild,     // unconstrained
+  kConst,    // bound to a known constant
+  kRuntime,  // bound at run time to a value unknown while planning
+};
+
+class Statistics {
+ public:
+  Statistics() = default;
+
+  // One pass over any store exposing Match(s, p, o, fn) with 0-wildcards
+  // (rdf::StoreView, rdf::UnionStore).
+  template <typename Store>
+  static Statistics Build(const Store& store) {
+    Statistics stats;
+    std::unordered_map<Value, std::pair<std::unordered_set<Value>,
+                                        std::unordered_set<Value>>>
+        distinct;
+    store.Match(0, 0, 0, [&](const auto& t) {
+      ++stats.total_;
+      ++stats.preds_[t.p].count;
+      auto& [subjects, objects] = distinct[t.p];
+      subjects.insert(t.s);
+      objects.insert(t.o);
+      return true;
+    });
+    for (auto& [p, sets] : distinct) {
+      PredicateStats& ps = stats.preds_[p];
+      ps.distinct_subjects = sets.first.size();
+      ps.distinct_objects = sets.second.size();
+    }
+    return stats;
+  }
+
+  uint64_t total_triples() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  size_t distinct_predicates() const { return preds_.size(); }
+
+  const PredicateStats* Predicate(Value p) const {
+    auto it = preds_.find(p);
+    return it == preds_.end() ? nullptr : &it->second;
+  }
+
+  // Estimated matches of a triple pattern. Only the predicate's *value*
+  // matters (statistics are per-predicate): a kConst predicate selects its
+  // bucket, kRuntime averages over buckets, kWild sums them. Subject and
+  // object positions contribute 1/distinct selectivity when bound, whether
+  // the value is known or not.
+  double Estimate(BoundMode s, BoundMode p, Value p_value, BoundMode o) const;
+
+ private:
+  uint64_t total_ = 0;
+  std::unordered_map<Value, PredicateStats> preds_;
+};
+
+}  // namespace wdr::exec
+
+#endif  // WDR_EXEC_STATISTICS_H_

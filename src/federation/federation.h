@@ -99,6 +99,14 @@ class Federation {
   }
   int query_threads() const { return query_options_.threads; }
 
+  // Toggles plan-based evaluation of the reformulated union: branches
+  // compile into the shared wdr::exec physical-plan IR with cost-based
+  // join order and hash joins. Statistics are built once per query over
+  // the federated view (endpoints are autonomous, so there is no stable
+  // store to cache against). Answers are identical either way.
+  void SetPlanMode(bool on) { query_options_.plan = on; }
+  bool plan_mode() const { return query_options_.plan; }
+
  private:
   struct Endpoint {
     std::string name;

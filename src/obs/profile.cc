@@ -65,13 +65,22 @@ std::string ProfileNode::Render() const {
     std::string line(static_cast<size_t>(depth) * 2, ' ');
     line += node->label;
     line.resize(label_width + 2, ' ');
-    char stats[128];
-    std::snprintf(stats, sizeof(stats),
-                  "rows=%-8llu scans=%-8llu triples=%-10llu %s",
-                  static_cast<unsigned long long>(node->rows),
-                  static_cast<unsigned long long>(node->scans),
-                  static_cast<unsigned long long>(node->triples),
-                  FormatSeconds(node->seconds).c_str());
+    char stats[160];
+    if (node->est_rows >= 0) {
+      std::snprintf(stats, sizeof(stats),
+                    "rows=%-8llu est=%-8.0f scans=%-8llu triples=%-10llu %s",
+                    static_cast<unsigned long long>(node->rows),
+                    node->est_rows, static_cast<unsigned long long>(node->scans),
+                    static_cast<unsigned long long>(node->triples),
+                    FormatSeconds(node->seconds).c_str());
+    } else {
+      std::snprintf(stats, sizeof(stats),
+                    "rows=%-8llu scans=%-8llu triples=%-10llu %s",
+                    static_cast<unsigned long long>(node->rows),
+                    static_cast<unsigned long long>(node->scans),
+                    static_cast<unsigned long long>(node->triples),
+                    FormatSeconds(node->seconds).c_str());
+    }
     line += stats;
     // Trim trailing spaces left by the %-8 paddings.
     while (!line.empty() && line.back() == ' ') line.pop_back();
@@ -87,7 +96,9 @@ std::string ProfileNode::ToJson() const {
   out += "\",\"rows\":" + std::to_string(rows) +
          ",\"triples\":" + std::to_string(triples) +
          ",\"scans\":" + std::to_string(scans) +
-         ",\"seconds\":" + std::to_string(seconds) + ",\"children\":[";
+         ",\"seconds\":" + std::to_string(seconds);
+  if (est_rows >= 0) out += ",\"est_rows\":" + std::to_string(est_rows);
+  out += ",\"children\":[";
   bool first = true;
   for (const auto& child : children) {
     if (!first) out += ',';

@@ -19,6 +19,7 @@ struct ProfileNode {
   uint64_t triples = 0;   // triples enumerated from the store
   uint64_t scans = 0;     // cursor opens (Match calls) issued
   double seconds = 0;     // inclusive wall time
+  double est_rows = -1;   // planner cardinality estimate; <0 = not planned
   std::vector<std::unique_ptr<ProfileNode>> children;
 
   ProfileNode() = default;

@@ -14,6 +14,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "exec/executor.h"
+#include "exec/planner.h"
+#include "exec/source.h"
 #include "obs/metrics.h"
 #include "rdf/dictionary.h"
 
@@ -525,6 +528,222 @@ void FillAtomProfile(obs::ProfileNode& parent, const BgpQuery& q,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Plan-mode evaluation: compile a BGP into the shared wdr::exec IR and run
+// it batch-at-a-time. The legacy recursive join above stays selectable
+// (EvaluatorOptions::plan = false, the default) for differential testing.
+// ---------------------------------------------------------------------------
+
+// TupleSource over a triple-store-shaped Store, routed through the union
+// evaluation's ScanCache when one is attached: resolved (s,p,o) scans are
+// replayed from the memoized flat vectors exactly as the legacy join's
+// Match does (same keys, same eager/lazy split, same oversized markers),
+// and cardinality estimates reuse the memo. One instance serves one
+// single-threaded executor; parallel workers construct their own (the
+// underlying ScanCache itself is the thread-safe shared layer).
+template <typename Store>
+class CachedStoreSource final : public exec::TupleSource {
+ public:
+  CachedStoreSource(const Store& store, ScanCache* cache, bool eager)
+      : store_(&store), cache_(cache), eager_(eager) {}
+
+  size_t arity() const override { return 3; }
+
+  double EstimateBound(const exec::Value* values,
+                       const uint8_t* bound) const override {
+    const TermId s = bound[0] ? values[0] : kNullTermId;
+    const TermId p = bound[1] ? values[1] : kNullTermId;
+    const TermId o = bound[2] ? values[2] : kNullTermId;
+    if (cache_ == nullptr || (s | p | o) == 0) {
+      return static_cast<double>(store_->EstimateCount(s, p, o));
+    }
+    const Triple key(s, p, o);
+    size_t count = 0;
+    if (cache_->FindEstimate(key, &count)) return static_cast<double>(count);
+    count = store_->EstimateCount(s, p, o);
+    cache_->InsertEstimate(key, count);
+    return static_cast<double>(count);
+  }
+
+  bool Scan(const exec::Value* values, const uint8_t* bound,
+            exec::FunctionRef<bool(const exec::Value*)> fn) const override {
+    const TermId s = bound[0] ? values[0] : kNullTermId;
+    const TermId p = bound[1] ? values[1] : kNullTermId;
+    const TermId o = bound[2] ? values[2] : kNullTermId;
+    bool keep = true;
+    auto process = [&](const Triple& t) {
+      exec::Value row[3] = {t.s, t.p, t.o};
+      keep = fn(row);
+      return keep;
+    };
+    if (cache_ == nullptr || (s | p | o) == 0) {
+      store_->Match(s, p, o, process);
+      return keep;
+    }
+    const Triple key(s, p, o);
+    const ScanCache::Lookup found = cache_->Find(key);
+    if (found.triples != nullptr) {
+      for (const Triple& t : *found.triples) {
+        if (!process(t)) return keep;
+      }
+      return keep;
+    }
+    if (found.oversized) {
+      store_->Match(s, p, o, process);
+      return keep;
+    }
+    // Pipelined operators nest scans (an outer scan callback drives inner
+    // probes), so tee buffers are a per-activation stack, not one scratch.
+    if (depth_ >= pool_.size()) pool_.emplace_back();
+    std::vector<Triple>& tee = pool_[depth_++];
+    tee.clear();
+    if (eager_) {
+      bool oversized = false;
+      store_->Match(s, p, o, [&](const Triple& t) {
+        if (tee.size() >= ScanCache::kMaxCachedTriples) {
+          oversized = true;
+          return false;
+        }
+        tee.push_back(t);
+        return true;
+      });
+      if (oversized) {
+        cache_->Insert(key, nullptr);
+        store_->Match(s, p, o, process);
+      } else {
+        const std::vector<Triple>* stored = cache_->Insert(key, &tee);
+        for (const Triple& t : stored != nullptr ? *stored : tee) {
+          if (!process(t)) break;
+        }
+      }
+    } else {
+      bool completed = true;
+      bool oversized = false;
+      store_->Match(s, p, o, [&](const Triple& t) {
+        if (!oversized) {
+          if (tee.size() < ScanCache::kMaxCachedTriples) {
+            tee.push_back(t);
+          } else {
+            oversized = true;
+          }
+        }
+        const bool keep_going = process(t);
+        if (!keep_going) completed = false;
+        return keep_going;
+      });
+      if (completed) cache_->Insert(key, oversized ? nullptr : &tee);
+    }
+    --depth_;
+    return keep;
+  }
+
+ private:
+  const Store* store_;  // not owned
+  ScanCache* cache_;    // not owned; null = no caching
+  bool eager_;
+  mutable std::vector<std::vector<Triple>> pool_;  // per-nesting tee buffers
+  mutable size_t depth_ = 0;
+};
+
+exec::ConjunctiveSpec SpecFromBgp(const BgpQuery& q,
+                                  const rdf::Dictionary* dict) {
+  exec::ConjunctiveSpec spec;
+  auto term = [](const PatternTerm& t) {
+    return t.is_const() ? exec::AtomTerm::Const(t.id)
+                        : exec::AtomTerm::Var(t.var);
+  };
+  for (const TriplePattern& atom : q.atoms()) {
+    exec::PlanConjunct conjunct;
+    conjunct.source = 0;
+    exec::AtomAlt alt;
+    alt.terms = {term(atom.s), term(atom.p), term(atom.o)};
+    conjunct.alts.push_back(std::move(alt));
+    conjunct.label = AtomLabel(q, dict, atom);
+    spec.conjuncts.push_back(std::move(conjunct));
+  }
+  for (const auto& [var, value] : q.preset()) {
+    spec.presets.emplace_back(var, value);
+  }
+  for (VarId v : q.projection()) spec.projection.push_back(v);
+  return spec;
+}
+
+// Compiles one BGP. `stats` non-null selects the cost-based planner
+// (order + join algorithm from per-predicate statistics); null degrades
+// to the greedy bound-first order over the store's own estimates with
+// nested loops only — the fallback for empty or stale statistics.
+template <typename Store>
+exec::CompiledPlan PlanBgpBranch(const Store& store, const BgpQuery& q,
+                                 const EvaluatorOptions& options,
+                                 const exec::Statistics* stats) {
+  const exec::ConjunctiveSpec spec = SpecFromBgp(q, options.dict);
+  exec::PlannerOptions popts;
+  popts.hash_joins = options.hash_joins;
+  std::optional<exec::StatisticsEstimator> stats_est;
+  std::optional<exec::StoreEstimator<Store>> store_est;
+  if (stats != nullptr) {
+    stats_est.emplace(*stats);
+    popts.estimator = &*stats_est;
+    popts.cost_based = true;
+  } else {
+    store_est.emplace(store);
+    popts.estimator = &*store_est;
+    popts.cost_based = false;
+  }
+  return exec::PlanConjunctive(spec, popts);
+}
+
+// Usable statistics or null: null (or empty, or out of sync with the live
+// store size) means the planner must degrade. Locally-built statistics
+// are fresh by construction and skip the size check (a federation
+// UnionStore's size() counts duplicates per member, which its Match
+// stream legitimately dedups).
+template <typename Store>
+const exec::Statistics* UsableStats(const Store& store,
+                                    const EvaluatorOptions& options,
+                                    std::optional<exec::Statistics>& local) {
+  if (options.stats != nullptr) {
+    if (options.stats->empty() ||
+        options.stats->total_triples() != store.size()) {
+      return nullptr;  // stale or empty: degrade
+    }
+    return options.stats;
+  }
+  local.emplace(exec::Statistics::Build(store));
+  return local->empty() ? nullptr : &*local;
+}
+
+// Caps dedup-set / row-buffer pre-reservation from a cardinality
+// estimate: estimates are approximations, and an estimate gone wild must
+// not reserve gigabytes.
+constexpr size_t kMaxReserveRows = size_t{1} << 20;
+
+size_t ReserveHint(double est_rows) {
+  if (est_rows < 0) return 0;
+  return std::min(static_cast<size_t>(est_rows) + 1, kMaxReserveRows);
+}
+
+// Runs a compiled branch plan, streaming projected rows to
+// `emit(Row&) -> bool` through `scratch`. `profile`, when non-null,
+// receives the operator tree with estimated vs. actual cardinalities.
+template <typename Store, typename EmitFn>
+void ExecutePlannedBranch(const Store& store, const exec::CompiledPlan& plan,
+                          const EvaluatorOptions& options, ScanCache* cache,
+                          bool eager, obs::ProfileNode* profile, Row& scratch,
+                          EmitFn&& emit) {
+  CachedStoreSource<Store> source(store, cache, eager);
+  const std::vector<const exec::TupleSource*> sources = {&source};
+  exec::ExecOptions eopts;
+  eopts.batch_rows = options.batch_rows;
+  exec::Run(
+      *plan.root, sources, eopts,
+      [&](const exec::Value* row, size_t width) {
+        scratch.assign(row, row + width);
+        return emit(scratch);
+      },
+      profile);
+}
+
 Row ProjectRow(const BgpQuery& q, const std::vector<TermId>& bindings) {
   Row row;
   row.reserve(q.projection().size());
@@ -545,15 +764,48 @@ void ProjectRowInto(const BgpQuery& q, const std::vector<TermId>& bindings,
 
 template <typename Store>
 ResultSet EvaluateBgp(const Store& store, const BgpQuery& q,
-                      bool greedy = true,
-                      obs::ProfileNode* profile = nullptr,
-                      const rdf::Dictionary* dict = nullptr) {
+                      const EvaluatorOptions& options,
+                      obs::ProfileNode* profile = nullptr) {
   WDR_COUNTER_INC("wdr.query.bgp_evals");
+  const rdf::Dictionary* dict = options.dict;
   ResultSet result;
   result.var_names = q.ProjectionNames();
-  std::vector<AtomStats> stats;
   const uint64_t start = NowNanos();
-  BgpJoin<Store> join(store, q, greedy);
+
+  if (options.plan) {
+    std::optional<exec::Statistics> local_stats;
+    const exec::Statistics* stats = UsableStats(store, options, local_stats);
+    exec::CompiledPlan plan = PlanBgpBranch(store, q, options, stats);
+    if (plan.root != nullptr) {
+      result.rows.reserve(ReserveHint(plan.est_rows));
+      Row scratch;
+      if (q.distinct()) {
+        std::unordered_set<Row, RowHash> seen;
+        seen.reserve(ReserveHint(plan.est_rows));
+        ExecutePlannedBranch(store, plan, options, /*cache=*/nullptr,
+                             /*eager=*/true, profile, scratch, [&](Row& row) {
+                               if (seen.insert(row).second) {
+                                 result.rows.push_back(row);
+                               }
+                               return true;
+                             });
+      } else {
+        ExecutePlannedBranch(store, plan, options, /*cache=*/nullptr,
+                             /*eager=*/true, profile, scratch, [&](Row& row) {
+                               result.rows.push_back(row);
+                               return true;
+                             });
+      }
+      if (profile != nullptr) {
+        profile->rows += result.rows.size();
+        profile->seconds += static_cast<double>(NowNanos() - start) * 1e-9;
+      }
+      return result;
+    }
+  }
+
+  std::vector<AtomStats> stats;
+  BgpJoin<Store> join(store, q, options.greedy_join_order);
   if (profile != nullptr) {
     stats.resize(q.atoms().size());
     join.set_stats(&stats);
@@ -599,6 +851,7 @@ template <typename Store>
 ResultSet EvaluateUnionSequential(const Store& store, const UnionQuery& q,
                                   const EvaluatorOptions& options,
                                   ScanCache* cache,
+                                  const exec::Statistics* plan_stats,
                                   obs::ProfileNode* profile,
                                   const rdf::Dictionary* dict) {
   ResultSet result;
@@ -613,13 +866,9 @@ ResultSet EvaluateUnionSequential(const Store& store, const UnionQuery& q,
     }
     if (result.rows.size() >= max_rows) break;
     const size_t rows_before = result.rows.size();
-    BgpJoin<Store> join(store, branch, options.greedy_join_order);
-    join.set_scan_cache(cache, /*eager=*/max_rows == SIZE_MAX);
     std::vector<AtomStats> stats;
     obs::ProfileNode* branch_node = nullptr;
     if (profile != nullptr) {
-      stats.resize(branch.atoms().size());
-      join.set_stats(&stats);
       if (branch_index < kMaxProfiledBranches) {
         branch_node =
             &profile->AddChild("branch " + std::to_string(branch_index));
@@ -631,22 +880,63 @@ ResultSet EvaluateUnionSequential(const Store& store, const UnionQuery& q,
     }
     const uint64_t branch_start = NowNanos();
     Row scratch;
-    join.Run([&](const std::vector<TermId>& bindings) {
-      ProjectRowInto(branch, bindings, scratch);
-      if (seen.insert(scratch).second) result.rows.push_back(scratch);
+    auto emit = [&](Row& row) {
+      if (seen.insert(row).second) result.rows.push_back(row);
       return result.rows.size() < max_rows;
-    });
+    };
+    if (options.plan) {
+      exec::CompiledPlan plan =
+          PlanBgpBranch(store, branch, options, plan_stats);
+      const size_t hint = ReserveHint(plan.est_rows);
+      if (hint > 0) {
+        // Pre-reserve the dedup set and result buffer from the planner's
+        // estimate instead of rehash-growing from empty.
+        if (seen.size() + hint > seen.bucket_count()) {
+          seen.reserve(seen.size() + hint);
+        }
+        if (result.rows.size() + hint > result.rows.capacity()) {
+          result.rows.reserve(result.rows.size() + hint);
+        }
+      }
+      // Detailed plan children only for individually-profiled branches;
+      // overflow branches aggregate scan/triple totals below.
+      obs::ProfileNode scratch_profile;
+      obs::ProfileNode* plan_profile =
+          branch_node == nullptr
+              ? nullptr
+              : (branch_node == overflow ? &scratch_profile : branch_node);
+      ExecutePlannedBranch(store, plan, options, cache,
+                           /*eager=*/max_rows == SIZE_MAX, plan_profile,
+                           scratch, emit);
+      if (branch_node == overflow && branch_node != nullptr) {
+        branch_node->scans += scratch_profile.TotalScans();
+        branch_node->triples += scratch_profile.TotalTriples();
+      }
+    } else {
+      BgpJoin<Store> join(store, branch, options.greedy_join_order);
+      join.set_scan_cache(cache, /*eager=*/max_rows == SIZE_MAX);
+      if (profile != nullptr) {
+        stats.resize(branch.atoms().size());
+        join.set_stats(&stats);
+      }
+      join.Run([&](const std::vector<TermId>& bindings) {
+        ProjectRowInto(branch, bindings, scratch);
+        return emit(scratch);
+      });
+    }
     if (branch_node != nullptr) {
       branch_node->rows += result.rows.size() - rows_before;
       branch_node->seconds +=
           static_cast<double>(NowNanos() - branch_start) * 1e-9;
-      if (branch_node == overflow) {
-        for (const AtomStats& as : stats) {
-          branch_node->scans += as.scans;
-          branch_node->triples += as.triples;
+      if (!options.plan) {
+        if (branch_node == overflow) {
+          for (const AtomStats& as : stats) {
+            branch_node->scans += as.scans;
+            branch_node->triples += as.triples;
+          }
+        } else {
+          FillAtomProfile(*branch_node, branch, dict, stats);
         }
-      } else {
-        FillAtomProfile(*branch_node, branch, dict, stats);
       }
     }
     ++branch_index;
@@ -663,7 +953,8 @@ ResultSet EvaluateUnionSequential(const Store& store, const UnionQuery& q,
 // join, so no slot is ever touched concurrently.
 struct BranchOutput {
   std::vector<Row> rows;        // locally deduped, first-occurrence order
-  std::vector<AtomStats> stats; // filled only when profiling
+  std::vector<AtomStats> stats; // filled only when profiling (legacy path)
+  obs::ProfileNode plan_profile;  // operator tree (plan path, profiling)
   uint64_t nanos = 0;           // branch wall time (profiling only)
   bool evaluated = false;       // cancelled branches stay false
 };
@@ -685,38 +976,65 @@ struct BranchOutput {
 template <typename Store>
 void EvaluateBranch(const Store& store, const BgpQuery& branch,
                     size_t branch_index, const EvaluatorOptions& options,
-                    ScanCache* cache, size_t max_rows,
-                    std::atomic<size_t>& stop_after, bool profiled,
-                    std::unordered_set<Row, RowHash>& seen, Row& scratch,
-                    size_t& worker_rows, BranchOutput& out) {
+                    ScanCache* cache, const exec::Statistics* plan_stats,
+                    size_t max_rows, std::atomic<size_t>& stop_after,
+                    bool profiled, std::unordered_set<Row, RowHash>& seen,
+                    Row& scratch, size_t& worker_rows, BranchOutput& out) {
   out.evaluated = true;
+  const uint64_t start = NowNanos();
+  auto emit_unbounded = [&](Row& row) {
+    if (seen.insert(row).second) out.rows.push_back(row);
+    return true;
+  };
+  auto emit_bounded = [&](Row& row) {
+    if (stop_after.load(std::memory_order_relaxed) < branch_index) {
+      return false;  // a lower branch already satisfies the budget
+    }
+    if (seen.insert(row).second) {
+      out.rows.push_back(row);
+      ++worker_rows;
+    }
+    if (worker_rows >= max_rows) {
+      AtomicMin(stop_after, branch_index);
+      return false;
+    }
+    return true;
+  };
+  if (options.plan) {
+    exec::CompiledPlan plan = PlanBgpBranch(store, branch, options, plan_stats);
+    const size_t hint = ReserveHint(plan.est_rows);
+    if (hint > 0) {
+      if (seen.size() + hint > seen.bucket_count()) {
+        seen.reserve(seen.size() + hint);
+      }
+      out.rows.reserve(hint);
+    }
+    obs::ProfileNode* plan_profile = profiled ? &out.plan_profile : nullptr;
+    if (max_rows == SIZE_MAX) {
+      ExecutePlannedBranch(store, plan, options, cache, /*eager=*/true,
+                           plan_profile, scratch, emit_unbounded);
+    } else {
+      ExecutePlannedBranch(store, plan, options, cache, /*eager=*/false,
+                           plan_profile, scratch, emit_bounded);
+    }
+    out.nanos = NowNanos() - start;
+    return;
+  }
   BgpJoin<Store> join(store, branch, options.greedy_join_order);
   join.set_scan_cache(cache, /*eager=*/max_rows == SIZE_MAX);
   if (profiled) {
     out.stats.resize(branch.atoms().size());
     join.set_stats(&out.stats);
   }
-  const uint64_t start = NowNanos();
   if (max_rows == SIZE_MAX) {
     join.Run([&](const std::vector<TermId>& bindings) {
       ProjectRowInto(branch, bindings, scratch);
-      if (seen.insert(scratch).second) out.rows.push_back(scratch);
+      emit_unbounded(scratch);
     });
   } else {
     join.Run([&](const std::vector<TermId>& bindings) {
-      if (stop_after.load(std::memory_order_relaxed) < branch_index) {
-        return false;  // a lower branch already satisfies the budget
-      }
       ProjectRowInto(branch, bindings, scratch);
-      if (seen.insert(scratch).second) {
-        out.rows.push_back(scratch);
-        ++worker_rows;
-      }
-      if (worker_rows >= max_rows) {
-        AtomicMin(stop_after, branch_index);
-        return false;
-      }
-      return true;
+      return emit_bounded(scratch);
     });
   }
   out.nanos = NowNanos() - start;
@@ -735,8 +1053,9 @@ void EvaluateBranch(const Store& store, const BgpQuery& branch,
 template <typename Store>
 ResultSet EvaluateUnionParallel(const Store& store, const UnionQuery& q,
                                 const EvaluatorOptions& options,
-                                ScanCache* cache, int workers,
-                                obs::ProfileNode* profile,
+                                ScanCache* cache,
+                                const exec::Statistics* plan_stats,
+                                int workers, obs::ProfileNode* profile,
                                 const rdf::Dictionary* dict) {
   static obs::Histogram& branch_wait =
       obs::MetricsRegistry::Get().GetHistogram("wdr.query.branch_wait");
@@ -774,9 +1093,9 @@ ResultSet EvaluateUnionParallel(const Store& store, const UnionQuery& q,
       const size_t hi = std::min(n, lo + chunk_size);
       for (size_t b = lo; b < hi; ++b) {
         if (b > stop_after.load(std::memory_order_relaxed)) continue;
-        EvaluateBranch(store, q.branches()[b], b, options, cache, max_rows,
-                       stop_after, profiled, seen, scratch, worker_rows,
-                       outputs[b]);
+        EvaluateBranch(store, q.branches()[b], b, options, cache, plan_stats,
+                       max_rows, stop_after, profiled, seen, scratch,
+                       worker_rows, outputs[b]);
         ++branches_done;
         rows_built += outputs[b].rows.size();
       }
@@ -840,9 +1159,20 @@ ResultSet EvaluateUnionParallel(const Store& store, const UnionQuery& q,
       branch_node->rows += b < contributed.size() ? contributed[b] : 0;
       branch_node->seconds += static_cast<double>(outputs[b].nanos) * 1e-9;
       if (branch_node == overflow) {
-        for (const AtomStats& as : outputs[b].stats) {
-          branch_node->scans += as.scans;
-          branch_node->triples += as.triples;
+        if (options.plan) {
+          branch_node->scans += outputs[b].plan_profile.TotalScans();
+          branch_node->triples += outputs[b].plan_profile.TotalTriples();
+        } else {
+          for (const AtomStats& as : outputs[b].stats) {
+            branch_node->scans += as.scans;
+            branch_node->triples += as.triples;
+          }
+        }
+      } else if (options.plan) {
+        // Workers filled a detached operator tree (ProfileNode is not
+        // concurrency-safe); adopt its children under the branch node.
+        for (auto& child : outputs[b].plan_profile.children) {
+          branch_node->children.push_back(std::move(child));
         }
       } else {
         FillAtomProfile(*branch_node, q.branches()[b], dict,
@@ -871,6 +1201,13 @@ ResultSet EvaluateUnionQuery(const Store& store, const UnionQuery& q,
   if (options.scan_cache && q.branches().size() >= 2) cache.emplace();
   ScanCache* cache_ptr = cache.has_value() ? &*cache : nullptr;
 
+  // Plan-mode statistics: one build (or one staleness check of the
+  // caller's) per union evaluation, shared read-only by every branch and
+  // worker. Null keeps the planner on its degraded bound-first path.
+  std::optional<exec::Statistics> local_stats;
+  const exec::Statistics* plan_stats =
+      options.plan ? UsableStats(store, options, local_stats) : nullptr;
+
   const size_t n = q.branches().size();
   const int workers = static_cast<int>(std::min<size_t>(
       options.threads < 1 ? 1 : static_cast<size_t>(options.threads), n));
@@ -878,10 +1215,10 @@ ResultSet EvaluateUnionQuery(const Store& store, const UnionQuery& q,
   const uint64_t start = NowNanos();
   ResultSet result =
       workers > 1
-          ? EvaluateUnionParallel(store, q, options, cache_ptr, workers,
-                                  profile, dict)
-          : EvaluateUnionSequential(store, q, options, cache_ptr, profile,
-                                    dict);
+          ? EvaluateUnionParallel(store, q, options, cache_ptr, plan_stats,
+                                  workers, profile, dict)
+          : EvaluateUnionSequential(store, q, options, cache_ptr, plan_stats,
+                                    profile, dict);
   if (profile != nullptr) {
     profile->rows += result.rows.size();
     profile->seconds += static_cast<double>(NowNanos() - start) * 1e-9;
@@ -921,9 +1258,7 @@ void ResultSet::Normalize(bool dedup) {
 
 ResultSet Evaluator::Evaluate(const BgpQuery& q,
                               obs::ProfileNode* profile) const {
-  ResultSet result =
-      EvaluateBgp(*store_, q, options_.greedy_join_order, profile,
-                  options_.dict);
+  ResultSet result = EvaluateBgp(*store_, q, options_, profile);
   WDR_COUNTER_ADD("wdr.query.rows", result.rows.size());
   return result;
 }
@@ -939,8 +1274,7 @@ ResultSet Evaluator::Evaluate(const UnionQuery& q,
 
 ResultSet FederatedEvaluator::Evaluate(const BgpQuery& q,
                                        obs::ProfileNode* profile) const {
-  ResultSet result = EvaluateBgp(*store_, q, options_.greedy_join_order,
-                                 profile, options_.dict);
+  ResultSet result = EvaluateBgp(*store_, q, options_, profile);
   WDR_COUNTER_ADD("wdr.query.rows", result.rows.size());
   return result;
 }
@@ -956,6 +1290,42 @@ ResultSet FederatedEvaluator::Evaluate(const UnionQuery& q,
 
 size_t Evaluator::CountAnswers(const BgpQuery& q) const {
   WDR_COUNTER_INC("wdr.query.bgp_evals");
+  if (options_.plan) {
+    // Counts stream through the executor; DISTINCT runs through the
+    // plan's own HashDedup operator instead of a driver-side seen-set.
+    std::optional<exec::Statistics> local_stats;
+    const exec::Statistics* stats =
+        UsableStats(*store_, options_, local_stats);
+    exec::ConjunctiveSpec spec = SpecFromBgp(q, options_.dict);
+    spec.distinct = q.distinct();
+    exec::PlannerOptions popts;
+    popts.hash_joins = options_.hash_joins;
+    std::optional<exec::StatisticsEstimator> stats_est;
+    std::optional<exec::StoreEstimator<rdf::StoreView>> store_est;
+    if (stats != nullptr) {
+      stats_est.emplace(*stats);
+      popts.estimator = &*stats_est;
+    } else {
+      store_est.emplace(*store_);
+      popts.estimator = &*store_est;
+      popts.cost_based = false;
+    }
+    exec::CompiledPlan plan = exec::PlanConjunctive(spec, popts);
+    if (plan.root != nullptr) {
+      CachedStoreSource<rdf::StoreView> source(*store_, nullptr, true);
+      const std::vector<const exec::TupleSource*> sources = {&source};
+      exec::ExecOptions eopts;
+      eopts.batch_rows = options_.batch_rows;
+      size_t count = 0;
+      exec::Run(*plan.root, sources, eopts,
+                [&](const exec::Value*, size_t) {
+                  ++count;
+                  return true;
+                });
+      WDR_COUNTER_ADD("wdr.query.rows", count);
+      return count;
+    }
+  }
   BgpJoin<rdf::StoreView> join(*store_, q, options_.greedy_join_order);
   size_t count = 0;
   if (q.distinct()) {

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "exec/plan.h"
+#include "exec/statistics.h"
 #include "obs/profile.h"
 #include "rdf/store_view.h"
 #include "rdf/union_store.h"
@@ -63,6 +65,27 @@ struct EvaluatorOptions {
   // (a cached scan is the exact triple sequence of the live cursor);
   // wdr.query.scan_cache.{hits,misses} measure effectiveness.
   bool scan_cache = true;
+  // Compile each BGP/branch into the shared wdr::exec physical-plan IR —
+  // cost-based join order AND join algorithm (hash join vs bound-first
+  // index lookup) from per-predicate statistics, batch-at-a-time
+  // execution — instead of the legacy recursive bound-first join. Off by
+  // default: the legacy path stays the reference for differential
+  // testing, and a static plan's row ORDER can differ from the legacy
+  // join, which re-picks the cheapest atom under every partial binding
+  // (answer SETS are always identical; the differential harness locks
+  // both properties). WDR_PLAN=1 in the environment flips the default
+  // on — the CI matrix runs the whole test suite both ways.
+  bool plan = exec::PlanModeDefault();
+  // Plan mode: allow hash joins (off = nested-loop-only plans; the
+  // bench_exec grid quantifies the difference).
+  bool hash_joins = true;
+  // Plan mode: rows per executor batch.
+  size_t batch_rows = 1024;
+  // Plan mode: per-predicate statistics for the cost model. Null builds
+  // them per evaluation (one O(store) pass — ReasoningStore caches a copy
+  // instead); empty or stale statistics degrade the planner to the greedy
+  // bound-first order with nested loops only.
+  const exec::Statistics* stats = nullptr;
 };
 
 // BGP / union-of-BGP query evaluation over a triple store, per the paper's

@@ -61,6 +61,7 @@ size_t ReasoningStore::effective_size() const {
 void ReasoningStore::SetMode(ReasoningMode mode) {
   if (mode == options_.mode) return;
   options_.mode = mode;
+  stats_cache_.reset();  // statistics follow the mode's queried store
   if (mode == ReasoningMode::kSaturation) {
     saturated_.emplace(graph_, vocab_, /*enable_owl=*/false,
                        options_.saturation);
@@ -72,6 +73,7 @@ void ReasoningStore::SetMode(ReasoningMode mode) {
 void ReasoningStore::SetBackend(rdf::StorageBackend backend) {
   if (backend == options_.backend) return;
   options_.backend = backend;
+  stats_cache_.reset();
   graph_.SetBackend(backend);
   // The closure store follows the base graph's backend; rebuild it.
   if (saturated_.has_value()) {
@@ -107,6 +109,7 @@ void ReasoningStore::RecloseSchema() {
 }
 
 void ReasoningStore::OnUpdate(bool schema_changed) {
+  stats_cache_.reset();
   if (schema_changed) {
     RecloseSchema();
     schema_cache_.reset();
@@ -118,6 +121,20 @@ const schema::Schema& ReasoningStore::CachedSchema() {
     schema_cache_ = schema::Schema::FromGraph(graph_, vocab_);
   }
   return *schema_cache_;
+}
+
+const exec::Statistics& ReasoningStore::CachedStats() {
+  if (!stats_cache_.has_value()) {
+    // Build over the store Dispatch queries: the closure in saturation
+    // mode, the base graph everywhere else (saturated_ exists exactly in
+    // kSaturation mode).
+    if (saturated_.has_value()) {
+      stats_cache_ = exec::Statistics::Build(saturated_->closure());
+    } else {
+      stats_cache_ = exec::Statistics::Build(graph_.store());
+    }
+  }
+  return *stats_cache_;
 }
 
 Result<size_t> ReasoningStore::LoadTurtle(std::string_view text) {
@@ -178,6 +195,11 @@ Result<query::ResultSet> ReasoningStore::Dispatch(const query::UnionQuery& q,
                                                   obs::ProfileNode* profile) {
   query::Evaluator::Options eval_options = options_.query;
   eval_options.dict = &graph_.dict();
+  if (eval_options.plan && eval_options.stats == nullptr) {
+    // Hand the planner cached statistics so it never pays the O(store)
+    // build per query and never degrades on a fresh store.
+    eval_options.stats = &CachedStats();
+  }
   switch (options_.mode) {
     case ReasoningMode::kNone: {
       query::Evaluator evaluator(graph_.store(), eval_options);
@@ -213,8 +235,13 @@ Result<query::ResultSet> ReasoningStore::Dispatch(const query::UnionQuery& q,
       return evaluator.Evaluate(reformulated, profile);
     }
     case ReasoningMode::kBackward: {
-      backward::BackwardChainingEvaluator evaluator(graph_.store(),
-                                                    CachedSchema(), vocab_);
+      backward::BackwardOptions boptions;
+      boptions.plan = eval_options.plan;
+      boptions.hash_joins = eval_options.hash_joins;
+      boptions.batch_rows = eval_options.batch_rows;
+      boptions.stats = eval_options.stats;
+      backward::BackwardChainingEvaluator evaluator(
+          graph_.store(), CachedSchema(), vocab_, boptions);
       if (profile == nullptr) return evaluator.Evaluate(q);
       backward::BackwardStats stats;
       double seconds = 0;

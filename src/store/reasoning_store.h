@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/statistics.h"
 #include "obs/profile.h"
 #include "query/evaluator.h"
 #include "rdf/graph.h"
@@ -154,6 +155,17 @@ class ReasoningStore {
   void SetQueryThreads(int threads);
   int query_threads() const { return options_.query.threads; }
 
+  // Toggles plan-based evaluation: queries (and, in kBackward mode, the
+  // chaining join) compile into the shared wdr::exec physical-plan IR with
+  // cost-based join order and hash joins. The store lazily builds and
+  // caches per-predicate statistics over the queried store (base graph, or
+  // the closure in kSaturation mode) and invalidates them on every update,
+  // load, mode switch, and backend switch — so the planner always sees
+  // fresh statistics and never takes the degraded path. Answers are
+  // identical either way.
+  void SetPlanMode(bool on) { options_.query.plan = on; }
+  bool plan_mode() const { return options_.query.plan; }
+
   // Toggles per-query operator profiling. When on, Query() fills
   // QueryInfo::profile with a per-operator stats tree. Off by default:
   // profiling adds a timer read per join operator.
@@ -181,6 +193,9 @@ class ReasoningStore {
 
   const schema::Schema& CachedSchema();
 
+  // Statistics over the store Dispatch queries in the current mode.
+  const exec::Statistics& CachedStats();
+
   Result<query::ResultSet> Dispatch(const query::UnionQuery& q,
                                     QueryInfo* info,
                                     obs::ProfileNode* profile);
@@ -198,6 +213,9 @@ class ReasoningStore {
 
   // Lazily rebuilt constraint view for the rewriting modes.
   std::optional<schema::Schema> schema_cache_;
+
+  // Lazily rebuilt planner statistics (plan mode only; see SetPlanMode).
+  std::optional<exec::Statistics> stats_cache_;
 };
 
 }  // namespace wdr::store

@@ -3,13 +3,18 @@
 // route the library offers must produce identical answers on it —
 //
 //   {saturation sequential, saturation parallel(1, 2, 8), reformulation,
-//    backward chaining, Datalog, Datalog + magic sets}
+//    backward chaining (legacy and physical-plan), Datalog (legacy and
+//    physical-plan bodies), Datalog + magic sets}
 //     × {ordered, flat} storage backends
 //
 // plus closure-level equality between the sequential saturator, the
 // parallel saturator at every thread count, and the Datalog
-// materialization. Failures always name the seed, so any mismatch is
-// reproducible with WDR_SEED=<seed>.
+// materialization, plus a physical-plan section locking plan-based UCQ
+// evaluation to the legacy join: answer sets always match, and within one
+// plan shape (hash joins on or off) the row stream is bit-identical
+// across batch sizes {1, 1024}, thread counts {1, 8}, and external vs
+// locally-built statistics. Failures always name the seed, so any
+// mismatch is reproducible with WDR_SEED=<seed>.
 #ifndef WDR_TESTS_DIFFERENTIAL_UTIL_H_
 #define WDR_TESTS_DIFFERENTIAL_UTIL_H_
 
@@ -24,6 +29,7 @@
 #include "backward/backward_evaluator.h"
 #include "common/rng.h"
 #include "datalog/magic.h"
+#include "exec/statistics.h"
 #include "datalog/rdf_datalog.h"
 #include "query/evaluator.h"
 #include "reasoning/saturated_graph.h"
@@ -193,6 +199,16 @@ inline ::testing::AssertionResult RunDifferentialInstance(
     reformulation::Reformulator reformulator(schema, rg.vocab);
     backward::BackwardChainingEvaluator backward_eval(graph.store(), schema,
                                                       rg.vocab);
+    // Physical-plan routes: fresh statistics (the store does not change
+    // below), plan-mode backward chaining, and plan-compiled Datalog
+    // query bodies.
+    const exec::Statistics plan_stats = exec::Statistics::Build(graph.store());
+    backward::BackwardOptions backward_plan_options;
+    backward_plan_options.plan = true;
+    backward_plan_options.stats = &plan_stats;
+    backward::BackwardChainingEvaluator backward_plan_eval(
+        graph.store(), schema, rg.vocab, backward_plan_options);
+    const datalog::BodyPlanOptions datalog_plan_options;
     datalog::RdfDatalogTranslation xlat =
         datalog::TranslateGraph(graph, rg.vocab);
     Result<datalog::Database> db =
@@ -253,8 +269,53 @@ inline ::testing::AssertionResult RunDifferentialInstance(
         }
       }
 
+      // Plan-based UCQ evaluation: answer sets equal the legacy join on
+      // every configuration, and within one plan shape (hash joins on or
+      // off — the planner may legitimately emit different operator trees
+      // across that toggle) the row stream is BIT-IDENTICAL across batch
+      // sizes, thread counts, and external vs locally-built statistics.
+      for (bool hash_joins : {false, true}) {
+        std::vector<query::Row> plan_reference;
+        bool have_reference = false;
+        for (size_t batch_rows : {size_t{1}, size_t{1024}}) {
+          for (int threads : {1, 8}) {
+            for (bool external_stats : {false, true}) {
+              query::EvaluatorOptions options;
+              options.plan = true;
+              options.hash_joins = hash_joins;
+              options.batch_rows = batch_rows;
+              options.threads = threads;
+              options.stats = external_stats ? &plan_stats : nullptr;
+              query::Evaluator plan_eval(graph.store(), options);
+              const query::ResultSet got = plan_eval.Evaluate(*reformulated);
+              const std::string config =
+                  std::string(" (hash_joins=") + (hash_joins ? "on" : "off") +
+                  ", batch_rows=" + std::to_string(batch_rows) +
+                  ", threads=" + std::to_string(threads) +
+                  ", stats=" + (external_stats ? "external" : "local") + ")";
+              if (Rows(rg.graph, got) != expected) {
+                return fail(label + ": plan-based evaluation" + config +
+                            " differs from saturation");
+              }
+              if (!have_reference) {
+                plan_reference = got.rows;
+                have_reference = true;
+              } else if (got.rows != plan_reference) {
+                return fail(label + ": plan-based evaluation" + config +
+                            " is not bit-identical to the first plan "
+                            "configuration of this shape");
+              }
+            }
+          }
+        }
+      }
+
       if (Rows(rg.graph, backward_eval.Evaluate(q)) != expected) {
         return fail(label + ": backward chaining differs from saturation");
+      }
+      if (Rows(rg.graph, backward_plan_eval.Evaluate(q)) != expected) {
+        return fail(label +
+                    ": plan-based backward chaining differs from saturation");
       }
 
       Result<query::ResultSet> via_dl = datalog::AnswerViaDatalog(xlat, *db, q);
@@ -264,6 +325,16 @@ inline ::testing::AssertionResult RunDifferentialInstance(
       }
       if (Rows(rg.graph, *via_dl) != expected) {
         return fail(label + ": Datalog differs from saturation");
+      }
+
+      Result<query::ResultSet> via_dl_plan =
+          datalog::AnswerViaDatalog(xlat, *db, q, &datalog_plan_options);
+      if (!via_dl_plan.ok()) {
+        return fail(label + ": plan-based Datalog answering failed: " +
+                    via_dl_plan.status().ToString());
+      }
+      if (Rows(rg.graph, *via_dl_plan) != expected) {
+        return fail(label + ": plan-based Datalog differs from saturation");
       }
 
       Result<query::ResultSet> via_magic = AnswerViaMagic(xlat, q);
