@@ -4,7 +4,8 @@
 // Usage:
 //   wdr_shell [--mode=saturation|reformulation|backward|none]
 //             [--backend=ordered|flat] [--threads=N] [--query-threads=N]
-//             [--plan] [--explain] [--script=FILE] [file.ttl ...]
+//             [--plan] [--encoding=on|off] [--explain] [--script=FILE]
+//             [file.ttl ...]
 //
 // Reads commands from stdin (one per line):
 //   SELECT ...          run a SPARQL query
@@ -15,6 +16,8 @@
 //   .threads N          saturation worker threads for closure builds
 //   .qthreads N         worker threads for union-query branches
 //   .plan on|off        cost-based physical plans (hash joins, batching)
+//   .encoding on|off    hierarchy-aware id encoding (LiteMat): collapse
+//                       reformulation unions into range scans
 //   .explain QUERY      run QUERY, print its operator tree (in plan mode:
 //                       the chosen plan with estimated vs actual rows)
 //   .profile on|off     per-operator query profiling (EXPLAIN ANALYZE)
@@ -83,6 +86,8 @@ void PrintHelp() {
                "  .qthreads N           union-branch query threads (N >= 1)\n"
                "  .plan on|off          cost-based physical plans (hash "
                "joins)\n"
+               "  .encoding on|off      hierarchy-aware id encoding "
+               "(reformulation range scans)\n"
                "  .explain SELECT ...   show a query's operator tree (plan "
                "mode: estimated vs actual rows)\n"
                "  .profile on|off       per-operator query profiling\n"
@@ -256,6 +261,15 @@ bool RunCommand(ReasoningStore& store, const std::string& line) {
       std::cerr << "usage: .plan on|off\n";
       return false;
     }
+    if (command == ".encoding") {
+      if (argument == "on" || argument == "off") {
+        store.SetEncoding(argument == "on");
+        std::cout << "encoding = " << argument << "\n";
+        return true;
+      }
+      std::cerr << "usage: .encoding on|off\n";
+      return false;
+    }
     if (command == ".profile") {
       if (argument == "on" || argument == "off") {
         store.SetProfiling(argument == "on");
@@ -354,6 +368,11 @@ void RunDemo(ReasoningStore& store) {
       "PREFIX ex: <http://ex.org/> "
       "SELECT ?x WHERE { ?x rdf:type ex:Mammal }",
       ".profile off",
+      ".encoding on",
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+      "PREFIX ex: <http://ex.org/> "
+      "SELECT ?x WHERE { ?x rdf:type ex:Mammal }",
+      ".encoding off",
       ".threads 2",
       ".qthreads 2",
       ".mode saturation",
@@ -412,6 +431,13 @@ int main(int argc, char** argv) {
       options.query.threads = threads;
     } else if (arg == "--plan") {
       options.query.plan = true;
+    } else if (arg.rfind("--encoding=", 0) == 0) {
+      const std::string value = arg.substr(11);
+      if (value != "on" && value != "off") {
+        std::cerr << "usage: --encoding=on|off\n";
+        return EXIT_FAILURE;
+      }
+      options.encoding = value == "on";
     } else if (arg == "--explain") {
       g_explain = true;
     } else if (arg.rfind("--script=", 0) == 0) {

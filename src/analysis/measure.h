@@ -39,6 +39,14 @@ struct MeasureOptions {
   // per evaluation — leave `stats` null; the graphs being measured are
   // snapshots).
   query::EvaluatorOptions query;
+  // Measure the reformulated side under the hierarchy-aware id encoding
+  // (rdf/hier_encoding.h): a snapshot of the graph is re-encoded so that
+  // subclass/subproperty closures occupy contiguous id intervals, and the
+  // rewriting collapses those unions into range atoms. The one-time
+  // encoding build is charged to reformulation_seconds (it amortizes like
+  // the rewriting itself: redone only on schema change). Answers are
+  // identical either way.
+  bool encoding = false;
 };
 
 // Side measurements produced along the way, reported by the benches.

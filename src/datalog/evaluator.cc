@@ -195,7 +195,10 @@ class RelationEstimator final : public exec::CardinalityEstimator {
       : rels_(std::move(rels)) {}
 
   double Estimate(size_t source, const exec::Value* values,
-                  const uint8_t* modes, size_t arity) const override {
+                  const exec::Value* /*values_hi*/, const uint8_t* modes,
+                  size_t arity) const override {
+    // Datalog specs never carry kRange positions; a range mode would fall
+    // through as unconstrained here, which is the conservative default.
     const Relation& rel = *rels_[source];
     double est = static_cast<double>(rel.size());
     if (est <= 0) return 0;

@@ -23,11 +23,23 @@ uint64_t Mix(uint64_t h, uint64_t v) {
 // output columns turned into tuple-level equality checks.
 struct CompiledAlt {
   std::vector<Value> values;
+  std::vector<Value> values_hi;  // kRange upper bounds (parallel to values)
   std::vector<uint8_t> bound;
+  bool has_range = false;  // any bound[i] == TupleSource::kRange
   std::vector<std::pair<uint32_t, ColId>> inputs;      // src pos ← input col
   std::vector<std::pair<ColId, uint32_t>> outputs;     // out col ← src pos
   std::vector<std::pair<uint32_t, uint32_t>> repeats;  // tuple[a] == tuple[b]
   const ScanAlt* alt = nullptr;
+
+  // Routes through the range entry point only when a range is present, so
+  // point-only plans keep the exact pre-range call path.
+  bool Scan(const TupleSource& src,
+            FunctionRef<bool(const Value*)> fn) const {
+    if (has_range) {
+      return src.ScanRange(values.data(), values_hi.data(), bound.data(), fn);
+    }
+    return src.Scan(values.data(), bound.data(), fn);
+  }
 };
 
 CompiledAlt CompileAlt(const ScanAlt& alt) {
@@ -35,6 +47,7 @@ CompiledAlt CompileAlt(const ScanAlt& alt) {
   c.alt = &alt;
   const size_t arity = alt.slots.size();
   c.values.assign(arity, 0);
+  c.values_hi.assign(arity, 0);
   c.bound.assign(arity, 0);
   // First source position already bound to each output column, to catch a
   // variable repeated inside one atom.
@@ -65,6 +78,12 @@ CompiledAlt CompileAlt(const ScanAlt& alt) {
         }
         break;
       }
+      case Slot::Kind::kRange:
+        c.values[i] = slot.value;
+        c.values_hi[i] = slot.value2;
+        c.bound[i] = TupleSource::kRange;
+        c.has_range = true;
+        break;
       case Slot::Kind::kAny:
         break;
     }
@@ -135,7 +154,7 @@ class Executor {
       CompiledAlt c = CompileAlt(alt);
       ++scans;
       if (stats != nullptr) ++stats->scans;
-      src.Scan(c.values.data(), c.bound.data(), [&](const Value* tuple) {
+      c.Scan(src, [&](const Value* tuple) {
         ++triples;
         if (stats != nullptr) ++stats->triples;
         for (const auto& [a, b] : c.repeats) {
@@ -179,7 +198,7 @@ class Executor {
           }
           ++scans;
           if (stats != nullptr) ++stats->scans;
-          src.Scan(c.values.data(), c.bound.data(), [&](const Value* tuple) {
+          c.Scan(src, [&](const Value* tuple) {
             ++triples;
             if (stats != nullptr) ++stats->triples;
             for (const auto& [a, b] : c.repeats) {

@@ -44,16 +44,21 @@ struct Slot {
     kInput,   // position must equal input column `col` (bound-loop only)
     kOutput,  // position is emitted into output column `col`
     kAny,     // position unconstrained and dropped
+    kRange,   // position must lie in [value, value2]; never emitted
   };
 
   Kind kind = Kind::kAny;
   Value value = 0;
+  Value value2 = 0;  // kRange upper bound (inclusive)
   ColId col = kNoColumn;
 
-  static Slot Const(Value v) { return {Kind::kConst, v, kNoColumn}; }
-  static Slot Input(ColId c) { return {Kind::kInput, 0, c}; }
-  static Slot Output(ColId c) { return {Kind::kOutput, 0, c}; }
-  static Slot Any() { return {Kind::kAny, 0, kNoColumn}; }
+  static Slot Const(Value v) { return {Kind::kConst, v, 0, kNoColumn}; }
+  static Slot Input(ColId c) { return {Kind::kInput, 0, 0, c}; }
+  static Slot Output(ColId c) { return {Kind::kOutput, 0, 0, c}; }
+  static Slot Any() { return {Kind::kAny, 0, 0, kNoColumn}; }
+  static Slot Range(Value lo, Value hi) {
+    return {Kind::kRange, lo, hi, kNoColumn};
+  }
 };
 
 // One way a conjunct can match. Backward chaining expands an atom into

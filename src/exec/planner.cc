@@ -35,6 +35,7 @@ double AltEstimate(const AtomAlt& alt, size_t source,
                    const PresetMap& presets, const VarCols& bound) {
   const size_t arity = alt.terms.size();
   std::vector<Value> values(arity, 0);
+  std::vector<Value> values_hi(arity, 0);
   std::vector<uint8_t> modes(arity, CardinalityEstimator::kWild);
   for (size_t i = 0; i < arity; ++i) {
     const AtomTerm& term = alt.terms[i];
@@ -53,11 +54,17 @@ double AltEstimate(const AtomAlt& alt, size_t source,
         }
         break;
       }
+      case AtomTerm::Kind::kRange:
+        values[i] = term.value;
+        values_hi[i] = term.value2;
+        modes[i] = CardinalityEstimator::kRange;
+        break;
       case AtomTerm::Kind::kAny:
         break;
     }
   }
-  return estimator.Estimate(source, values.data(), modes.data(), arity);
+  return estimator.Estimate(source, values.data(), values_hi.data(),
+                            modes.data(), arity);
 }
 
 double ConjunctEstimate(const PlanConjunct& conjunct,
@@ -78,7 +85,8 @@ size_t MinUnboundPositions(const PlanConjunct& conjunct,
   for (const AtomAlt& alt : conjunct.alts) {
     size_t unbound = 0;
     for (const AtomTerm& term : alt.terms) {
-      if (term.kind == AtomTerm::Kind::kAny) continue;
+      // kAny carries no constraint; kConst and kRange positions are
+      // constrained by the pattern itself and never count as unbound.
       if (term.kind == AtomTerm::Kind::kVar && presets.count(term.var) == 0 &&
           bound.count(term.var) == 0) {
         ++unbound;
@@ -171,6 +179,9 @@ LoweredConjunct LowerConjunct(
           }
           break;
         }
+        case AtomTerm::Kind::kRange:
+          lowered.slots.push_back(Slot::Range(term.value, term.value2));
+          break;
         case AtomTerm::Kind::kAny:
           lowered.slots.push_back(Slot::Any());
           break;
@@ -219,6 +230,7 @@ LoweredConjunct LowerConjunct(
 }  // namespace
 
 double StatisticsEstimator::Estimate(size_t /*source*/, const Value* values,
+                                     const Value* values_hi,
                                      const uint8_t* modes,
                                      size_t /*arity*/) const {
   auto mode = [](uint8_t m) {
@@ -227,12 +239,17 @@ double StatisticsEstimator::Estimate(size_t /*source*/, const Value* values,
         return BoundMode::kConst;
       case CardinalityEstimator::kRuntime:
         return BoundMode::kRuntime;
+      case CardinalityEstimator::kRange:
+        return BoundMode::kRange;
       default:
         return BoundMode::kWild;
     }
   };
-  return stats_->Estimate(mode(modes[0]), mode(modes[1]), values[1],
-                          mode(modes[2]));
+  auto hi = [&](size_t i) {
+    return modes[i] == CardinalityEstimator::kRange ? values_hi[i] : values[i];
+  };
+  return stats_->EstimateRange(mode(modes[0]), mode(modes[1]), values[1],
+                               hi(1), mode(modes[2]), values[2], hi(2));
 }
 
 CompiledPlan PlanConjunctive(const ConjunctiveSpec& spec,

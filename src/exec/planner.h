@@ -24,16 +24,21 @@
 namespace wdr::exec {
 
 // Planning-time atom position: a constant, a variable (identified by an
-// arbitrary caller-chosen key), or an ignored position.
+// arbitrary caller-chosen key), an ignored position, or an inclusive id
+// range (hierarchy-encoded reformulation; range positions bind nothing).
 struct AtomTerm {
-  enum class Kind : uint8_t { kConst, kVar, kAny };
+  enum class Kind : uint8_t { kConst, kVar, kAny, kRange };
   Kind kind = Kind::kAny;
   Value value = 0;
+  Value value2 = 0;  // kRange upper bound (inclusive)
   uint32_t var = 0;
 
-  static AtomTerm Const(Value v) { return {Kind::kConst, v, 0}; }
-  static AtomTerm Var(uint32_t v) { return {Kind::kVar, 0, v}; }
-  static AtomTerm Any() { return {Kind::kAny, 0, 0}; }
+  static AtomTerm Const(Value v) { return {Kind::kConst, v, 0, 0}; }
+  static AtomTerm Var(uint32_t v) { return {Kind::kVar, 0, 0, v}; }
+  static AtomTerm Any() { return {Kind::kAny, 0, 0, 0}; }
+  static AtomTerm Range(Value lo, Value hi) {
+    return {Kind::kRange, lo, hi, 0};
+  }
 };
 
 // One way a conjunct can match. `var_eq` lists variables this alternative
@@ -69,10 +74,14 @@ class CardinalityEstimator {
   static constexpr uint8_t kWild = 0;     // unconstrained
   static constexpr uint8_t kConst = 1;    // bound to values[i]
   static constexpr uint8_t kRuntime = 2;  // bound to an unknown run-time value
+  static constexpr uint8_t kRange = 3;    // in [values[i], values_hi[i]]
 
   virtual ~CardinalityEstimator() = default;
+  // `values_hi` holds the upper bounds of kRange positions (may be null
+  // when no position is kRange).
   virtual double Estimate(size_t source, const Value* values,
-                          const uint8_t* modes, size_t arity) const = 0;
+                          const Value* values_hi, const uint8_t* modes,
+                          size_t arity) const = 0;
 };
 
 // Statistics-backed estimator for triple-shaped sources (arity 3,
@@ -80,8 +89,8 @@ class CardinalityEstimator {
 class StatisticsEstimator final : public CardinalityEstimator {
  public:
   explicit StatisticsEstimator(const Statistics& stats) : stats_(&stats) {}
-  double Estimate(size_t source, const Value* values, const uint8_t* modes,
-                  size_t arity) const override;
+  double Estimate(size_t source, const Value* values, const Value* values_hi,
+                  const uint8_t* modes, size_t arity) const override;
 
  private:
   const Statistics* stats_;
@@ -96,7 +105,31 @@ class StoreEstimator final : public CardinalityEstimator {
  public:
   explicit StoreEstimator(const Store& store) : store_(&store) {}
   double Estimate(size_t /*source*/, const Value* values,
-                  const uint8_t* modes, size_t /*arity*/) const override {
+                  const Value* values_hi, const uint8_t* modes,
+                  size_t /*arity*/) const override {
+    bool any_range = false;
+    for (size_t i = 0; i < 3; ++i) any_range |= modes[i] == kRange;
+    if (any_range) {
+      // Push the interval into the store's range estimate when the store
+      // supports it; otherwise a range position prices as wild below
+      // (over-estimating, the conservative direction).
+      if constexpr (requires(const Store& s, typename Store::Range r) {
+                      s.EstimateCountRange(Store::MakeRangePlan(r, r, r));
+                    }) {
+        auto range = [&](size_t i) {
+          typename Store::Range r{};
+          if (modes[i] == kConst) {
+            r.lo = r.hi = values[i];
+          } else if (modes[i] == kRange) {
+            r.lo = values[i];
+            r.hi = values_hi[i];
+          }
+          return r;
+        };
+        return static_cast<double>(store_->EstimateCountRange(
+            Store::MakeRangePlan(range(0), range(1), range(2))));
+      }
+    }
     return static_cast<double>(store_->EstimateCount(
         modes[0] == kConst ? values[0] : 0, modes[1] == kConst ? values[1] : 0,
         modes[2] == kConst ? values[2] : 0));

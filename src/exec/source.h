@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "exec/batch.h"
 
@@ -50,6 +51,14 @@ class FunctionRef<R(Args...)> {
 // Datalog symbol 0 is a legal constant).
 class TupleSource {
  public:
+  // Codes of the `bound` mask. Plain Scan/EstimateBound only see kUnbound
+  // and kPoint; the *Range entry points add kRange, meaning column i must
+  // lie in the inclusive interval [values[i], values_hi[i]] (hierarchy-
+  // encoded reformulation compiles subclass closures into such columns).
+  static constexpr uint8_t kUnbound = 0;
+  static constexpr uint8_t kPoint = 1;
+  static constexpr uint8_t kRange = 2;
+
   virtual ~TupleSource() = default;
 
   virtual size_t arity() const = 0;
@@ -63,6 +72,44 @@ class TupleSource {
   // early when fn returns false; returns false iff it stopped early.
   virtual bool Scan(const Value* values, const uint8_t* bound,
                     FunctionRef<bool(const Value*)> fn) const = 0;
+
+  // Range-aware variants; `bound` may additionally contain kRange. The
+  // defaults treat range columns as unbound (estimate) or post-filter them
+  // (scan), so sources that cannot seek ranges stay correct; stores with
+  // ordered indexes override to push the interval into the scan window.
+  virtual double EstimateRange(const Value* values, const Value* values_hi,
+                               const uint8_t* bound) const {
+    (void)values_hi;
+    std::vector<uint8_t> relaxed(bound, bound + arity());
+    for (uint8_t& b : relaxed) {
+      if (b == kRange) b = kUnbound;
+    }
+    return EstimateBound(values, relaxed.data());
+  }
+
+  virtual bool ScanRange(const Value* values, const Value* values_hi,
+                         const uint8_t* bound,
+                         FunctionRef<bool(const Value*)> fn) const {
+    const size_t n = arity();
+    std::vector<uint8_t> relaxed(bound, bound + n);
+    bool any_range = false;
+    for (uint8_t& b : relaxed) {
+      if (b == kRange) {
+        b = kUnbound;
+        any_range = true;
+      }
+    }
+    if (!any_range) return Scan(values, bound, fn);
+    return Scan(values, relaxed.data(), [&](const Value* tuple) {
+      for (size_t i = 0; i < n; ++i) {
+        if (bound[i] == kRange &&
+            (tuple[i] < values[i] || tuple[i] > values_hi[i])) {
+          return true;  // outside the interval: skip, keep scanning
+        }
+      }
+      return fn(tuple);
+    });
+  }
 };
 
 // Adapter over any triple-store-shaped type exposing
@@ -94,7 +141,42 @@ class StoreSource final : public TupleSource {
     return keep;
   }
 
+  // Range pushdown: the store seeks the interval as one contiguous index
+  // window instead of post-filtering a full-position scan.
+  double EstimateRange(const Value* values, const Value* values_hi,
+                       const uint8_t* bound) const override {
+    return static_cast<double>(store_->EstimateCountRange(
+        MakePlan(values, values_hi, bound)));
+  }
+
+  bool ScanRange(const Value* values, const Value* values_hi,
+                 const uint8_t* bound,
+                 FunctionRef<bool(const Value*)> fn) const override {
+    bool keep = true;
+    store_->MatchPlan(MakePlan(values, values_hi, bound), [&](const auto& t) {
+      Value row[3] = {t.s, t.p, t.o};
+      keep = fn(row);
+      return keep;
+    });
+    return keep;
+  }
+
  private:
+  static auto MakePlan(const Value* values, const Value* values_hi,
+                       const uint8_t* bound) {
+    auto range = [&](size_t i) {
+      typename Store::Range r{};  // default: unconstrained
+      if (bound[i] == kPoint) {
+        r.lo = r.hi = values[i];
+      } else if (bound[i] == kRange) {
+        r.lo = values[i];
+        r.hi = values_hi[i];
+      }
+      return r;
+    };
+    return Store::MakeRangePlan(range(0), range(1), range(2));
+  }
+
   const Store* store_;  // not owned
 };
 

@@ -9,15 +9,25 @@
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "exec/batch.h"
 
 namespace wdr::exec {
 
+// Buckets of the per-predicate object histogram backing range estimates.
+inline constexpr size_t kObjectHistogramBuckets = 64;
+
 struct PredicateStats {
   uint64_t count = 0;
   uint64_t distinct_subjects = 0;
   uint64_t distinct_objects = 0;
+  // Equi-width histogram of the predicate's distinct object ids over
+  // [obj_min, obj_max], for pricing id-range constraints (hierarchy-
+  // encoded reformulation scans object intervals).
+  Value obj_min = 0;
+  Value obj_max = 0;
+  std::vector<uint32_t> obj_hist;  // empty until built
 };
 
 // How a pattern position is constrained when asking for an estimate.
@@ -25,6 +35,7 @@ enum class BoundMode : uint8_t {
   kWild,     // unconstrained
   kConst,    // bound to a known constant
   kRuntime,  // bound at run time to a value unknown while planning
+  kRange,    // bound to an inclusive id interval known while planning
 };
 
 class Statistics {
@@ -51,6 +62,27 @@ class Statistics {
       PredicateStats& ps = stats.preds_[p];
       ps.distinct_subjects = sets.first.size();
       ps.distinct_objects = sets.second.size();
+      // Object histogram: distinct ids per equi-width bucket. Range
+      // estimates scale the in-range distinct count by the predicate's
+      // average object multiplicity (count / distinct_objects).
+      const auto& objs = sets.second;
+      if (objs.empty()) continue;
+      Value mn = *objs.begin();
+      Value mx = mn;
+      for (Value v : objs) {
+        if (v < mn) mn = v;
+        if (v > mx) mx = v;
+      }
+      ps.obj_min = mn;
+      ps.obj_max = mx;
+      ps.obj_hist.assign(kObjectHistogramBuckets, 0);
+      const double width = static_cast<double>(mx) - mn + 1;
+      for (Value v : objs) {
+        auto b = static_cast<size_t>((static_cast<double>(v) - mn) / width *
+                                     kObjectHistogramBuckets);
+        if (b >= kObjectHistogramBuckets) b = kObjectHistogramBuckets - 1;
+        ++ps.obj_hist[b];
+      }
     }
     return stats;
   }
@@ -70,6 +102,18 @@ class Statistics {
   // object positions contribute 1/distinct selectivity when bound, whether
   // the value is known or not.
   double Estimate(BoundMode s, BoundMode p, Value p_value, BoundMode o) const;
+
+  // Range-aware form: a kRange predicate sums the buckets with keys in
+  // [p_lo, p_hi]; a kRange object prices the interval against the
+  // predicate's object histogram. A kRange subject degrades to wild (no
+  // subject histogram — conservative). The point/wild modes reduce to
+  // Estimate's behaviour exactly.
+  double EstimateRange(BoundMode s, BoundMode p, Value p_lo, Value p_hi,
+                       BoundMode o, Value o_lo, Value o_hi) const;
+
+  // Estimated triples with predicate stats `ps` and object in [lo, hi].
+  static double ObjectRangeEstimate(const PredicateStats& ps, Value lo,
+                                    Value hi);
 
  private:
   uint64_t total_ = 0;

@@ -256,6 +256,20 @@ TermId Resolve(const PatternTerm& t, const std::vector<TermId>& bindings) {
   return bindings[t.var];
 }
 
+// Range-aware resolution: a constant or bound variable pins a point, an
+// unbound variable is unconstrained, and a range term carries its own
+// inclusive bounds into the scan plan.
+rdf::TermRange ResolveRange(const PatternTerm& t,
+                            const std::vector<TermId>& bindings) {
+  if (t.is_const()) return rdf::TermRange::Point(t.id);
+  if (t.is_range()) return rdf::TermRange{t.id, t.id2};
+  return rdf::TermRange::Pattern(bindings[t.var]);
+}
+
+bool HasRangeTerm(const TriplePattern& a) {
+  return a.s.is_range() || a.p.is_range() || a.o.is_range();
+}
+
 // Recursive bound-first join over the atoms of `q`. Store is any type
 // with the StoreView Match/EstimateCount surface (the storage seam itself
 // or the federation's UnionStore).
@@ -319,9 +333,17 @@ class BgpJoin {
       size_t best_cost = SIZE_MAX;
       for (size_t i = 0; i < remaining_.size(); ++i) {
         const TriplePattern& a = q_.atoms()[remaining_[i]];
-        size_t cost = EstimateCost(Resolve(a.s, bindings_),
-                                   Resolve(a.p, bindings_),
-                                   Resolve(a.o, bindings_));
+        // Range atoms bypass the Triple-keyed estimate memo: their key
+        // space is bound pairs, not points.
+        size_t cost =
+            HasRangeTerm(a)
+                ? store_.EstimateCountRange(rdf::PlanRangeScan(
+                      ResolveRange(a.s, bindings_),
+                      ResolveRange(a.p, bindings_),
+                      ResolveRange(a.o, bindings_)))
+                : EstimateCost(Resolve(a.s, bindings_),
+                               Resolve(a.p, bindings_),
+                               Resolve(a.o, bindings_));
         if (cost < best_cost) {
           best_cost = cost;
           best_pos = i;
@@ -332,9 +354,6 @@ class BgpJoin {
     remaining_.erase(remaining_.begin() + best_pos);
     const TriplePattern& atom = q_.atoms()[atom_index];
 
-    TermId s = Resolve(atom.s, bindings_);
-    TermId p = Resolve(atom.p, bindings_);
-    TermId o = Resolve(atom.o, bindings_);
     AtomStats* as = stats_ ? &(*stats_)[atom_index] : nullptr;
     auto process = [&](const Triple& t) {
       if (as) ++as->triples;
@@ -355,7 +374,21 @@ class BgpJoin {
       }
       return !stopped_;
     };
-    auto match = [&] { Match(depth, s, p, o, as, process); };
+    auto match = [&] {
+      if (HasRangeTerm(atom)) {
+        // Range scans skip the scan cache (its Triple keys cannot carry
+        // range bounds); they are single contiguous index scans already.
+        if (as) ++as->scans;
+        store_.MatchPlan(
+            rdf::PlanRangeScan(ResolveRange(atom.s, bindings_),
+                               ResolveRange(atom.p, bindings_),
+                               ResolveRange(atom.o, bindings_)),
+            process);
+        return;
+      }
+      Match(depth, Resolve(atom.s, bindings_), Resolve(atom.p, bindings_),
+            Resolve(atom.o, bindings_), as, process);
+    };
     if (as) {
       const uint64_t start = NowNanos();
       match();
@@ -466,6 +499,9 @@ class BgpJoin {
   bool TryBind(const PatternTerm& term, TermId value, VarId (&bound_here)[3],
                size_t& bound_count) {
     if (term.is_const()) return term.id == value;
+    // Range terms never bind: the scan plan already guarantees the value
+    // lies inside the range.
+    if (term.is_range()) return true;
     TermId& slot = bindings_[term.var];
     if (slot == kNullTermId) {
       slot = value;
@@ -504,6 +540,9 @@ std::string TermLabel(const rdf::Dictionary* dict, TermId id) {
 std::string PatternTermLabel(const BgpQuery& q, const rdf::Dictionary* dict,
                              const PatternTerm& t) {
   if (t.is_const()) return TermLabel(dict, t.id);
+  if (t.is_range()) {
+    return "[" + TermLabel(dict, t.id) + ".." + TermLabel(dict, t.id2) + "]";
+  }
   return "?" + q.var_name(t.var);
 }
 
@@ -637,7 +676,44 @@ class CachedStoreSource final : public exec::TupleSource {
     return keep;
   }
 
+  // Range scans bypass the ScanCache entirely (its Triple keys cannot
+  // carry interval bounds) and go straight to the store's range window.
+  double EstimateRange(const exec::Value* values, const exec::Value* values_hi,
+                       const uint8_t* bound) const override {
+    return static_cast<double>(
+        store_->EstimateCountRange(RangePlan(values, values_hi, bound)));
+  }
+
+  bool ScanRange(const exec::Value* values, const exec::Value* values_hi,
+                 const uint8_t* bound,
+                 exec::FunctionRef<bool(const exec::Value*)> fn)
+      const override {
+    bool keep = true;
+    store_->MatchPlan(RangePlan(values, values_hi, bound),
+                      [&](const Triple& t) {
+                        exec::Value row[3] = {t.s, t.p, t.o};
+                        keep = fn(row);
+                        return keep;
+                      });
+    return keep;
+  }
+
  private:
+  static rdf::ScanPlan RangePlan(const exec::Value* values,
+                                 const exec::Value* values_hi,
+                                 const uint8_t* bound) {
+    auto range = [&](size_t i) {
+      if (bound[i] == exec::TupleSource::kPoint) {
+        return rdf::TermRange::Point(values[i]);
+      }
+      if (bound[i] == exec::TupleSource::kRange) {
+        return rdf::TermRange{values[i], values_hi[i]};
+      }
+      return rdf::TermRange::Any();
+    };
+    return rdf::PlanRangeScan(range(0), range(1), range(2));
+  }
+
   const Store* store_;  // not owned
   ScanCache* cache_;    // not owned; null = no caching
   bool eager_;
@@ -649,8 +725,9 @@ exec::ConjunctiveSpec SpecFromBgp(const BgpQuery& q,
                                   const rdf::Dictionary* dict) {
   exec::ConjunctiveSpec spec;
   auto term = [](const PatternTerm& t) {
-    return t.is_const() ? exec::AtomTerm::Const(t.id)
-                        : exec::AtomTerm::Var(t.var);
+    if (t.is_const()) return exec::AtomTerm::Const(t.id);
+    if (t.is_range()) return exec::AtomTerm::Range(t.id, t.id2);
+    return exec::AtomTerm::Var(t.var);
   };
   for (const TriplePattern& atom : q.atoms()) {
     exec::PlanConjunct conjunct;

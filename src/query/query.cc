@@ -45,6 +45,9 @@ std::string BgpQuery::CanonicalKey() const {
   size_t next_fresh = 0;
   auto term_key = [&](const PatternTerm& t) -> std::string {
     if (t.is_const()) return tagged('c', t.id);
+    if (t.is_range()) {
+      return tagged('r', t.id) + ":" + std::to_string(t.id2);
+    }
     auto it = rename.find(t.var);
     if (it == rename.end()) {
       it = rename.emplace(t.var, tagged('f', next_fresh++)).first;

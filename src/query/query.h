@@ -37,13 +37,18 @@ struct RowHash {
   }
 };
 
-// One position of a triple pattern: a constant term or a variable.
+// One position of a triple pattern: a constant term, a variable, or an
+// inclusive id range. Range terms are produced only by hierarchy-aware
+// (LiteMat-encoded) reformulation — "any id in the subclass closure's
+// interval" — and behave like anonymous filtered positions: they never
+// bind a variable and never project.
 struct PatternTerm {
-  enum class Kind : uint8_t { kConstant, kVariable };
+  enum class Kind : uint8_t { kConstant, kVariable, kRange };
 
   Kind kind = Kind::kConstant;
-  TermId id = rdf::kNullTermId;  // valid when kind == kConstant
-  VarId var = 0;                 // valid when kind == kVariable
+  TermId id = rdf::kNullTermId;   // kConstant value; kRange lower bound
+  TermId id2 = rdf::kNullTermId;  // kRange upper bound (inclusive)
+  VarId var = 0;                  // valid when kind == kVariable
 
   static PatternTerm Constant(TermId id) {
     PatternTerm t;
@@ -57,13 +62,23 @@ struct PatternTerm {
     t.var = var;
     return t;
   }
+  static PatternTerm Range(TermId lo, TermId hi) {
+    PatternTerm t;
+    t.kind = Kind::kRange;
+    t.id = lo;
+    t.id2 = hi;
+    return t;
+  }
 
   bool is_var() const { return kind == Kind::kVariable; }
   bool is_const() const { return kind == Kind::kConstant; }
+  bool is_range() const { return kind == Kind::kRange; }
 
   friend bool operator==(const PatternTerm& a, const PatternTerm& b) {
     if (a.kind != b.kind) return false;
-    return a.is_var() ? a.var == b.var : a.id == b.id;
+    if (a.is_var()) return a.var == b.var;
+    if (a.is_range()) return a.id == b.id && a.id2 == b.id2;
+    return a.id == b.id;
   }
 };
 

@@ -30,4 +30,16 @@ TermId Dictionary::Lookup(const Term& term) const {
   return it == index_.end() ? kNullTermId : it->second;
 }
 
+void Dictionary::ApplyPermutation(const std::vector<TermId>& perm) {
+  std::vector<Term> remapped(terms_.size());
+  for (size_t old_id = 1; old_id <= terms_.size(); ++old_id) {
+    remapped[static_cast<size_t>(perm[old_id]) - 1] =
+        std::move(terms_[old_id - 1]);
+  }
+  terms_ = std::move(remapped);
+  for (auto& [key, id] : index_) {
+    id = perm[static_cast<size_t>(id)];
+  }
+}
+
 }  // namespace wdr::rdf

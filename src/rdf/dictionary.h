@@ -37,15 +37,35 @@ class Dictionary {
   }
 
   // Returns the term for a valid id. id must be in [1, size()].
-  const Term& term(TermId id) const { return terms_[id - 1]; }
+  const Term& term(TermId id) const {
+    return terms_[static_cast<size_t>(id) - 1];
+  }
 
-  // Whether `id` names an interned term.
+  // Whether `id` names an interned term. The id is widened to size_t
+  // before comparing, so the check stays exact even if the term table ever
+  // outgrows the TermId range (term() above indexes with the same
+  // widening).
   bool Contains(TermId id) const {
-    return id != kNullTermId && id <= terms_.size();
+    return id != kNullTermId && static_cast<size_t>(id) <= terms_.size();
   }
 
   // Number of interned terms. Valid ids are 1..size().
   size_t size() const { return terms_.size(); }
+
+  // Pre-sizes the term table and the key index for `n` terms, so bulk
+  // loads and the hierarchy-encoding rebuild pass don't rehash while
+  // interning.
+  void Reserve(size_t n) {
+    terms_.reserve(n);
+    index_.reserve(n);
+  }
+
+  // Renumbers every interned term: the term with old id i gets new id
+  // perm[i]. `perm` is indexed by old id (entry 0 is ignored) and must be
+  // a bijection of 1..size(). Triple stores built against the old ids must
+  // be re-encoded by the caller — this is the dictionary half of the
+  // hierarchy-aware encoding rebuild.
+  void ApplyPermutation(const std::vector<TermId>& perm);
 
  private:
   // Canonical key: kind byte + lexical + separators + datatype + language.

@@ -232,18 +232,25 @@ size_t FlatTripleStore::Count(TermId s, TermId p, TermId o) const {
   const bool bo = o != kNullTermId;
   if (!bs && !bp && !bo) return size();
   if (bs && bp && bo) return Contains(Triple(s, p, o)) ? 1 : 0;
-  const ScanPlan plan = PlanScan(s, p, o);
-  if (plan.filter != Triple(0, 0, 0)) {
-    // Residual-filter shape (s ? o): no closed-form range size.
+  return CountRange(PlanScan(s, p, o));
+}
+
+size_t FlatTripleStore::CountRange(const ScanPlan& plan) const {
+  if (plan.s.is_any() && plan.p.is_any() && plan.o.is_any()) return size();
+  if (plan.s.is_point() && plan.p.is_point() && plan.o.is_point()) {
+    return Contains(Triple(plan.s.lo, plan.p.lo, plan.o.lo)) ? 1 : 0;
+  }
+  if (!plan.Exact()) {
+    // Residual-filter shape (e.g. (s ? o)): no closed-form window size.
     size_t n = 0;
-    Match(s, p, o, [&n](const Triple&) { ++n; });
+    MatchPlan(plan, [&n](const Triple&) { ++n; });
     return n;
   }
   auto [first, last] = MainRange(plan);
   size_t n = static_cast<size_t>(last - first);
   if (!tombstones_.empty()) {
     for (const Triple& t : tombstones_) {
-      if ((!bs || t.s == s) && (!bp || t.p == p) && (!bo || t.o == o)) --n;
+      if (plan.PassesFilter(t)) --n;
     }
   }
   const std::set<Triple>& delta = delta_[static_cast<size_t>(plan.order)];
@@ -264,10 +271,17 @@ size_t FlatTripleStore::EstimateCount(TermId s, TermId p, TermId o) const {
   const bool bo = o != kNullTermId;
   if (bs && bp && bo) return Contains(Triple(s, p, o)) ? 1 : 0;
   if (!bs && !bp && !bo) return size();
-  // Exact main-range width in O(log n) — a better join-ordering signal
+  return EstimateCountRange(PlanScan(s, p, o));
+}
+
+size_t FlatTripleStore::EstimateCountRange(const ScanPlan& plan) const {
+  if (plan.s.is_point() && plan.p.is_point() && plan.o.is_point()) {
+    return Contains(Triple(plan.s.lo, plan.p.lo, plan.o.lo)) ? 1 : 0;
+  }
+  if (plan.s.is_any() && plan.p.is_any() && plan.o.is_any()) return size();
+  // Exact main-window width in O(log n) — a better join-ordering signal
   // than the ordered backend's capped enumeration — plus a capped walk of
   // the (small) delta range. Tombstones are ignored: estimates only rank.
-  const ScanPlan plan = PlanScan(s, p, o);
   auto [first, last] = MainRange(plan);
   size_t n = static_cast<size_t>(last - first);
   const std::set<Triple>& delta = delta_[static_cast<size_t>(plan.order)];
@@ -284,10 +298,9 @@ size_t FlatTripleStore::EstimateCount(TermId s, TermId p, TermId o) const {
   return n;
 }
 
-void FlatTripleStore::OpenScan(ScanHandle& handle, TermId s, TermId p,
-                               TermId o) const {
+void FlatTripleStore::OpenScan(ScanHandle& handle, const ScanPlan& plan) const {
   WDR_COUNTER_INC("wdr.store.flat.scans");
-  handle.Emplace<FlatScanCursor>(*this, PlanScan(s, p, o));
+  handle.Emplace<FlatScanCursor>(*this, plan);
 }
 
 }  // namespace wdr::rdf

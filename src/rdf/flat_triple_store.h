@@ -86,10 +86,12 @@ class FlatTripleStore final : public StoreView {
   }
 
   size_t Count(TermId s, TermId p, TermId o) const override;
+  size_t CountRange(const ScanPlan& plan) const override;
   size_t EstimateCount(TermId s, TermId p, TermId o) const override;
+  size_t EstimateCountRange(const ScanPlan& plan) const override;
 
-  void OpenScan(ScanHandle& handle, TermId s, TermId p,
-                TermId o) const override;
+  using StoreView::OpenScan;
+  void OpenScan(ScanHandle& handle, const ScanPlan& plan) const override;
 
   StorageBackend backend() const override { return StorageBackend::kFlat; }
   std::unique_ptr<StoreView> Clone() const override {

@@ -20,6 +20,20 @@ void Graph::SetBackend(StorageBackend backend) {
   backend_ = backend;
 }
 
+void Graph::ApplyPermutation(const std::vector<TermId>& perm) {
+  dict_.ApplyPermutation(perm);
+  std::vector<Triple> triples = store_->ToVector();
+  auto remap = [&](TermId id) {
+    return static_cast<size_t>(id) < perm.size() ? perm[id] : id;
+  };
+  for (Triple& t : triples) {
+    t = Triple(remap(t.s), remap(t.p), remap(t.o));
+  }
+  std::unique_ptr<StoreView> replacement = MakeStore(backend_);
+  replacement->InsertBatch(triples);
+  store_ = std::move(replacement);
+}
+
 bool Graph::Insert(const Term& s, const Term& p, const Term& o) {
   return store_->Insert(Encode(s, p, o));
 }

@@ -4,6 +4,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "rdf/dictionary.h"
 #include "rdf/store_view.h"
@@ -58,6 +59,13 @@ class Graph {
   // Switches the storage engine, carrying the triples over. No-op if the
   // backend is already `backend`.
   void SetBackend(StorageBackend backend);
+
+  // Renumbers the whole graph under an old-id -> new-id bijection: the
+  // dictionary (Dictionary::ApplyPermutation) and every stored triple,
+  // rebuilt into a fresh store of the same backend. This is the rebuild
+  // half of the hierarchy-aware encoding (rdf/hier_encoding.h); callers
+  // must remap any TermIds they hold outside the graph.
+  void ApplyPermutation(const std::vector<TermId>& perm);
 
   // Interns the three terms without inserting, returning the encoded triple.
   Triple Encode(const Term& s, const Term& p, const Term& o) {

@@ -1,0 +1,179 @@
+#include "rdf/hier_encoding.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace wdr::rdf {
+namespace {
+
+// One hierarchy (class or property) laid out as a first-parent spanning
+// forest, preorder-numbered into `enc.perm_`. Shared by both DAGs.
+class ForestEncoder {
+ public:
+  ForestEncoder(std::vector<TermId>* perm, TermId* next)
+      : perm_(perm), next_(next) {}
+
+  // `nodes` are the hierarchy's members (old ids, deterministic order);
+  // `supers_of(n)` returns the direct super edges; `closure_of(n)` the
+  // reflexive-transitive sub-closure (for the validity check). Intervals
+  // land in `intervals`, keyed by NEW id; returns the invalid-node count.
+  template <typename SupersFn, typename ClosureFn>
+  size_t Encode(const std::vector<TermId>& nodes,
+                const std::unordered_set<TermId>& members,
+                SupersFn&& supers_of, ClosureFn&& closure_of,
+                std::unordered_map<TermId, HierInterval>& intervals) {
+    std::unordered_map<TermId, std::vector<TermId>> children;
+    std::unordered_set<TermId> has_parent;
+    for (TermId node : nodes) {
+      // Tightest-parent rule: anchor under the super with the smallest
+      // sub-closure (ties broken by id for determinism). On a closed
+      // schema the direct-super list contains ALL ancestors; anchoring
+      // under a transitive one would punch the node out of its immediate
+      // parent's subtree and invalidate that parent for nothing. Further
+      // parents (true diamonds) still leave the node reachable only
+      // through this one.
+      TermId best = kNullTermId;
+      size_t best_size = 0;
+      for (TermId super : supers_of(node)) {
+        if (super == node || members.count(super) == 0) continue;
+        const size_t size = closure_of(super).size();
+        if (best == kNullTermId || size < best_size ||
+            (size == best_size && super < best)) {
+          best = super;
+          best_size = size;
+        }
+      }
+      if (best != kNullTermId) {
+        children[best].push_back(node);
+        has_parent.insert(node);
+      }
+    }
+    for (auto& [parent, kids] : children) {
+      std::sort(kids.begin(), kids.end());
+    }
+
+    size_t invalid = 0;
+    auto emit = [&](TermId old_id, TermId new_lo, TermId new_hi) {
+      const size_t subtree = static_cast<size_t>(new_hi) - new_lo + 1;
+      HierInterval interval;
+      interval.lo = new_lo;
+      interval.hi = new_hi;
+      // The spanning subtree is a subset of the closure (every tree edge
+      // is a real direct edge), so equal sizes mean interval == closure.
+      interval.valid = closure_of(old_id).size() == subtree;
+      if (!interval.valid) ++invalid;
+      intervals.emplace(new_lo, interval);
+    };
+
+    // Iterative preorder: frames carry (old id, its new id, next child).
+    struct Frame {
+      TermId node;
+      TermId new_id;
+      size_t child_ix = 0;
+    };
+    std::vector<Frame> stack;
+    auto visit_tree = [&](TermId root) {
+      if (visited_.count(root) > 0) return;
+      visited_.insert(root);
+      stack.push_back({root, Assign(root)});
+      while (!stack.empty()) {
+        Frame& top = stack.back();
+        const std::vector<TermId>* kids = nullptr;
+        auto it = children.find(top.node);
+        if (it != children.end()) kids = &it->second;
+        if (kids != nullptr && top.child_ix < kids->size()) {
+          TermId child = (*kids)[top.child_ix++];
+          if (visited_.insert(child).second) {
+            stack.push_back({child, Assign(child)});
+          }
+        } else {
+          emit(top.node, top.new_id, *next_ - 1);
+          stack.pop_back();
+        }
+      }
+    };
+
+    for (TermId node : nodes) {
+      if (has_parent.count(node) == 0) visit_tree(node);
+    }
+    // Members of parent cycles have a parent but are reachable from no
+    // root; lay them out as extra roots (their closures differ from their
+    // subtrees, so the size check marks them invalid).
+    for (TermId node : nodes) visit_tree(node);
+    return invalid;
+  }
+
+ private:
+  TermId Assign(TermId old_id) {
+    TermId new_id = (*next_)++;
+    (*perm_)[old_id] = new_id;
+    return new_id;
+  }
+
+  std::vector<TermId>* perm_;
+  TermId* next_;
+  std::unordered_set<TermId> visited_;
+};
+
+}  // namespace
+
+HierEncoding HierEncoding::Build(const schema::Schema& schema,
+                                 const Dictionary& dict) {
+  HierEncoding enc;
+  const size_t n = dict.size();
+  enc.perm_.assign(n + 1, 0);
+
+  // Hierarchy membership. A term used as both class and property is
+  // encoded as a class; properties whose closures reach it can then never
+  // validate, which is the intended conservative fallback.
+  std::unordered_set<TermId> class_set;
+  std::vector<TermId> classes;
+  for (TermId c : schema.classes()) {
+    if (c == kNullTermId || static_cast<size_t>(c) > n) continue;
+    if (class_set.insert(c).second) classes.push_back(c);
+  }
+  std::unordered_set<TermId> property_set;
+  std::vector<TermId> properties;
+  for (TermId p : schema.properties()) {
+    if (p == kNullTermId || static_cast<size_t>(p) > n) continue;
+    if (class_set.count(p) > 0) continue;
+    if (property_set.insert(p).second) properties.push_back(p);
+  }
+  std::sort(classes.begin(), classes.end());
+  std::sort(properties.begin(), properties.end());
+
+  TermId next = 1;
+  ForestEncoder encoder(&enc.perm_, &next);
+  enc.invalid_nodes_ += encoder.Encode(
+      classes, class_set,
+      [&](TermId c) -> const std::vector<TermId>& {
+        return schema.DirectSuperClasses(c);
+      },
+      [&](TermId c) -> const std::vector<TermId>& {
+        return schema.SubClassesOf(c);
+      },
+      enc.class_intervals_);
+  enc.invalid_nodes_ += encoder.Encode(
+      properties, property_set,
+      [&](TermId p) -> const std::vector<TermId>& {
+        return schema.DirectSuperProperties(p);
+      },
+      [&](TermId p) -> const std::vector<TermId>& {
+        return schema.SubPropertiesOf(p);
+      },
+      enc.property_intervals_);
+
+  // Every other term follows the hierarchies, in old-id order.
+  for (size_t old_id = 1; old_id <= n; ++old_id) {
+    if (enc.perm_[old_id] == 0) enc.perm_[old_id] = next++;
+  }
+
+  WDR_COUNTER_INC("wdr.encoding.builds");
+  WDR_COUNTER_ADD("wdr.encoding.invalid_nodes", enc.invalid_nodes_);
+  return enc;
+}
+
+}  // namespace wdr::rdf

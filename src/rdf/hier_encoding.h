@@ -1,0 +1,104 @@
+#ifndef WDR_RDF_HIER_ENCODING_H_
+#define WDR_RDF_HIER_ENCODING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/store_view.h"
+#include "schema/schema.h"
+
+namespace wdr::rdf {
+
+// The id interval the encoding assigned to one hierarchy node, in NEW
+// (post-permutation) id space. The node's own id is `lo`; `hi` is the last
+// id of its spanning subtree (inclusive).
+struct HierInterval {
+  TermId lo = 0;
+  TermId hi = 0;
+  // True when the interval is exactly the node's subclass (subproperty)
+  // closure — the node is tree-embeddable under the chosen spanning
+  // forest. Invalid nodes keep their interval for introspection but must
+  // fall back to classic UCQ reformulation.
+  bool valid = false;
+
+  size_t width() const { return static_cast<size_t>(hi) - lo + 1; }
+  TermRange range() const { return TermRange{lo, hi}; }
+};
+
+// Hierarchy-aware dictionary encoding (LiteMat, Curé et al.; PAPERS.md):
+// renumbers the dictionary so that every tree-embeddable class has its
+// subclass closure on one contiguous id interval, and likewise for
+// properties. RDFS entailment c' ⊑* c then reduces to the integer test
+// lo(c) <= id(c') <= hi(c), and the reformulation union over a subclass
+// (subproperty) closure collapses to a single range-constrained atom —
+// the representation-level attack on the paper's "1 to thousands of CQs"
+// worst case.
+//
+// Interval assignment: a preorder DFS over a first-parent spanning forest
+// of the subclass DAG (then the subproperty DAG; a term that is both class
+// and property is encoded as a class, leaving dependent property nodes
+// invalid). Each node's id is the preorder number at which its subtree
+// starts, so the subtree occupies [id, id + subtree_size). A node is valid
+// iff its closure size equals its subtree size: the spanning subtree is
+// always a subset of the closure, so equal sizes mean the interval covers
+// the closure exactly. Nodes reached through DAG sharing (a second parent
+// outside the subtree) or cycles are marked invalid. All remaining
+// dictionary terms follow the two forests in old-id order.
+//
+// The encoding is a snapshot of one schema version: rebuild it (and
+// re-encode dictionary + stores) whenever the schema changes. `version()`
+// carries the owner's schema version counter so consumers can check
+// staleness.
+class HierEncoding {
+ public:
+  HierEncoding() = default;
+
+  // Builds the permutation and intervals for `schema`'s DAGs over the ids
+  // of `dict`. Does not mutate either — apply `permutation()` with
+  // Dictionary::ApplyPermutation and re-encode the stores to switch id
+  // spaces.
+  static HierEncoding Build(const schema::Schema& schema,
+                            const Dictionary& dict);
+
+  // Old id -> new id bijection over 1..size; entry 0 is unused.
+  const std::vector<TermId>& permutation() const { return perm_; }
+
+  TermId Remap(TermId old_id) const {
+    return old_id < perm_.size() ? perm_[old_id] : old_id;
+  }
+
+  // Interval of the class (property) with NEW id `id`, or nullptr when the
+  // id is not a hierarchy node of that kind. Check `valid` before
+  // collapsing a union onto it.
+  const HierInterval* ClassInterval(TermId id) const {
+    auto it = class_intervals_.find(id);
+    return it == class_intervals_.end() ? nullptr : &it->second;
+  }
+  const HierInterval* PropertyInterval(TermId id) const {
+    auto it = property_intervals_.find(id);
+    return it == property_intervals_.end() ? nullptr : &it->second;
+  }
+
+  size_t class_count() const { return class_intervals_.size(); }
+  size_t property_count() const { return property_intervals_.size(); }
+  // Hierarchy nodes whose closure escaped their spanning subtree.
+  size_t invalid_nodes() const { return invalid_nodes_; }
+
+  // The owner's schema version this encoding was built against.
+  uint64_t version() const { return version_; }
+  void set_version(uint64_t version) { version_ = version; }
+
+ private:
+  std::vector<TermId> perm_;
+  std::unordered_map<TermId, HierInterval> class_intervals_;
+  std::unordered_map<TermId, HierInterval> property_intervals_;
+  size_t invalid_nodes_ = 0;
+  uint64_t version_ = 0;
+};
+
+}  // namespace wdr::rdf
+
+#endif  // WDR_RDF_HIER_ENCODING_H_

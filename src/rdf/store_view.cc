@@ -45,6 +45,31 @@ size_t StoreView::Count(TermId s, TermId p, TermId o) const {
   return n;
 }
 
+size_t StoreView::CountRange(const ScanPlan& plan) const {
+  if (plan.s.is_any() && plan.p.is_any() && plan.o.is_any()) return size();
+  if (plan.s.is_point() && plan.p.is_point() && plan.o.is_point()) {
+    return Contains(Triple(plan.s.lo, plan.p.lo, plan.o.lo)) ? 1 : 0;
+  }
+  size_t n = 0;
+  MatchPlan(plan, [&n](const Triple&) { ++n; });
+  return n;
+}
+
+size_t StoreView::EstimateCountRange(const ScanPlan& plan) const {
+  if (plan.s.is_any() && plan.p.is_any() && plan.o.is_any()) return size();
+  if (plan.s.is_point() && plan.p.is_point() && plan.o.is_point()) {
+    return Contains(Triple(plan.s.lo, plan.p.lo, plan.o.lo)) ? 1 : 0;
+  }
+  size_t n = 0;
+  constexpr size_t kCap = 64;
+  MatchPlan(plan, [&n](const Triple&) { return ++n < kCap; });
+  if (n < kCap) return n;
+  // Hit the cap: coarse ordering signal by constrained positions.
+  const int bound = (plan.s.is_any() ? 0 : 1) + (plan.p.is_any() ? 0 : 1) +
+                    (plan.o.is_any() ? 0 : 1);
+  return size() >> (2 * bound);
+}
+
 std::vector<Triple> StoreView::ToVector() const {
   std::vector<Triple> out;
   out.reserve(size());

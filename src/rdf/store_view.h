@@ -8,6 +8,7 @@
 #include <span>
 #include <string_view>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "rdf/triple.h"
@@ -50,59 +51,115 @@ inline Triple UnpermuteKey(const Triple& k, IndexOrder order) {
   return k;
 }
 
-// A compiled triple-pattern scan: which index to use, how many leading key
-// components are bound, and a residual filter (0 = accept) applied in
-// subject/property/object space to triples inside the range.
-struct ScanPlan {
-  IndexOrder order = IndexOrder::kSpo;
-  int prefix_len = 0;
-  Triple probe;   // pattern in s/p/o space; non-prefix positions zeroed
-  Triple filter;  // residual constraints in s/p/o space
+// An inclusive term-id interval. Default-constructed it matches every id
+// (wildcard); Point(id) matches exactly one. Ranges are how the
+// hierarchy-aware (LiteMat-style) encoding expresses "any subclass of c" as
+// a single constraint: after the encoding pass a subclass closure occupies
+// one contiguous id interval, so the UCQ over it collapses to a range scan.
+struct TermRange {
+  static constexpr TermId kMaxId = std::numeric_limits<TermId>::max();
 
-  bool PassesFilter(const Triple& t) const {
-    return (filter.s == 0 || t.s == filter.s) &&
-           (filter.p == 0 || t.p == filter.p) &&
-           (filter.o == 0 || t.o == filter.o);
+  TermId lo = 0;
+  TermId hi = kMaxId;
+
+  static constexpr TermRange Any() { return TermRange{}; }
+  static constexpr TermRange Point(TermId id) { return TermRange{id, id}; }
+  // The kNullTermId-as-wildcard pattern convention of Match/Count.
+  static constexpr TermRange Pattern(TermId id) {
+    return id == kNullTermId ? Any() : Point(id);
   }
 
-  // Inclusive key-space bounds of the scanned range (permuted components).
+  constexpr bool is_point() const { return lo == hi; }
+  constexpr bool is_any() const { return lo == 0 && hi == kMaxId; }
+  constexpr bool Contains(TermId id) const { return lo <= id && id <= hi; }
+
+  friend constexpr bool operator==(const TermRange&, const TermRange&) =
+      default;
+};
+
+// A compiled triple-pattern scan: which index to use plus the per-position
+// constraints, each an inclusive range (points and wildcards are the
+// special cases). The scanned key window is the component-wise [lo, hi]
+// box permuted into index order; any matching key k satisfies
+// (a.lo, b.lo, c.lo) <= k <= (a.hi, b.hi, c.hi) lexicographically (by
+// induction on components), so the window is a superset of the matches and
+// PassesFilter removes the rest.
+struct ScanPlan {
+  IndexOrder order = IndexOrder::kSpo;
+  TermRange s, p, o;
+
+  bool PassesFilter(const Triple& t) const {
+    return s.Contains(t.s) && p.Contains(t.p) && o.Contains(t.o);
+  }
+
+  // Inclusive key-space bounds of the scanned window (permuted components).
   void KeyBounds(Triple* lo, Triple* hi) const {
-    constexpr TermId kMax = std::numeric_limits<TermId>::max();
-    *lo = *hi = PermuteKey(probe, order);
-    if (prefix_len <= 2) lo->o = 0, hi->o = kMax;
-    if (prefix_len <= 1) lo->p = 0, hi->p = kMax;
-    if (prefix_len <= 0) lo->s = 0, hi->s = kMax;
+    *lo = PermuteKey(Triple(s.lo, p.lo, o.lo), order);
+    *hi = PermuteKey(Triple(s.hi, p.hi, o.hi), order);
+  }
+
+  // Per-position ranges in permuted (key-component) order.
+  void PermutedRanges(TermRange out[3]) const {
+    switch (order) {
+      case IndexOrder::kSpo:
+        out[0] = s, out[1] = p, out[2] = o;
+        return;
+      case IndexOrder::kPos:
+        out[0] = p, out[1] = o, out[2] = s;
+        return;
+      case IndexOrder::kOsp:
+        out[0] = o, out[1] = s, out[2] = p;
+        return;
+    }
+  }
+
+  // True when the key window contains exactly the matches (no residual
+  // filtering): every permuted component after the first non-point one is
+  // unconstrained. Closed-form range counting is valid exactly then.
+  bool Exact() const {
+    TermRange key[3];
+    PermutedRanges(key);
+    int i = 0;
+    while (i < 3 && key[i].is_point()) ++i;
+    for (int j = i + 1; j < 3; ++j) {
+      if (!key[j].is_any()) return false;
+    }
+    return true;
   }
 };
 
-// Chooses index, prefix length and residual filter for a pattern
-// (kNullTermId = wildcard). The (s ? o) shape scans the SPO s-prefix with
-// an o filter, which is typically smaller than the OSP o-prefix.
-inline ScanPlan PlanScan(TermId s, TermId p, TermId o) {
-  const bool bs = s != kNullTermId;
-  const bool bp = p != kNullTermId;
-  const bool bo = o != kNullTermId;
+// Chooses the index for a per-position range pattern: the index whose
+// leading key component is a point, preferring s, then p, then o (the
+// (s ? o) shape scans the SPO s-prefix with an o filter, typically smaller
+// than the OSP o-prefix); with no point available, the index led by the
+// narrowest-available constrained component, so a range-encoded
+// (? type [lo,hi]) pattern becomes one contiguous POS window.
+inline ScanPlan PlanRangeScan(const TermRange& s, const TermRange& p,
+                              const TermRange& o) {
   ScanPlan plan;
-  plan.probe = Triple(s, p, o);
-  plan.filter = Triple(0, 0, 0);
-  if (bs) {
+  plan.s = s;
+  plan.p = p;
+  plan.o = o;
+  if (s.is_point()) {
     plan.order = IndexOrder::kSpo;
-    plan.prefix_len = 1 + (bp ? 1 : 0) + ((bp && bo) ? 1 : 0);
-    if (!bp && bo) {
-      plan.probe = Triple(s, 0, 0);
-      plan.filter = Triple(0, 0, o);
-    }
-  } else if (bp) {
+  } else if (p.is_point()) {
     plan.order = IndexOrder::kPos;
-    plan.prefix_len = 1 + (bo ? 1 : 0);
-  } else if (bo) {
+  } else if (o.is_point()) {
     plan.order = IndexOrder::kOsp;
-    plan.prefix_len = 1;
-  } else {
+  } else if (!s.is_any()) {
     plan.order = IndexOrder::kSpo;
-    plan.prefix_len = 0;
+  } else if (!p.is_any()) {
+    plan.order = IndexOrder::kPos;
+  } else {
+    plan.order = o.is_any() ? IndexOrder::kSpo : IndexOrder::kOsp;
   }
   return plan;
+}
+
+// Point/wildcard pattern convenience (kNullTermId = wildcard).
+inline ScanPlan PlanScan(TermId s, TermId p, TermId o) {
+  return PlanRangeScan(TermRange::Pattern(s), TermRange::Pattern(p),
+                       TermRange::Pattern(o));
 }
 
 // Pull-style iterator over the matches of one triple-pattern scan.
@@ -199,6 +256,14 @@ bool ParseStorageBackend(std::string_view name, StorageBackend* backend);
 // between rounds.
 class StoreView {
  public:
+  // Dependent names generic adapters (exec::StoreSource) use to push range
+  // constraints down without naming rdf types.
+  using Range = TermRange;
+  static ScanPlan MakeRangePlan(const TermRange& s, const TermRange& p,
+                                const TermRange& o) {
+    return PlanRangeScan(s, p, o);
+  }
+
   virtual ~StoreView() = default;
 
   // --- Mutation ----------------------------------------------------------
@@ -227,15 +292,30 @@ class StoreView {
   // without enumerating.
   virtual size_t Count(TermId s, TermId p, TermId o) const;
 
+  // Counts the matches of a compiled (possibly range-constrained) plan.
+  // Backends answer Exact() plans in closed form where their layout
+  // allows; the default enumerates.
+  virtual size_t CountRange(const ScanPlan& plan) const;
+
   // Estimated number of matches, used for join ordering. Exact for fully
   // wild and fully bound patterns; backend-dependent otherwise.
   virtual size_t EstimateCount(TermId s, TermId p, TermId o) const = 0;
 
+  // Range-pattern estimate with the same contract as EstimateCount. The
+  // default does a capped enumeration and falls back to a coarse
+  // positional signal.
+  virtual size_t EstimateCountRange(const ScanPlan& plan) const;
+
   // --- Scanning ----------------------------------------------------------
 
-  // Opens a cursor over the matches of the pattern into `handle`.
-  virtual void OpenScan(ScanHandle& handle, TermId s, TermId p,
-                        TermId o) const = 0;
+  // Opens a cursor over the matches of a compiled scan plan into `handle`
+  // — the range-capable primitive every other scan entry point lowers to.
+  virtual void OpenScan(ScanHandle& handle, const ScanPlan& plan) const = 0;
+
+  // Opens a cursor over the matches of the point/wildcard pattern.
+  void OpenScan(ScanHandle& handle, TermId s, TermId p, TermId o) const {
+    OpenScan(handle, PlanScan(s, p, o));
+  }
 
   // Invokes `fn(const Triple&)` for every triple matching the pattern,
   // where kNullTermId (0) in a position is a wildcard. If `fn` returns
@@ -244,8 +324,14 @@ class StoreView {
   // the per-triple virtual-dispatch cost is amortized.
   template <typename Fn>
   void Match(TermId s, TermId p, TermId o, Fn&& fn) const {
+    MatchPlan(PlanScan(s, p, o), std::forward<Fn>(fn));
+  }
+
+  // Match over a compiled (possibly range-constrained) plan.
+  template <typename Fn>
+  void MatchPlan(const ScanPlan& plan, Fn&& fn) const {
     ScanHandle handle;
-    OpenScan(handle, s, p, o);
+    OpenScan(handle, plan);
     Triple buffer[kMatchBatch];
     for (;;) {
       size_t n = handle->NextBatch(buffer, kMatchBatch);
@@ -254,6 +340,13 @@ class StoreView {
         if (!internal::InvokeMatchFn(fn, buffer[i])) return;
       }
     }
+  }
+
+  // Match over per-position inclusive ranges.
+  template <typename Fn>
+  void MatchRange(const TermRange& s, const TermRange& p, const TermRange& o,
+                  Fn&& fn) const {
+    MatchPlan(PlanRangeScan(s, p, o), std::forward<Fn>(fn));
   }
 
   // Copies all triples in SPO order.

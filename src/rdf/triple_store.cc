@@ -96,10 +96,8 @@ void TripleStore::Clear() {
   osp_.clear();
 }
 
-void TripleStore::OpenScan(ScanHandle& handle, TermId s, TermId p,
-                           TermId o) const {
+void TripleStore::OpenScan(ScanHandle& handle, const ScanPlan& plan) const {
   WDR_COUNTER_INC("wdr.store.ordered.scans");
-  const ScanPlan plan = PlanScan(s, p, o);
   handle.Emplace<SetScanCursor>(IndexFor(plan.order), plan);
 }
 

@@ -54,8 +54,8 @@ class TripleStore final : public StoreView {
   // sizes require linear distance on std::set).
   size_t EstimateCount(TermId s, TermId p, TermId o) const override;
 
-  void OpenScan(ScanHandle& handle, TermId s, TermId p,
-                TermId o) const override;
+  using StoreView::OpenScan;
+  void OpenScan(ScanHandle& handle, const ScanPlan& plan) const override;
 
   StorageBackend backend() const override { return StorageBackend::kOrdered; }
   std::unique_ptr<StoreView> Clone() const override {

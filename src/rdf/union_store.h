@@ -19,6 +19,13 @@ namespace wdr::rdf {
 // with the smallest index wins), preserving set semantics.
 class UnionStore {
  public:
+  // Same generic range-pushdown names as StoreView (see there).
+  using Range = TermRange;
+  static ScanPlan MakeRangePlan(const TermRange& s, const TermRange& p,
+                                const TermRange& o) {
+    return PlanRangeScan(s, p, o);
+  }
+
   // Per-member scan accounting, collected only after EnableMemberStats():
   // how often each member was probed and how many triples it contributed
   // (post-dedup). The federation layer reports these per endpoint.
@@ -78,17 +85,32 @@ class UnionStore {
     return total;
   }
 
+  size_t EstimateCountRange(const ScanPlan& plan) const {
+    size_t total = 0;
+    for (const StoreView* member : members_) {
+      total += member->EstimateCountRange(plan);
+    }
+    return total;
+  }
+
   // Same contract as StoreView::Match; each distinct triple is reported
   // exactly once across members.
   template <typename Fn>
   void Match(TermId s, TermId p, TermId o, Fn&& fn) const {
+    MatchPlan(PlanScan(s, p, o), std::forward<Fn>(fn));
+  }
+
+  // Same contract as StoreView::MatchPlan, with the same cross-member
+  // first-wins de-duplication as Match.
+  template <typename Fn>
+  void MatchPlan(const ScanPlan& plan, Fn&& fn) const {
     const bool collect = stats_size_ != 0;
     for (size_t i = 0; i < members_.size(); ++i) {
       bool keep_going = true;
       if (collect) {
         stats_[i].matches.fetch_add(1, std::memory_order_relaxed);
       }
-      members_[i]->Match(s, p, o, [&](const Triple& t) {
+      members_[i]->MatchPlan(plan, [&](const Triple& t) {
         for (size_t j = 0; j < i; ++j) {
           if (members_[j]->Contains(t)) return true;  // already reported
         }

@@ -46,12 +46,19 @@ BgpQuery ReplaceAtom(const BgpQuery& q, size_t index,
 class AtomRewriter {
  public:
   AtomRewriter(const schema::Schema& schema, const schema::Vocabulary& vocab,
-               size_t* fresh_counter)
-      : schema_(schema), vocab_(vocab), fresh_counter_(fresh_counter) {}
+               const rdf::HierEncoding* encoding, size_t* fresh_counter)
+      : schema_(schema),
+        vocab_(vocab),
+        encoding_(encoding),
+        fresh_counter_(fresh_counter) {}
 
   template <typename EmitFn>
   void Rewrite(const BgpQuery& q, size_t index, EmitFn&& emit) const {
     const TriplePattern& atom = q.atoms()[index];
+
+    // Range atoms are terminal: a range already denotes a whole closure,
+    // and the schema rules it stands for have been applied at emission.
+    if (atom.s.is_range() || atom.p.is_range() || atom.o.is_range()) return;
 
     if (atom.p.is_const() && atom.p.id == vocab_.type) {
       if (atom.o.is_const()) {
@@ -68,6 +75,17 @@ class AtomRewriter {
     }
 
     if (atom.p.is_const()) {
+      // Hierarchy-encoded collapse: when p's subproperty closure sits on
+      // one contiguous id interval, the whole subproperty union becomes a
+      // single range-constrained atom. Subproperty rewriting is the only
+      // rule firing on a non-type atom, so the range branch is complete on
+      // its own (the interval includes p itself).
+      if (const rdf::HierInterval* iv = PropertyIntervalFor(atom.p.id)) {
+        emit(ReplaceAtom(q, index,
+                         TriplePattern{atom.s, PatternTerm::Range(iv->lo, iv->hi),
+                                       atom.o}));
+        return;
+      }
       // (s p o) -> (s p1 o) for strict subproperties p1 of p.
       for (TermId p1 : schema_.SubPropertiesOf(atom.p.id)) {
         if (p1 == atom.p.id) continue;
@@ -91,6 +109,23 @@ class AtomRewriter {
   void RewriteTypeAtom(const BgpQuery& q, size_t index,
                        const TriplePattern& atom, TermId c,
                        EmitFn&& emit) const {
+    // Hierarchy-encoded collapse: when c's subclass closure sits on one
+    // contiguous id interval, the rdfs9 union over strict subclasses
+    // becomes a single range-constrained atom. Unlike the subproperty
+    // case, subclasses can trigger further rules (rdfs2/rdfs3 on a
+    // subclass of c), and the range atom is terminal — so the domain and
+    // range rewritings must be emitted here for the *whole closure*, not
+    // just for c (the fixpoint would otherwise have reached them through
+    // the enumerated subclass branches).
+    if (const rdf::HierInterval* iv = ClassIntervalFor(c)) {
+      emit(ReplaceAtom(q, index,
+                       TriplePattern{atom.s, atom.p,
+                                     PatternTerm::Range(iv->lo, iv->hi)}));
+      for (TermId c1 : schema_.SubClassesOf(c)) {
+        EmitDomainRange(q, index, atom, c1, emit);
+      }
+      return;
+    }
     // rdfs9 backward: strict subclasses.
     for (TermId c1 : schema_.SubClassesOf(c)) {
       if (c1 == c) continue;
@@ -98,6 +133,15 @@ class AtomRewriter {
           q, index,
           TriplePattern{atom.s, atom.p, PatternTerm::Constant(c1)}));
     }
+    EmitDomainRange(q, index, atom, c, emit);
+  }
+
+  // rdfs2/rdfs3 backward: one-step domain and range rewritings of
+  // (s rdf:type c).
+  template <typename EmitFn>
+  void EmitDomainRange(const BgpQuery& q, size_t index,
+                       const TriplePattern& atom, TermId c,
+                       EmitFn&& emit) const {
     // rdfs2 backward: properties with domain c.
     for (TermId p : schema_.PropertiesWithDomain(c)) {
       BgpQuery out = q;
@@ -118,21 +162,57 @@ class AtomRewriter {
     }
   }
 
+  // The class (property) interval to collapse onto, or null when the
+  // encoding is absent, the node is not tree-embeddable, or the closure is
+  // trivial (width 1 — a range gains nothing over the point atom).
+  const rdf::HierInterval* ClassIntervalFor(TermId c) const {
+    if (encoding_ == nullptr) return nullptr;
+    const rdf::HierInterval* iv = encoding_->ClassInterval(c);
+    return (iv != nullptr && iv->valid && iv->width() >= 2) ? iv : nullptr;
+  }
+  const rdf::HierInterval* PropertyIntervalFor(TermId p) const {
+    if (encoding_ == nullptr) return nullptr;
+    const rdf::HierInterval* iv = encoding_->PropertyInterval(p);
+    return (iv != nullptr && iv->valid && iv->width() >= 2) ? iv : nullptr;
+  }
+
   VarId NewFreshVar(BgpQuery& q) const {
     return q.AddVar("_ref" + std::to_string((*fresh_counter_)++));
   }
 
   const schema::Schema& schema_;
   const schema::Vocabulary& vocab_;
+  const rdf::HierEncoding* encoding_;  // may be null
   size_t* fresh_counter_;
 };
+
+// Memo key for a BGP. CanonicalKey renames variables positionally, so two
+// queries that differ only in variable *names* would collide — append the
+// projection names (result-set headers travel with the memoized branches)
+// and the distinct flag, which CanonicalKey does not cover.
+std::string MemoKey(const BgpQuery& q) {
+  std::string key = q.CanonicalKey();
+  key += q.distinct() ? "|d1" : "|d0";
+  for (const std::string& name : q.ProjectionNames()) {
+    key += '|';
+    key += name;
+  }
+  return key;
+}
 
 }  // namespace
 
 Result<UnionQuery> Reformulator::Reformulate(const BgpQuery& q,
                                              ReformulationStats* stats) const {
+  std::string memo_key = MemoKey(q);
+  if (auto it = memo_.find(memo_key); it != memo_.end()) {
+    WDR_COUNTER_INC("wdr.reformulation.memo_hits");
+    if (stats != nullptr) *stats = it->second.second;
+    return it->second.first;
+  }
+
   size_t fresh_counter = 0;
-  AtomRewriter rewriter(*schema_, vocab_, &fresh_counter);
+  AtomRewriter rewriter(*schema_, vocab_, options_.encoding, &fresh_counter);
 
   UnionQuery result;
   std::unordered_set<std::string> seen;
@@ -179,11 +259,14 @@ Result<UnionQuery> Reformulator::Reformulate(const BgpQuery& q,
   WDR_COUNTER_ADD("wdr.reformulation.rewrite_steps", rewrite_steps);
   WDR_COUNTER_ADD("wdr.reformulation.pruned_cqs", pruned);
 
-  if (stats != nullptr) {
-    stats->conjunctive_queries = result.size();
-    stats->total_atoms = result.TotalAtoms();
-    stats->rewrite_steps = rewrite_steps;
-    stats->pruned_cqs = pruned;
+  ReformulationStats run_stats;
+  run_stats.conjunctive_queries = result.size();
+  run_stats.total_atoms = result.TotalAtoms();
+  run_stats.rewrite_steps = rewrite_steps;
+  run_stats.pruned_cqs = pruned;
+  if (stats != nullptr) *stats = run_stats;
+  if (memo_.size() < kMemoCapacity) {
+    memo_.emplace(std::move(memo_key), std::make_pair(result, run_stats));
   }
   return result;
 }

@@ -2,10 +2,14 @@
 #define WDR_REFORMULATION_REFORMULATOR_H_
 
 #include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <utility>
 
 #include "common/status.h"
 #include "query/query.h"
 #include "rdf/graph.h"
+#include "rdf/hier_encoding.h"
 #include "schema/schema.h"
 #include "schema/vocabulary.h"
 
@@ -20,6 +24,14 @@ struct ReformulationOptions {
   // O(|UCQ|^2) homomorphism checks at rewrite time, pays back at every
   // evaluation; ablated by bench_reformulation.
   bool minimize = false;
+  // Hierarchy-aware encoding (LiteMat) the current dictionary id space was
+  // permuted under, or null when ids are encoding-free. When a queried
+  // class (property) has a valid interval, its subclass (subproperty)
+  // rewriting union collapses to a single range-constrained atom; invalid
+  // nodes fall back to the classic per-node enumeration. The caller must
+  // guarantee the encoding matches the query's and schema's id space
+  // (same schema version).
+  const rdf::HierEncoding* encoding = nullptr;
 };
 
 struct ReformulationStats {
@@ -60,6 +72,13 @@ struct ReformulationStats {
 // rewriting assumes schema triples are not themselves derivable from
 // instance triples (no property is declared a subproperty of an RDFS
 // constraint property).
+// A Reformulator instance is a snapshot of ONE schema version: it holds the
+// Schema's closures (and optionally a hierarchy encoding) by reference and
+// memoizes per-query rewriting results against them. Owners tracking a
+// schema version counter (see store::ReasoningStore) must drop and rebuild
+// the instance when the counter moves — that one invalidation point covers
+// the closures, the encoding, and the memo alike. Not thread-safe: the memo
+// mutates under const Reformulate.
 class Reformulator {
  public:
   Reformulator(const schema::Schema& schema, const schema::Vocabulary& vocab,
@@ -76,9 +95,19 @@ class Reformulator {
                                         ReformulationStats* stats = nullptr) const;
 
  private:
+  // Bounds the per-instance memo (each entry holds a whole UCQ, which can
+  // be large for deep hierarchies). Benches and repeated dashboards loop
+  // over far fewer distinct queries than this.
+  static constexpr size_t kMemoCapacity = 256;
+
   const schema::Schema* schema_;  // not owned
   schema::Vocabulary vocab_;
   ReformulationOptions options_;
+  // Canonical query key -> reformulated UCQ + its stats. Lives exactly as
+  // long as this instance, i.e. one schema version.
+  mutable std::unordered_map<std::string,
+                             std::pair<query::UnionQuery, ReformulationStats>>
+      memo_;
 };
 
 // Saturates the schema component of `graph` in place: extracts the triples

@@ -12,24 +12,32 @@ using query::TriplePattern;
 using query::VarId;
 using rdf::TermId;
 
-// A term of the subsumption problem: constant or variable.
+// A term of the subsumption problem: constant, variable, or id range
+// (hierarchy-encoded atoms). A range stands for a fixed set of ids, not a
+// variable: it unifies only with the identical range, never binds, and a
+// general-side variable may not map onto it (a variable maps to ONE
+// specific-side term; a range denotes many).
 struct STerm {
-  bool is_const = false;
+  enum class Kind : uint8_t { kConst, kVar, kRange };
+  Kind kind = Kind::kVar;
   uint32_t id = 0;
+  uint32_t id2 = 0;  // kRange upper bound
 
   friend bool operator==(const STerm&, const STerm&) = default;
 };
 
 STerm MakeTerm(const PatternTerm& t) {
-  return t.is_const() ? STerm{true, t.id} : STerm{false, t.var};
+  if (t.is_const()) return STerm{STerm::Kind::kConst, t.id, 0};
+  if (t.is_range()) return STerm{STerm::Kind::kRange, t.id, t.id2};
+  return STerm{STerm::Kind::kVar, t.var, 0};
 }
 
 // The answer-tuple term of projection position `var`: a preset variable
 // counts as its constant (that is what the row will contain).
 STerm HeadTerm(const BgpQuery& q, VarId var) {
   auto it = q.preset().find(var);
-  if (it != q.preset().end()) return STerm{true, it->second};
-  return STerm{false, var};
+  if (it != q.preset().end()) return STerm{STerm::Kind::kConst, it->second, 0};
+  return STerm{STerm::Kind::kVar, var, 0};
 }
 
 // Variable mapping from `general`'s variables to specific-side terms.
@@ -40,7 +48,11 @@ class Mapping {
   // Unifies general-side `g` with specific-side `s`; records an undo entry.
   bool Unify(const STerm& g, const STerm& s,
              std::vector<VarId>& bound_here) {
-    if (g.is_const) return s.is_const && g.id == s.id;
+    if (g.kind != STerm::Kind::kVar) return g == s;
+    // A variable maps only to a constant or another variable; mapping a
+    // variable onto a range would equate "one value" with "any value in
+    // the interval" and wrongly conclude subsumption.
+    if (s.kind == STerm::Kind::kRange) return false;
     std::optional<STerm>& slot = slots_[g.id];
     if (!slot.has_value()) {
       slot = s;

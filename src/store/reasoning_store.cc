@@ -1,5 +1,7 @@
 #include "store/reasoning_store.h"
 
+#include <cstdlib>
+
 #include "backward/backward_evaluator.h"
 #include "common/timer.h"
 #include "io/ntriples.h"
@@ -28,6 +30,14 @@ obs::Histogram& UpdateHistogram(bool is_schema, bool is_insert) {
 }
 
 }  // namespace
+
+bool EncodingModeDefault() {
+  static const bool value = [] {
+    const char* env = std::getenv("WDR_ENCODING");
+    return env != nullptr && env[0] == '1' && env[1] == '\0';
+  }();
+  return value;
+}
 
 const char* ReasoningModeName(ReasoningMode mode) {
   switch (mode) {
@@ -113,7 +123,74 @@ void ReasoningStore::OnUpdate(bool schema_changed) {
   if (schema_changed) {
     RecloseSchema();
     schema_cache_.reset();
+    // One counter invalidates everything derived from the schema: the
+    // encoding (rebuilt lazily at the next Query) and the cached
+    // Reformulator with its memo.
+    ++schema_version_;
+    reformulator_cache_.reset();
   }
+}
+
+void ReasoningStore::SetEncoding(bool on) {
+  if (on == options_.encoding) return;
+  options_.encoding = on;
+  // The reformulator snapshot bakes in the encoding pointer; rebuild it
+  // either way. Turning the encoding off keeps the permuted id space — it
+  // is a valid id space, only the union collapse stops.
+  reformulator_cache_.reset();
+  if (!on) encoding_.reset();
+}
+
+const rdf::HierEncoding* ReasoningStore::CachedEncoding() {
+  if (!options_.encoding) return nullptr;
+  if (!encoding_.has_value() || encoding_->version() != schema_version_) {
+    RebuildEncoding();
+  }
+  return &*encoding_;
+}
+
+void ReasoningStore::RebuildEncoding() {
+  obs::Span span("wdr.store.encoding.rebuild");
+  Timer timer;
+  // Build against the current (pre-permutation) id space, then switch the
+  // whole store over: dictionary + triples, the derived-schema bookkeeping,
+  // the interned vocabulary ids, and the closure in saturation mode. Every
+  // cache keyed by ids is stale afterwards.
+  rdf::HierEncoding encoding =
+      rdf::HierEncoding::Build(CachedSchema(), graph_.dict());
+  encoding.set_version(schema_version_);
+  graph_.ApplyPermutation(encoding.permutation());
+  for (rdf::Triple& t : derived_schema_) {
+    t = rdf::Triple(encoding.Remap(t.s), encoding.Remap(t.p),
+                    encoding.Remap(t.o));
+  }
+  vocab_ = schema::Vocabulary::Intern(graph_.dict());
+  if (saturated_.has_value()) {
+    saturated_.emplace(graph_, vocab_, /*enable_owl=*/false,
+                       options_.saturation);
+  }
+  schema_cache_.reset();
+  stats_cache_.reset();
+  reformulator_cache_.reset();
+  encoding_ = std::move(encoding);
+  WDR_COUNTER_INC("wdr.store.encoding.rebuilds");
+  obs::MetricsRegistry::Get()
+      .GetHistogram("wdr.store.encoding.rebuild_seconds")
+      .RecordSeconds(timer.ElapsedSeconds());
+}
+
+reformulation::Reformulator& ReasoningStore::CachedReformulator() {
+  // Resolve the encoding first: its rebuild permutes ids and resets the
+  // schema cache this snapshot is built over.
+  const rdf::HierEncoding* encoding = CachedEncoding();
+  if (!reformulator_cache_.has_value() ||
+      reformulator_version_ != schema_version_) {
+    reformulation::ReformulationOptions ref_options = options_.reformulation;
+    ref_options.encoding = encoding;
+    reformulator_cache_.emplace(CachedSchema(), vocab_, ref_options);
+    reformulator_version_ = schema_version_;
+  }
+  return *reformulator_cache_;
 }
 
 const schema::Schema& ReasoningStore::CachedSchema() {
@@ -172,6 +249,9 @@ Result<query::ResultSet> ReasoningStore::Query(std::string_view sparql,
   WDR_COUNTER_INC("wdr.store.queries");
 
   Timer timer;
+  // A pending encoding rebuild permutes the dictionary id space; run it
+  // before parsing so the query's interned ids land in the final space.
+  if (options_.encoding) CachedEncoding();
   WDR_ASSIGN_OR_RETURN(query::UnionQuery q,
                        query::ParseSparql(sparql, graph_.dict()));
 
@@ -210,8 +290,7 @@ Result<query::ResultSet> ReasoningStore::Dispatch(const query::UnionQuery& q,
       return evaluator.Evaluate(q, profile);
     }
     case ReasoningMode::kReformulation: {
-      reformulation::Reformulator reformulator(CachedSchema(), vocab_,
-                                               options_.reformulation);
+      reformulation::Reformulator& reformulator = CachedReformulator();
       reformulation::ReformulationStats ref_stats;
       double rewrite_seconds = 0;
       Result<query::UnionQuery> reformulated_or = [&] {

@@ -12,6 +12,7 @@
 #include "obs/profile.h"
 #include "query/evaluator.h"
 #include "rdf/graph.h"
+#include "rdf/hier_encoding.h"
 #include "reasoning/saturated_graph.h"
 #include "reformulation/reformulator.h"
 #include "schema/schema.h"
@@ -37,6 +38,12 @@ enum class ReasoningMode {
 
 const char* ReasoningModeName(ReasoningMode mode);
 
+// Process-wide default for the hierarchy-aware encoding toggle: true iff
+// the environment variable WDR_ENCODING is exactly "1" (mirroring
+// exec::PlanModeDefault / WDR_PLAN, so the whole test suite can be flipped
+// encoding-on without touching call sites).
+bool EncodingModeDefault();
+
 struct ReasoningStoreOptions {
   ReasoningMode mode = ReasoningMode::kSaturation;
   // Storage engine for the base graph and (in saturation mode) the closure.
@@ -52,6 +59,12 @@ struct ReasoningStoreOptions {
   // kReformulation mode, where unions are large). Answers are identical
   // at any setting.
   query::EvaluatorOptions query;
+  // Hierarchy-aware id encoding (LiteMat; rdf/hier_encoding.h): permute
+  // the dictionary so subclass/subproperty closures occupy contiguous id
+  // intervals and collapse reformulation unions into range scans. Answers
+  // are identical either way; the encoding trades a rebuild on schema
+  // change for O(1)-branch rewritings.
+  bool encoding = EncodingModeDefault();
 };
 
 // Per-query diagnostics.
@@ -166,6 +179,24 @@ class ReasoningStore {
   void SetPlanMode(bool on) { options_.query.plan = on; }
   bool plan_mode() const { return options_.query.plan; }
 
+  // Toggles the hierarchy-aware id encoding (kReformulation's union
+  // collapse; see ReasoningStoreOptions::encoding). Turning it on is lazy:
+  // the permutation is built and applied at the next Query(), and rebuilt
+  // whenever the schema changes (the encoding is versioned by the store's
+  // schema version counter). Turning it off stops the collapse but leaves
+  // the current id space in place — a permuted id space is a perfectly
+  // valid id space. Answers are identical either way.
+  void SetEncoding(bool on);
+  bool encoding_enabled() const { return options_.encoding; }
+  // The live encoding snapshot, or null when disabled or not yet built.
+  const rdf::HierEncoding* encoding() const {
+    return encoding_.has_value() ? &*encoding_ : nullptr;
+  }
+  // Bumped on every schema-changing update; the encoding and the cached
+  // Reformulator (whose memo rides on it) are valid iff their recorded
+  // version equals this counter.
+  uint64_t schema_version() const { return schema_version_; }
+
   // Toggles per-query operator profiling. When on, Query() fills
   // QueryInfo::profile with a per-operator stats tree. Off by default:
   // profiling adds a timer read per join operator.
@@ -196,6 +227,17 @@ class ReasoningStore {
   // Statistics over the store Dispatch queries in the current mode.
   const exec::Statistics& CachedStats();
 
+  // The encoding for the current schema version (building or rebuilding it
+  // if needed), or null when the toggle is off. Rebuilding permutes the
+  // dictionary id space — call only at a point where no TermIds are held
+  // outside the store (Query() calls it before parsing).
+  const rdf::HierEncoding* CachedEncoding();
+  void RebuildEncoding();
+
+  // Reformulator snapshot for the current schema version; carries the
+  // memoized per-query rewritings until the schema version moves.
+  reformulation::Reformulator& CachedReformulator();
+
   Result<query::ResultSet> Dispatch(const query::UnionQuery& q,
                                     QueryInfo* info,
                                     obs::ProfileNode* profile);
@@ -216,6 +258,14 @@ class ReasoningStore {
 
   // Lazily rebuilt planner statistics (plan mode only; see SetPlanMode).
   std::optional<exec::Statistics> stats_cache_;
+
+  // Hierarchy-aware encoding state (see SetEncoding). The version counter
+  // starts at 1 so a default-constructed HierEncoding (version 0) always
+  // reads as stale.
+  uint64_t schema_version_ = 1;
+  std::optional<rdf::HierEncoding> encoding_;
+  std::optional<reformulation::Reformulator> reformulator_cache_;
+  uint64_t reformulator_version_ = 0;
 };
 
 }  // namespace wdr::store

@@ -1,5 +1,8 @@
 #include "rdf/dictionary.h"
 
+#include <string>
+#include <utility>
+
 #include <gtest/gtest.h>
 
 #include "rdf/term.h"
@@ -81,6 +84,93 @@ TEST(DictionaryTest, KeySeparatorInjectionDoesNotCollide) {
   TermId a = dict.Intern(Term::Literal(std::string("x\x01y"), ""));
   TermId b = dict.Intern(Term::Literal("x", "y"));
   EXPECT_NE(a, b);
+}
+
+TEST(DictionaryTest, DatatypeVsLanguageTagDoesNotCollide) {
+  // The key places datatype and language in separate separator-delimited
+  // fields: "x"^^<y> and "x"@y must stay distinct, as must a datatype
+  // embedding the separator before a language against a plain datatype.
+  Dictionary dict;
+  TermId typed = dict.Intern(Term::Literal("x", "y"));
+  TermId tagged = dict.Intern(Term::Literal("x", "", "y"));
+  EXPECT_NE(typed, tagged);
+  TermId dt_injected =
+      dict.Intern(Term::Literal("x", std::string("y\x01z"), ""));
+  TermId dt_and_lang = dict.Intern(Term::Literal("x", "y", "z"));
+  EXPECT_NE(dt_injected, dt_and_lang);
+  EXPECT_EQ(dict.size(), 4u);
+}
+
+TEST(DictionaryTest, EmptyLexicalFormsStayDistinct) {
+  // "" is a legal lexical form for every kind; the kind byte and the
+  // annotation fields must keep all of these apart.
+  Dictionary dict;
+  TermId iri = dict.Intern(Term::Iri(""));
+  TermId lit = dict.Intern(Term::Literal(""));
+  TermId blank = dict.Intern(Term::Blank(""));
+  TermId typed = dict.Intern(Term::Literal("", "http://dt"));
+  TermId tagged = dict.Intern(Term::Literal("", "", "en"));
+  EXPECT_EQ(dict.size(), 5u);
+  EXPECT_NE(iri, lit);
+  EXPECT_NE(lit, blank);
+  EXPECT_NE(lit, typed);
+  EXPECT_NE(typed, tagged);
+  // And each re-interns to its own id.
+  EXPECT_EQ(dict.Intern(Term::Literal("", "http://dt")), typed);
+  EXPECT_EQ(dict.Lookup(Term::Literal("", "", "en")), tagged);
+}
+
+TEST(DictionaryTest, RoundTripsAfterCopyAndMove) {
+  Dictionary dict;
+  TermId iri = dict.InternIri("http://a");
+  TermId lit = dict.Intern(Term::Literal("42", "http://int"));
+
+  Dictionary copy = dict;
+  EXPECT_EQ(copy.size(), 2u);
+  EXPECT_EQ(copy.term(iri), Term::Iri("http://a"));
+  EXPECT_EQ(copy.LookupIri("http://a"), iri);
+  // The copy interns independently of the original.
+  TermId extra = copy.InternIri("http://copy-only");
+  EXPECT_EQ(copy.size(), 3u);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.LookupIri("http://copy-only"), kNullTermId);
+
+  Dictionary moved = std::move(copy);
+  EXPECT_EQ(moved.size(), 3u);
+  EXPECT_EQ(moved.term(lit), Term::Literal("42", "http://int"));
+  EXPECT_EQ(moved.LookupIri("http://copy-only"), extra);
+  EXPECT_TRUE(moved.Contains(extra));
+}
+
+TEST(DictionaryTest, ReserveKeepsContentsIntact) {
+  Dictionary dict;
+  TermId a = dict.InternIri("http://a");
+  dict.Reserve(1000);
+  EXPECT_EQ(dict.size(), 1u);
+  EXPECT_EQ(dict.LookupIri("http://a"), a);
+  TermId b = dict.InternIri("http://b");
+  EXPECT_EQ(b, a + 1);
+}
+
+TEST(DictionaryTest, ApplyPermutationRenumbersBothDirections) {
+  Dictionary dict;
+  TermId a = dict.InternIri("http://a");  // 1
+  TermId b = dict.InternIri("http://b");  // 2
+  TermId c = dict.InternIri("http://c");  // 3
+  ASSERT_EQ(a, 1u);
+  ASSERT_EQ(b, 2u);
+  ASSERT_EQ(c, 3u);
+  // old 1 -> 3, old 2 -> 1, old 3 -> 2 (entry 0 unused).
+  dict.ApplyPermutation({0, 3, 1, 2});
+  EXPECT_EQ(dict.LookupIri("http://a"), 3u);
+  EXPECT_EQ(dict.LookupIri("http://b"), 1u);
+  EXPECT_EQ(dict.LookupIri("http://c"), 2u);
+  EXPECT_EQ(dict.term(3), Term::Iri("http://a"));
+  EXPECT_EQ(dict.term(1), Term::Iri("http://b"));
+  EXPECT_EQ(dict.term(2), Term::Iri("http://c"));
+  EXPECT_EQ(dict.size(), 3u);
+  // Interning after the permutation appends past the permuted range.
+  EXPECT_EQ(dict.InternIri("http://d"), 4u);
 }
 
 }  // namespace

@@ -3,8 +3,10 @@
 // route the library offers must produce identical answers on it —
 //
 //   {saturation sequential, saturation parallel(1, 2, 8), reformulation,
-//    backward chaining (legacy and physical-plan), Datalog (legacy and
-//    physical-plan bodies), Datalog + magic sets}
+//    hierarchy-encoded reformulation (LiteMat range atoms over a
+//    re-encoded graph snapshot), backward chaining (legacy and
+//    physical-plan), Datalog (legacy and physical-plan bodies),
+//    Datalog + magic sets}
 //     × {ordered, flat} storage backends
 //
 // plus closure-level equality between the sequential saturator, the
@@ -32,6 +34,7 @@
 #include "exec/statistics.h"
 #include "datalog/rdf_datalog.h"
 #include "query/evaluator.h"
+#include "rdf/hier_encoding.h"
 #include "reasoning/saturated_graph.h"
 #include "reformulation/reformulator.h"
 #include "schema/schema.h"
@@ -54,6 +57,29 @@ inline std::vector<rdf::Triple> SortedTriples(const rdf::StoreView& store) {
   std::vector<rdf::Triple> triples = store.ToVector();
   std::sort(triples.begin(), triples.end());
   return triples;
+}
+
+// Rewrites a query's constants (and preset values) through a hierarchy
+// encoding's permutation so it addresses the re-encoded id space.
+inline query::UnionQuery RemapUnion(const query::UnionQuery& q,
+                                    const rdf::HierEncoding& encoding) {
+  query::UnionQuery out;
+  out.SetAsk(q.ask());
+  out.SetLimit(q.limit());
+  out.SetOffset(q.offset());
+  for (const query::BgpQuery& branch : q.branches()) {
+    query::BgpQuery b = branch;
+    for (query::TriplePattern& atom : b.mutable_atoms()) {
+      for (query::PatternTerm* pos : {&atom.s, &atom.p, &atom.o}) {
+        if (pos->is_const()) pos->id = encoding.Remap(pos->id);
+      }
+    }
+    for (const auto& [var, value] : branch.preset()) {
+      b.Preset(var, encoding.Remap(value));
+    }
+    out.AddBranch(std::move(b));
+  }
+  return out;
 }
 
 struct DifferentialConfig {
@@ -209,6 +235,22 @@ inline ::testing::AssertionResult RunDifferentialInstance(
     backward::BackwardChainingEvaluator backward_plan_eval(
         graph.store(), schema, rg.vocab, backward_plan_options);
     const datalog::BodyPlanOptions datalog_plan_options;
+    // Hierarchy-encoded reformulation route: a snapshot of the graph is
+    // re-encoded into interval id space; each query is remapped through
+    // the permutation, reformulated with the union collapse (range atoms
+    // replacing subclass/subproperty enumerations), and must answer
+    // identically to every other route (compared in decoded string space,
+    // which is id-space-agnostic).
+    rdf::Graph encoded = graph;
+    rdf::HierEncoding hier = rdf::HierEncoding::Build(schema, encoded.dict());
+    encoded.ApplyPermutation(hier.permutation());
+    schema::Vocabulary enc_vocab = schema::Vocabulary::Intern(encoded.dict());
+    schema::Schema enc_schema = schema::Schema::FromGraph(encoded, enc_vocab);
+    reformulation::ReformulationOptions enc_ref_options;
+    enc_ref_options.encoding = &hier;
+    reformulation::Reformulator enc_reformulator(enc_schema, enc_vocab,
+                                                 enc_ref_options);
+    query::Evaluator enc_eval(encoded.store());
     datalog::RdfDatalogTranslation xlat =
         datalog::TranslateGraph(graph, rg.vocab);
     Result<datalog::Database> db =
@@ -238,6 +280,31 @@ inline ::testing::AssertionResult RunDifferentialInstance(
       }
       if (Rows(rg.graph, base_eval.Evaluate(*reformulated)) != expected) {
         return fail(label + ": reformulation differs from saturation");
+      }
+
+      // Hierarchy-encoded reformulation must be answer-identical to the
+      // classic UCQ route (and so to saturation), and its memoized second
+      // rewriting must reproduce the same union.
+      {
+        const query::UnionQuery enc_q = RemapUnion(q, hier);
+        Result<query::UnionQuery> enc_ref = enc_reformulator.Reformulate(enc_q);
+        if (!enc_ref.ok()) {
+          return fail(label + ": encoded reformulation failed: " +
+                      enc_ref.status().ToString());
+        }
+        if (Rows(encoded, enc_eval.Evaluate(*enc_ref)) != expected) {
+          return fail(label +
+                      ": hierarchy-encoded reformulation differs from "
+                      "saturation");
+        }
+        Result<query::UnionQuery> enc_again =
+            enc_reformulator.Reformulate(enc_q);
+        if (!enc_again.ok() || enc_again->size() != enc_ref->size() ||
+            Rows(encoded, enc_eval.Evaluate(*enc_again)) != expected) {
+          return fail(label +
+                      ": memoized encoded reformulation differs from the "
+                      "first rewriting");
+        }
       }
 
       // Parallel UCQ evaluation must reproduce the sequential row stream

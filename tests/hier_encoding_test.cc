@@ -1,0 +1,178 @@
+#include "rdf/hier_encoding.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rdf/graph.h"
+#include "schema/schema.h"
+#include "schema/vocabulary.h"
+#include "tests/test_util.h"
+
+namespace wdr::rdf {
+namespace {
+
+using schema::Schema;
+using schema::Vocabulary;
+using test::Add;
+
+constexpr const char* kSubClassOf =
+    "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+constexpr const char* kSubPropertyOf =
+    "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+
+// Fixture: a graph plus the interned vocabulary, with helpers to build the
+// constraint view and the encoding in one step.
+class HierEncodingTest : public ::testing::Test {
+ protected:
+  Graph g_;
+  Vocabulary v_ = Vocabulary::Intern(g_.dict());
+
+  HierEncoding BuildEncoding() {
+    Schema schema = Schema::FromGraph(g_, v_);
+    return HierEncoding::Build(schema, g_.dict());
+  }
+
+  TermId Id(const std::string& name) { return g_.dict().Lookup(test::T(name)); }
+};
+
+TEST_F(HierEncodingTest, PermutationIsABijectionOverAllIds) {
+  Add(g_, "A", kSubClassOf, "B");
+  Add(g_, "x", "p", "y");  // non-hierarchy terms ride along
+  HierEncoding enc = BuildEncoding();
+  const std::vector<TermId>& perm = enc.permutation();
+  ASSERT_EQ(perm.size(), g_.dict().size() + 1);
+  std::vector<TermId> sorted(perm.begin() + 1, perm.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i], static_cast<TermId>(i + 1));
+  }
+}
+
+TEST_F(HierEncodingTest, ChainClosureGetsContiguousValidInterval) {
+  // C0 ⊑ C1 ⊑ C2 ⊑ C3: every class is tree-embeddable, and each interval
+  // is exactly its subclass closure.
+  for (int i = 0; i < 3; ++i) {
+    Add(g_, "C" + std::to_string(i), kSubClassOf, "C" + std::to_string(i + 1));
+  }
+  HierEncoding enc = BuildEncoding();
+  EXPECT_EQ(enc.invalid_nodes(), 0u);
+  EXPECT_EQ(enc.class_count(), 4u);
+
+  const HierInterval* top = enc.ClassInterval(enc.Remap(Id("C3")));
+  ASSERT_NE(top, nullptr);
+  EXPECT_TRUE(top->valid);
+  EXPECT_EQ(top->width(), 4u);
+  // Entailment Ci ⊑* C3 is the integer range test on new ids.
+  for (int i = 0; i <= 3; ++i) {
+    TermId id = enc.Remap(Id("C" + std::to_string(i)));
+    EXPECT_TRUE(top->range().Contains(id)) << "C" << i;
+  }
+  EXPECT_FALSE(top->range().Contains(enc.Remap(Id("C3")) + 4));
+
+  const HierInterval* mid = enc.ClassInterval(enc.Remap(Id("C2")));
+  ASSERT_NE(mid, nullptr);
+  EXPECT_TRUE(mid->valid);
+  EXPECT_EQ(mid->width(), 3u);
+  EXPECT_FALSE(mid->range().Contains(enc.Remap(Id("C3"))));
+}
+
+TEST_F(HierEncodingTest, DiamondInvalidatesTheParentThatLosesTheChild) {
+  // D ⊑ B, D ⊑ C, B ⊑ A, C ⊑ A: D embeds under exactly one of B, C in the
+  // spanning forest, so the other parent's interval cannot cover its
+  // closure. The root still covers everything.
+  Add(g_, "B", kSubClassOf, "A");
+  Add(g_, "C", kSubClassOf, "A");
+  Add(g_, "D", kSubClassOf, "B");
+  Add(g_, "D", kSubClassOf, "C");
+  HierEncoding enc = BuildEncoding();
+
+  const HierInterval* a = enc.ClassInterval(enc.Remap(Id("A")));
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->valid);
+  EXPECT_EQ(a->width(), 4u);
+
+  const HierInterval* b = enc.ClassInterval(enc.Remap(Id("B")));
+  const HierInterval* c = enc.ClassInterval(enc.Remap(Id("C")));
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_NE(b->valid, c->valid);  // exactly one adopted D
+  EXPECT_GE(enc.invalid_nodes(), 1u);
+}
+
+TEST_F(HierEncodingTest, CycleAnchorsExactlyOneMember) {
+  // X ≡ Y (a 2-cycle) is one equivalence class. The member that anchors
+  // the layout gets a subtree equal to the whole SCC — interval == closure,
+  // so it validates; the co-member's subtree misses its partner and is
+  // conservatively invalidated.
+  Add(g_, "X", kSubClassOf, "Y");
+  Add(g_, "Y", kSubClassOf, "X");
+  HierEncoding enc = BuildEncoding();
+  const HierInterval* x = enc.ClassInterval(enc.Remap(Id("X")));
+  const HierInterval* y = enc.ClassInterval(enc.Remap(Id("Y")));
+  ASSERT_NE(x, nullptr);
+  ASSERT_NE(y, nullptr);
+  EXPECT_NE(x->valid, y->valid);
+  EXPECT_EQ(enc.invalid_nodes(), 1u);
+  const HierInterval* anchor = x->valid ? x : y;
+  EXPECT_TRUE(anchor->range().Contains(enc.Remap(Id("X"))));
+  EXPECT_TRUE(anchor->range().Contains(enc.Remap(Id("Y"))));
+}
+
+TEST_F(HierEncodingTest, PropertyHierarchyGetsItsOwnIntervals) {
+  Add(g_, "p0", kSubPropertyOf, "p1");
+  Add(g_, "p1", kSubPropertyOf, "p2");
+  HierEncoding enc = BuildEncoding();
+  EXPECT_EQ(enc.property_count(), 3u);
+  const HierInterval* top = enc.PropertyInterval(enc.Remap(Id("p2")));
+  ASSERT_NE(top, nullptr);
+  EXPECT_TRUE(top->valid);
+  EXPECT_EQ(top->width(), 3u);
+  EXPECT_TRUE(top->range().Contains(enc.Remap(Id("p0"))));
+  // The property interval is not mistaken for a class interval.
+  EXPECT_EQ(enc.ClassInterval(enc.Remap(Id("p2"))), nullptr);
+}
+
+TEST_F(HierEncodingTest, GraphRoundTripsThroughThePermutation) {
+  for (int i = 0; i < 3; ++i) {
+    Add(g_, "C" + std::to_string(i), kSubClassOf, "C" + std::to_string(i + 1));
+  }
+  Add(g_, "x", "http://www.w3.org/1999/02/22-rdf-syntax-ns#type", "C0");
+  const size_t size_before = g_.size();
+  std::vector<std::string> decoded_before;
+  for (const Triple& t : g_.store().ToVector()) {
+    decoded_before.push_back(g_.Decode(t));
+  }
+  std::sort(decoded_before.begin(), decoded_before.end());
+
+  HierEncoding enc = BuildEncoding();
+  g_.ApplyPermutation(enc.permutation());
+
+  EXPECT_EQ(g_.size(), size_before);
+  std::vector<std::string> decoded_after;
+  for (const Triple& t : g_.store().ToVector()) {
+    decoded_after.push_back(g_.Decode(t));
+  }
+  std::sort(decoded_after.begin(), decoded_after.end());
+  EXPECT_EQ(decoded_before, decoded_after);
+
+  // Post-permutation lookups return NEW ids directly, and the instance
+  // term stays outside every class interval.
+  const HierInterval* top = enc.ClassInterval(Id("C3"));
+  ASSERT_NE(top, nullptr);
+  EXPECT_TRUE(top->range().Contains(Id("C0")));
+  EXPECT_FALSE(top->range().Contains(Id("x")));
+}
+
+TEST_F(HierEncodingTest, VersionIsCarriedForStalenessChecks) {
+  Add(g_, "A", kSubClassOf, "B");
+  HierEncoding enc = BuildEncoding();
+  EXPECT_EQ(enc.version(), 0u);
+  enc.set_version(7);
+  EXPECT_EQ(enc.version(), 7u);
+}
+
+}  // namespace
+}  // namespace wdr::rdf

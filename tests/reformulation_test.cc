@@ -5,6 +5,7 @@
 #include "common/rng.h"
 #include "query/evaluator.h"
 #include "query/sparql_parser.h"
+#include "rdf/hier_encoding.h"
 #include "reasoning/saturation.h"
 #include "schema/schema.h"
 #include "tests/test_util.h"
@@ -55,6 +56,28 @@ class ReformulationTest : public ::testing::Test {
     TripleStore closure = reasoning::Saturator::SaturateGraph(g_, v_);
     Evaluator evaluator(closure);
     ResultSet result = evaluator.Evaluate(q);
+    result.Normalize();
+    return result;
+  }
+
+  // Hierarchy-encoded q_ref(G): closes the schema, re-encodes g_ IN PLACE
+  // under the interval permutation, re-parses `sparql` in the new id
+  // space, and answers with the union collapse enabled.
+  ResultSet AnswerByEncodedReformulation(const std::string& sparql,
+                                         ReformulationStats* stats = nullptr) {
+    CloseSchema(g_, v_);
+    rdf::HierEncoding encoding =
+        rdf::HierEncoding::Build(Schema::FromGraph(g_, v_), g_.dict());
+    g_.ApplyPermutation(encoding.permutation());
+    v_ = Vocabulary::Intern(g_.dict());
+    Schema schema = Schema::FromGraph(g_, v_);
+    ReformulationOptions options;
+    options.encoding = &encoding;
+    Reformulator reformulator(schema, v_, options);
+    auto reformulated = reformulator.Reformulate(MustParse(sparql), stats);
+    EXPECT_TRUE(reformulated.ok()) << reformulated.status();
+    Evaluator evaluator(g_.store());
+    ResultSet result = evaluator.Evaluate(*reformulated);
     result.Normalize();
     return result;
   }
@@ -198,6 +221,141 @@ TEST_F(ReformulationTest, CloseSchemaAddsTransitiveEdges) {
   EXPECT_EQ(added, 1u);
   EXPECT_TRUE(
       g_.Contains(test::Enc(g_, "A", schema::iri::kSubClassOf, "C")));
+}
+
+TEST_F(ReformulationTest, EncodingCollapsesDeepSubclassChainToRangeAtom) {
+  // C0 ⊑ C1 ⊑ ... ⊑ C9 with one instance at the bottom. Classic
+  // reformulation of "type C9" enumerates the whole closure; the
+  // hierarchy encoding replaces the enumeration with one range branch.
+  for (int i = 0; i < 9; ++i) {
+    Add(g_, "C" + std::to_string(i), schema::iri::kSubClassOf,
+        "C" + std::to_string(i + 1));
+  }
+  Add(g_, "x", schema::iri::kType, "C0");
+  const std::string sparql =
+      std::string(kPrefixes) + "SELECT ?x WHERE { ?x rdf:type t:C9 }";
+
+  ReformulationStats classic;
+  ResultSet classic_result = AnswerByReformulation(MustParse(sparql), &classic);
+  EXPECT_EQ(classic.conjunctive_queries, 10u);  // original + 9 subclasses
+  EXPECT_EQ(Rows(g_, classic_result),
+            (std::set<std::vector<std::string>>{
+                {"<http://test.example.org/x>"}}));
+
+  ReformulationStats encoded;
+  ResultSet encoded_result = AnswerByEncodedReformulation(sparql, &encoded);
+  EXPECT_EQ(encoded.conjunctive_queries, 2u);  // original + range branch
+  EXPECT_EQ(Rows(g_, encoded_result),
+            (std::set<std::vector<std::string>>{
+                {"<http://test.example.org/x>"}}));
+}
+
+TEST_F(ReformulationTest, EncodingCollapsesSubPropertyChain) {
+  Add(g_, "headOf", schema::iri::kSubPropertyOf, "worksFor");
+  Add(g_, "worksFor", schema::iri::kSubPropertyOf, "memberOf");
+  Add(g_, "alice", "headOf", "dept");
+  Add(g_, "bob", "memberOf", "club");
+  const std::string sparql =
+      std::string(kPrefixes) + "SELECT ?x ?y WHERE { ?x t:memberOf ?y }";
+  ReformulationStats encoded;
+  ResultSet result = AnswerByEncodedReformulation(sparql, &encoded);
+  EXPECT_EQ(encoded.conjunctive_queries, 2u);  // original + range branch
+  EXPECT_EQ(Rows(g_, result),
+            (std::set<std::vector<std::string>>{
+                {"<http://test.example.org/alice>",
+                 "<http://test.example.org/dept>"},
+                {"<http://test.example.org/bob>",
+                 "<http://test.example.org/club>"}}));
+}
+
+TEST_F(ReformulationTest, EncodedCollapseKeepsDomainRewritingsOfSubclasses) {
+  // The range branch is terminal, so rdfs2 rewritings that the classic
+  // fixpoint reaches THROUGH enumerated subclasses must still be emitted:
+  // p's domain is the bottom class C0, two levels below the queried C2.
+  Add(g_, "C0", schema::iri::kSubClassOf, "C1");
+  Add(g_, "C1", schema::iri::kSubClassOf, "C2");
+  Add(g_, "p", schema::iri::kDomain, "C0");
+  Add(g_, "x", schema::iri::kType, "C1");
+  Add(g_, "y", "p", "z");
+  const std::string sparql =
+      std::string(kPrefixes) + "SELECT ?s WHERE { ?s rdf:type t:C2 }";
+  ReformulationStats encoded;
+  ResultSet result = AnswerByEncodedReformulation(sparql, &encoded);
+  // original + range branch + one domain rewriting (p, via C0 ∈ closure).
+  EXPECT_EQ(encoded.conjunctive_queries, 3u);
+  EXPECT_EQ(Rows(g_, result),
+            (std::set<std::vector<std::string>>{
+                {"<http://test.example.org/x>"},
+                {"<http://test.example.org/y>"}}));
+}
+
+TEST_F(ReformulationTest, EncodedCollapseStaysCorrectOnCycles) {
+  // X and Y form a subclass cycle: at most one cycle member keeps a valid
+  // interval, every other query over the SCC falls back to classic
+  // closure enumeration. Either way the answers match saturation.
+  Add(g_, "X", schema::iri::kSubClassOf, "Y");
+  Add(g_, "Y", schema::iri::kSubClassOf, "X");
+  Add(g_, "Z", schema::iri::kSubClassOf, "X");
+  Add(g_, "a", schema::iri::kType, "Y");
+  Add(g_, "b", schema::iri::kType, "Z");
+  const std::string sparql =
+      std::string(kPrefixes) + "SELECT ?s WHERE { ?s rdf:type t:X }";
+  ReformulationStats encoded;
+  ResultSet result = AnswerByEncodedReformulation(sparql, &encoded);
+  EXPECT_GE(encoded.conjunctive_queries, 2u);
+  EXPECT_EQ(Rows(g_, result),
+            (std::set<std::vector<std::string>>{
+                {"<http://test.example.org/a>"},
+                {"<http://test.example.org/b>"}}));
+}
+
+TEST_F(ReformulationTest, MemoReturnsIdenticalRewriting) {
+  Add(g_, "Cat", schema::iri::kSubClassOf, "Mammal");
+  Add(g_, "Tom", schema::iri::kType, "Cat");
+  CloseSchema(g_, v_);
+  Schema schema = Schema::FromGraph(g_, v_);
+  Reformulator reformulator(schema, v_);
+  UnionQuery q = MustParse(std::string(kPrefixes) +
+                           "SELECT ?x WHERE { ?x rdf:type t:Mammal }");
+  ReformulationStats first_stats;
+  auto first = reformulator.Reformulate(q, &first_stats);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ReformulationStats second_stats;
+  auto second = reformulator.Reformulate(q, &second_stats);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second->branches().size(), first->branches().size());
+  EXPECT_EQ(second_stats.conjunctive_queries, first_stats.conjunctive_queries);
+  // Same projection header and same answers through the memoized copy.
+  Evaluator evaluator(g_.store());
+  ResultSet via_first = evaluator.Evaluate(*first);
+  ResultSet via_second = evaluator.Evaluate(*second);
+  via_first.Normalize();
+  via_second.Normalize();
+  EXPECT_EQ(Rows(g_, via_first), Rows(g_, via_second));
+  EXPECT_EQ(via_first.var_names, via_second.var_names);
+}
+
+TEST_F(ReformulationTest, MemoKeysOnProjectionNamesNotJustShape) {
+  // Two queries that canonicalize to the same positional shape but project
+  // under different variable names must not share a memo entry.
+  Add(g_, "Cat", schema::iri::kSubClassOf, "Mammal");
+  Add(g_, "Tom", schema::iri::kType, "Cat");
+  CloseSchema(g_, v_);
+  Schema schema = Schema::FromGraph(g_, v_);
+  Reformulator reformulator(schema, v_);
+  UnionQuery q1 = MustParse(std::string(kPrefixes) +
+                            "SELECT ?x WHERE { ?x rdf:type t:Mammal }");
+  UnionQuery q2 = MustParse(std::string(kPrefixes) +
+                            "SELECT ?who WHERE { ?who rdf:type t:Mammal }");
+  auto r1 = reformulator.Reformulate(q1);
+  auto r2 = reformulator.Reformulate(q2);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  Evaluator evaluator(g_.store());
+  EXPECT_EQ(evaluator.Evaluate(*r1).var_names,
+            std::vector<std::string>{"x"});
+  EXPECT_EQ(evaluator.Evaluate(*r2).var_names,
+            std::vector<std::string>{"who"});
 }
 
 // The defining property (invariant 1 of DESIGN.md): q_ref(G) = q(G∞) on

@@ -238,6 +238,88 @@ TEST(ReasoningStoreTest, BadInputsReportParseErrors) {
       store.Update("INSERT DATA { ?x <http://p> <http://o> }").ok());
 }
 
+TEST(ReasoningStoreTest, EncodingTogglePreservesAnswers) {
+  ReasoningStoreOptions options;
+  options.mode = ReasoningMode::kReformulation;
+  ReasoningStore store(options);
+  ASSERT_TRUE(store.LoadTurtle(kData).ok());
+  size_t plain_mammals = Answers(store, kMammalQuery);
+  size_t plain_animals = Answers(store, kAnimalQuery);
+
+  store.SetEncoding(true);
+  EXPECT_TRUE(store.encoding_enabled());
+  EXPECT_EQ(Answers(store, kMammalQuery), plain_mammals);
+  EXPECT_EQ(Answers(store, kAnimalQuery), plain_animals);
+  // Querying under the toggle built a hierarchy encoding.
+  ASSERT_NE(store.encoding(), nullptr);
+  EXPECT_EQ(store.encoding()->version(), store.schema_version());
+
+  store.SetEncoding(false);
+  EXPECT_FALSE(store.encoding_enabled());
+  EXPECT_EQ(store.encoding(), nullptr);
+  EXPECT_EQ(Answers(store, kMammalQuery), plain_mammals);
+}
+
+TEST(ReasoningStoreTest, SchemaUpdateRebuildsEncoding) {
+  ReasoningStoreOptions options;
+  options.mode = ReasoningMode::kReformulation;
+  options.encoding = true;
+  ReasoningStore store(options);
+  ASSERT_TRUE(store.LoadTurtle(kData).ok());
+  EXPECT_EQ(Answers(store, kMammalQuery), 1u);
+  ASSERT_NE(store.encoding(), nullptr);
+  uint64_t version_before = store.encoding()->version();
+
+  // A schema change (new subclass edge) must re-encode; the new instance
+  // is then found through the widened interval.
+  auto info = store.Update(
+      "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+      "PREFIX ex: <http://ex.org/>\n"
+      "INSERT DATA { ex:Dog rdfs:subClassOf ex:Mammal . ex:rex a ex:Dog }");
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(Answers(store, kMammalQuery), 2u);  // tom + rex
+  ASSERT_NE(store.encoding(), nullptr);
+  EXPECT_GT(store.encoding()->version(), version_before);
+
+  // Instance-only updates must NOT stale the encoding: new terms intern
+  // past the permuted range, outside every interval.
+  uint64_t version_after = store.encoding()->version();
+  ASSERT_TRUE(store
+                  .Update("PREFIX ex: <http://ex.org/>\n"
+                          "INSERT DATA { ex:milo a ex:Cat }")
+                  .ok());
+  EXPECT_EQ(Answers(store, kMammalQuery), 3u);
+  EXPECT_EQ(store.encoding()->version(), version_after);
+}
+
+TEST(ReasoningStoreTest, EncodingWorksAcrossBackendsAndModes) {
+  ReasoningStoreOptions options;
+  options.mode = ReasoningMode::kReformulation;
+  options.encoding = true;
+  ReasoningStore store(options);
+  ASSERT_TRUE(store.LoadTurtle(kData).ok());
+  EXPECT_EQ(Answers(store, kAnimalQuery), 1u);
+
+  store.SetBackend(rdf::StorageBackend::kFlat);
+  EXPECT_EQ(Answers(store, kAnimalQuery), 1u);
+  EXPECT_EQ(Answers(store, kMammalQuery), 1u);
+
+  // Saturation mode with the encoding on exercises the closure-rebuild
+  // path of RebuildEncoding (the saturated view is re-derived in the
+  // permuted id space).
+  store.SetMode(ReasoningMode::kSaturation);
+  EXPECT_EQ(Answers(store, kAnimalQuery), 1u);
+  ASSERT_TRUE(store
+                  .Update("PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+                          "PREFIX ex: <http://ex.org/>\n"
+                          "INSERT DATA { ex:Kitten rdfs:subClassOf ex:Cat . "
+                          "ex:whiskers a ex:Kitten }")
+                  .ok());
+  EXPECT_EQ(Answers(store, kMammalQuery), 2u);
+  store.SetMode(ReasoningMode::kReformulation);
+  EXPECT_EQ(Answers(store, kMammalQuery), 2u);
+}
+
 TEST(UpdateParserTest, ParsesInsertAndDelete) {
   rdf::Dictionary dict;
   auto ops = ParseSparqlUpdate(
