@@ -5,7 +5,7 @@
 //   wdr_shell [--mode=saturation|reformulation|backward|none]
 //             [--backend=ordered|flat] [--threads=N] [--query-threads=N]
 //             [--plan] [--encoding=on|off] [--explain] [--script=FILE]
-//             [file.ttl ...]
+//             [--serve=PORT] [file.ttl ...]
 //
 // Reads commands from stdin (one per line):
 //   SELECT ...          run a SPARQL query
@@ -23,6 +23,10 @@
 //   .profile on|off     per-operator query profiling (EXPLAIN ANALYZE)
 //   .trace FILE / off   capture spans; "off" writes JSON lines to FILE
 //   .stats              store statistics + live wdr.* metrics
+//   .serve PORT / off   live stats endpoint on 127.0.0.1:PORT — /metrics
+//                       (Prometheus), /metrics.json, /querylog, /trace
+//   .slowlog MS / off   flag queries at or above MS milliseconds as slow
+//                       in the query log
 //   .help               this text
 //
 // --plan starts the store in plan mode; --explain prints the operator
@@ -35,6 +39,7 @@
 //
 // Without stdin input (or with --demo) runs a scripted demonstration so
 // the binary is exercisable non-interactively.
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -44,6 +49,8 @@
 
 #include "common/strings.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
+#include "obs/stats_server.h"
 #include "obs/trace.h"
 #include "store/reasoning_store.h"
 
@@ -54,6 +61,9 @@ using wdr::store::ReasoningStore;
 
 // Path the next ".trace off" exports to; empty = tracing inactive.
 std::string g_trace_path;
+
+// The ".serve" / "--serve=" endpoint; stopped on destruction.
+wdr::obs::StatsServer g_stats_server;
 
 // --explain: print the operator tree after every query.
 bool g_explain = false;
@@ -95,6 +105,12 @@ void PrintHelp() {
                "  .trace off            stop capture, write JSON lines to "
                "FILE\n"
                "  .stats                store statistics + live metrics\n"
+               "  .serve PORT           live stats endpoint on 127.0.0.1:PORT "
+               "(/metrics, /metrics.json, /querylog, /trace)\n"
+               "  .serve off            stop the stats endpoint\n"
+               "  .slowlog MS           flag queries >= MS ms as slow in the "
+               "query log\n"
+               "  .slowlog off          disable the slow-query flag\n"
                "  .help                 this text\n"
                "  .quit                 exit\n";
 }
@@ -157,6 +173,18 @@ bool StopTrace() {
   std::cout << "wrote " << events << " span(s) to " << g_trace_path << "\n";
   g_trace_path.clear();
   wdr::obs::ClearTrace();
+  return true;
+}
+
+bool StartServe(int port) {
+  if (g_stats_server.running()) g_stats_server.Stop();
+  wdr::Status status = g_stats_server.Start(port);
+  if (!status.ok()) {
+    std::cerr << status << "\n";
+    return false;
+  }
+  std::cout << "serving stats on http://127.0.0.1:" << g_stats_server.port()
+            << " (/metrics, /metrics.json, /querylog, /trace)\n";
   return true;
 }
 
@@ -290,6 +318,42 @@ bool RunCommand(ReasoningStore& store, const std::string& line) {
       wdr::obs::SetTraceEnabled(true);
       std::cout << "tracing to " << g_trace_path << " (stop with .trace "
                    "off)\n";
+      return true;
+    }
+    if (command == ".serve") {
+      if (argument == "off") {
+        if (!g_stats_server.running()) {
+          std::cerr << "stats server is not running\n";
+          return false;
+        }
+        g_stats_server.Stop();
+        std::cout << "stats server stopped\n";
+        return true;
+      }
+      char* end = nullptr;
+      const long port = std::strtol(argument.c_str(), &end, 10);
+      if (argument.empty() || end == nullptr || *end != '\0' || port < 0 ||
+          port > 65535) {
+        std::cerr << "usage: .serve PORT | .serve off\n";
+        return false;
+      }
+      return StartServe(static_cast<int>(port));
+    }
+    if (command == ".slowlog") {
+      if (argument == "off") {
+        wdr::obs::QueryLog::Get().SetSlowThresholdNanos(0);
+        std::cout << "slowlog = off\n";
+        return true;
+      }
+      char* end = nullptr;
+      const long ms = std::strtol(argument.c_str(), &end, 10);
+      if (argument.empty() || end == nullptr || *end != '\0' || ms < 1) {
+        std::cerr << "usage: .slowlog MS | .slowlog off\n";
+        return false;
+      }
+      wdr::obs::QueryLog::Get().SetSlowThresholdNanos(
+          static_cast<uint64_t>(ms) * 1000000ull);
+      std::cout << "slowlog = " << ms << "ms\n";
       return true;
     }
     if (command == ".stats") {
@@ -440,6 +504,14 @@ int main(int argc, char** argv) {
       options.encoding = value == "on";
     } else if (arg == "--explain") {
       g_explain = true;
+    } else if (arg.rfind("--serve=", 0) == 0) {
+      char* end = nullptr;
+      const long port = std::strtol(arg.c_str() + 8, &end, 10);
+      if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+        std::cerr << "invalid port in " << arg << "\n";
+        return EXIT_FAILURE;
+      }
+      if (!StartServe(static_cast<int>(port))) return EXIT_FAILURE;
     } else if (arg.rfind("--script=", 0) == 0) {
       script_path = arg.substr(9);
     } else if (arg == "--script" && i + 1 < argc) {

@@ -36,6 +36,37 @@ CostProfile CostProfileFromMetrics(const obs::MetricsSnapshot& snapshot) {
   return costs;
 }
 
+CostProfile CostProfileFromQueryLog(
+    const std::vector<obs::QueryLogRecord>& records,
+    const obs::MetricsSnapshot& snapshot) {
+  // Start from the metrics-derived profile (build + maintenance costs are
+  // not per-query observable), then overwrite the query-side costs with
+  // the means over the supplied records.
+  CostProfile costs = CostProfileFromMetrics(snapshot);
+  double sat_nanos = 0, ref_nanos = 0;
+  uint64_t sat_count = 0, ref_count = 0;
+  for (const obs::QueryLogRecord& r : records) {
+    if (!r.ok) continue;  // failed queries have no meaningful eval cost
+    if (r.mode == "saturation") {
+      sat_nanos += static_cast<double>(r.wall_nanos);
+      ++sat_count;
+    } else if (r.mode == "reformulation") {
+      ref_nanos += static_cast<double>(r.wall_nanos);
+      ++ref_count;
+    }
+  }
+  costs.eval_saturated_seconds =
+      sat_count == 0 ? 0 : sat_nanos * 1e-9 / static_cast<double>(sat_count);
+  // Record wall time covers rewrite + evaluation (same shape as the
+  // reformulation-mode histogram); CostProfile wants evaluation only.
+  costs.eval_reformulated_seconds =
+      ref_count == 0
+          ? 0
+          : std::max(0.0, ref_nanos * 1e-9 / static_cast<double>(ref_count) -
+                              costs.reformulation_seconds);
+  return costs;
+}
+
 bool MetricsCoverComparison(const obs::MetricsSnapshot& snapshot) {
   const obs::HistogramData* sat =
       snapshot.histogram("wdr.store.query.saturation");

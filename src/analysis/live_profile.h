@@ -1,8 +1,11 @@
 #ifndef WDR_ANALYSIS_LIVE_PROFILE_H_
 #define WDR_ANALYSIS_LIVE_PROFILE_H_
 
+#include <vector>
+
 #include "analysis/thresholds.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 
 namespace wdr::analysis {
 
@@ -27,6 +30,19 @@ CostProfile CostProfileFromMetrics(const obs::MetricsSnapshot& snapshot);
 // (wdr.store.query.saturation and wdr.store.query.reformulation). Without
 // both, Recommend() over CostProfileFromMetrics() output is one-sided.
 bool MetricsCoverComparison(const obs::MetricsSnapshot& snapshot);
+
+// Like CostProfileFromMetrics, but the per-query costs come from the
+// structured query log instead of the process-global latency histograms:
+// eval_saturated/eval_reformulated are the mean wall time of successful
+// records in the corresponding mode (rewrite time subtracted for the
+// reformulation side, same convention as above), so the profile reflects
+// exactly the queries in `records` — e.g. one tenant's recent window —
+// rather than everything the process ever ran. Build/maintenance costs are
+// per-record invisible and still come from `snapshot`. Modes with no
+// successful records contribute 0, like empty histograms.
+CostProfile CostProfileFromQueryLog(
+    const std::vector<obs::QueryLogRecord>& records,
+    const obs::MetricsSnapshot& snapshot);
 
 }  // namespace wdr::analysis
 

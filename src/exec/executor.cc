@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace wdr::exec {
 namespace {
@@ -474,6 +475,9 @@ class Executor {
 bool Run(const PlanNode& plan, const std::vector<const TupleSource*>& sources,
          const ExecOptions& options, RowSink emit, obs::ProfileNode* profile) {
   const auto start = std::chrono::steady_clock::now();
+  // Operator-level trace scope: inert unless tracing is on; parents to the
+  // enclosing branch/worker span (adopted via TraceContext on pool threads).
+  obs::Span span("wdr.exec.run");
   Executor executor(sources, options);
   uint64_t rows = 0;
   std::vector<Value> row(plan.width);
@@ -492,6 +496,7 @@ bool Run(const PlanNode& plan, const std::vector<const TupleSource*>& sources,
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
   }
+  span.AddAttr("rows", rows);
   WDR_COUNTER_ADD("wdr.exec.rows", rows);
   WDR_COUNTER_ADD("wdr.exec.batches", executor.batches);
   WDR_COUNTER_ADD("wdr.exec.scans", executor.scans);

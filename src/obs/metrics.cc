@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <map>
 #include <memory>
@@ -9,11 +10,21 @@
 namespace wdr::obs {
 namespace {
 
+// Map comparator wrapping NaturalNameLess, so the registry itself keeps
+// names in the deterministic numeric-aware order Snapshot() promises.
+struct NaturalLess {
+  bool operator()(const std::string& a, const std::string& b) const {
+    return NaturalNameLess(a, b);
+  }
+};
+
+template <typename M>
+using MetricMap = std::map<std::string, std::unique_ptr<M>, NaturalLess>;
+
 // std::map keeps names sorted for Snapshot(); unique_ptr values keep the
 // metric addresses stable across rehash-free growth.
 template <typename M>
-M& GetOrCreate(std::map<std::string, std::unique_ptr<M>>& table,
-               const std::string& name) {
+M& GetOrCreate(MetricMap<M>& table, const std::string& name) {
   auto it = table.find(name);
   if (it == table.end()) {
     it = table.emplace(name, std::make_unique<M>()).first;
@@ -43,11 +54,44 @@ void AppendJsonString(std::string& out, const std::string& s) {
 
 }  // namespace
 
+bool NaturalNameLess(const std::string& a, const std::string& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const unsigned char ca = static_cast<unsigned char>(a[i]);
+    const unsigned char cb = static_cast<unsigned char>(b[j]);
+    if (std::isdigit(ca) && std::isdigit(cb)) {
+      // Compare the maximal digit runs as integers: skip leading zeros,
+      // then shorter run < longer run, then digit-wise.
+      size_t ia = i, jb = j;
+      while (ia < a.size() && a[ia] == '0') ++ia;
+      while (jb < b.size() && b[jb] == '0') ++jb;
+      size_t ea = ia, eb = jb;
+      while (ea < a.size() && std::isdigit(static_cast<unsigned char>(a[ea])))
+        ++ea;
+      while (eb < b.size() && std::isdigit(static_cast<unsigned char>(b[eb])))
+        ++eb;
+      if (ea - ia != eb - jb) return ea - ia < eb - jb;
+      for (; ia < ea; ++ia, ++jb) {
+        if (a[ia] != b[jb]) return a[ia] < b[jb];
+      }
+      // Equal value: fewer leading zeros first, to stay a strict order.
+      if (ea - i != eb - j) return ea - i < eb - j;
+      i = ea;
+      j = eb;
+      continue;
+    }
+    if (ca != cb) return ca < cb;
+    ++i;
+    ++j;
+  }
+  return a.size() - i < b.size() - j;
+}
+
 struct MetricsRegistry::Impl {
   mutable std::mutex mu;
-  std::map<std::string, std::unique_ptr<Counter>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  MetricMap<Counter> counters;
+  MetricMap<Gauge> gauges;
+  MetricMap<Histogram> histograms;
 };
 
 MetricsRegistry& MetricsRegistry::Get() {
@@ -108,23 +152,32 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   return snap;
 }
 
+// Nominal upper bound of bucket `b` in nanoseconds: bucket b holds values
+// with bit_width == b, i.e. [2^(b-1), 2^b - 1]; bucket 0 holds exactly 0.
+// The overflow bucket (kBuckets - 1) also absorbs all larger values, so
+// its bound is a finite floor, not a true maximum.
+static double BucketUpperNanos(int b) {
+  return static_cast<double>(b == 0 ? 0 : (uint64_t{1} << b) - 1);
+}
+
 double HistogramData::QuantileNanos(double q) const {
   if (count == 0) return 0;
   if (q < 0) q = 0;
   if (q > 1) q = 1;
   // Rank of the quantile sample, rounded up: the p99 of 2 samples is the
-  // 2nd (ceil(1.98)), not the 1st.
+  // 2nd (ceil(1.98)), not the 1st. q = 0 clamps to rank 1 (the smallest
+  // sample); q = 1 is rank `count` (the largest).
   uint64_t target =
       static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
   if (target == 0) target = 1;
   uint64_t cumulative = 0;
   for (int b = 0; b < Histogram::kBuckets; ++b) {
     cumulative += buckets[b];
-    if (cumulative >= target) {
-      return static_cast<double>(b == 0 ? 0 : (uint64_t{1} << b) - 1);
-    }
+    if (cumulative >= target) return BucketUpperNanos(b);
   }
-  return static_cast<double>(uint64_t{1} << (Histogram::kBuckets - 1));
+  // Unreached when buckets cover `count` (Snapshot guarantees bucket sums
+  // >= count); kept consistent with the overflow bucket's bound.
+  return BucketUpperNanos(Histogram::kBuckets - 1);
 }
 
 uint64_t MetricsSnapshot::counter(const std::string& name) const {
@@ -189,6 +242,77 @@ std::string MetricsSnapshot::ToJson() const {
     out += "}}";
   }
   out += "}}";
+  return out;
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; wdr names are
+// dotted, so dots (and anything else) become underscores.
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+// Shortest round-trippable decimal for the double (%.17g is exact but
+// noisy; %g at default precision is stable and plenty for bucket bounds).
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string pname = PrometheusName(name) + "_total";
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + " " + std::to_string(value) + "\n";
+  }
+  for (const HistogramData& h : snapshot.histograms) {
+    const std::string pname = PrometheusName(h.name) + "_seconds";
+    out += "# TYPE " + pname + " histogram\n";
+    // Cumulative buckets in seconds over the base-2 nanosecond bounds.
+    // Empty buckets inside the occupied range still render (Prometheus
+    // requires monotone cumulative series), but long empty tails collapse
+    // into +Inf to keep the exposition readable.
+    uint64_t cumulative = 0;
+    uint64_t total = 0;
+    int last_occupied = -1;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      total += h.buckets[b];
+      if (h.buckets[b] != 0) last_occupied = b;
+    }
+    for (int b = 0; b <= last_occupied; ++b) {
+      cumulative += h.buckets[b];
+      const double le_seconds =
+          static_cast<double>(b == 0 ? 0 : (uint64_t{1} << b) - 1) * 1e-9;
+      out += pname + "_bucket{le=\"" + FormatDouble(le_seconds) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    // Snapshot reads `count` before the buckets while writers bump the
+    // bucket first, so `total` can briefly exceed `count`; the larger value
+    // keeps the +Inf bucket and _count consistent with the series.
+    const uint64_t count = std::max(h.count, total);
+    out += pname + "_bucket{le=\"+Inf\"} " + std::to_string(count) + "\n";
+    out += pname + "_sum " +
+           FormatDouble(static_cast<double>(h.sum_nanos) * 1e-9) + "\n";
+    out += pname + "_count " + std::to_string(count) + "\n";
+  }
   return out;
 }
 

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -49,8 +50,7 @@ class Histogram {
   static constexpr int kBuckets = 48;
 
   void RecordNanos(uint64_t nanos) {
-    int bucket = 0;
-    for (uint64_t v = nanos; v != 0; v >>= 1) ++bucket;
+    int bucket = std::bit_width(nanos);
     if (bucket >= kBuckets) bucket = kBuckets - 1;
     buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
@@ -85,8 +85,11 @@ struct HistogramData {
                                 static_cast<double>(count);
   }
   double MeanSeconds() const { return MeanNanos() / 1e9; }
-  // Upper bound of the bucket where the cumulative count crosses `q`
-  // (0 < q <= 1), in nanoseconds. 0 when empty.
+  // Upper bound of the bucket where the cumulative count crosses `q`, in
+  // nanoseconds. Locked-down edges: an empty histogram returns 0 for every
+  // q; q <= 0 returns the smallest sample's bucket bound; q >= 1 returns
+  // the largest sample's; mass in the overflow bucket (values of 2^46ns
+  // ≈ 19.5h and up) reports that bucket's finite nominal bound, 2^47 - 1.
   double QuantileNanos(double q) const;
 };
 
@@ -95,9 +98,13 @@ struct HistogramData {
 // internally consistent per metric (never torn), though metrics recorded
 // between two loads may differ in age.
 struct MetricsSnapshot {
-  std::vector<std::pair<std::string, uint64_t>> counters;  // sorted by name
-  std::vector<std::pair<std::string, int64_t>> gauges;     // sorted by name
-  std::vector<HistogramData> histograms;                   // sorted by name
+  // Each section is sorted by name with digit runs compared numerically
+  // ("worker.2" < "worker.10"), so snapshots — and everything rendered
+  // from them (.stats, JSON, Prometheus text) — are deterministic-ordered
+  // and diffable across runs.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramData> histograms;
 
   // 0 when absent.
   uint64_t counter(const std::string& name) const;
@@ -109,6 +116,18 @@ struct MetricsSnapshot {
   // Histograms serialize count/sum_nanos/mean_nanos plus non-zero buckets.
   std::string ToJson() const;
 };
+
+// Numeric-aware name ordering used by MetricsSnapshot: lexicographic,
+// except maximal digit runs compare as integers. Exposed for tests and for
+// other deterministic renderings.
+bool NaturalNameLess(const std::string& a, const std::string& b);
+
+// Renders a snapshot in the Prometheus text exposition format (version
+// 0.0.4): counters become `<name>_total`, gauges keep their name, and each
+// base-2 histogram becomes a Prometheus histogram in SECONDS — cumulative
+// `_bucket{le="..."}` series over the power-of-two bounds plus `+Inf`,
+// `_sum`, and `_count`. Metric names are sanitized to [a-zA-Z0-9_:].
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
 
 // The process-wide registry. Get*() registers on first use and always
 // returns the same object for the same name; returned references are

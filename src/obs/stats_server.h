@@ -1,0 +1,59 @@
+#ifndef WDR_OBS_STATS_SERVER_H_
+#define WDR_OBS_STATS_SERVER_H_
+
+#include <atomic>
+#include <thread>
+
+#include "common/status.h"
+
+namespace wdr::obs {
+
+// Minimal embedded HTTP exposition endpoint — the process's live telemetry
+// surface, curl-driveable and Prometheus-scrapeable with zero dependencies
+// (POSIX sockets only). One blocking accept loop on a dedicated thread,
+// one request per connection (HTTP/1.0 semantics, Connection: close), so
+// there is no connection state to manage. Binds loopback only: this is an
+// operator diagnostic port, not a public listener.
+//
+// Routes (GET):
+//   /             plain-text index of the endpoints
+//   /metrics      MetricsRegistry snapshot, Prometheus text format 0.0.4
+//   /metrics.json the same snapshot as one JSON object
+//   /querylog     QueryLog as JSON lines, oldest first
+//   /trace        trace ring buffer as JSON lines, oldest first
+// Anything else is 404; non-GET methods are 405.
+//
+// Each handled request increments wdr.statsserver.requests (and
+// wdr.statsserver.not_found for 404s).
+class StatsServer {
+ public:
+  StatsServer() = default;
+  ~StatsServer() { Stop(); }
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  // Binds 127.0.0.1:port (port 0 picks an ephemeral port — see port()),
+  // starts the accept thread, and returns. InvalidArgument if already
+  // running; Internal with errno detail if the bind/listen fails.
+  Status Start(int port);
+
+  // Stops the accept loop and joins the thread. Idempotent; no-op when not
+  // running. In-flight responses finish before the socket closes.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // The bound port (resolved when Start was given 0); 0 when not running.
+  int port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace wdr::obs
+
+#endif  // WDR_OBS_STATS_SERVER_H_

@@ -21,21 +21,37 @@ Clock::time_point ProcessStart() {
 // so a mutex is fine; the disabled hot path never reaches it.
 struct TraceBuffer {
   std::mutex mu;
-  std::vector<TraceEvent> events;  // ring storage, wraps at kTraceCapacity
-  size_t next = 0;                 // insertion slot
+  std::vector<TraceEvent> events;  // ring storage, wraps at `capacity`
+  size_t capacity = kDefaultTraceCapacity;
+  size_t next = 0;  // insertion slot
   bool wrapped = false;
   std::atomic<uint64_t> next_span_id{1};
 
   void Push(TraceEvent event) {
     std::lock_guard<std::mutex> lock(mu);
-    if (events.size() < kTraceCapacity) {
+    if (events.size() < capacity) {
       events.push_back(std::move(event));
-      next = events.size() % kTraceCapacity;
+      next = events.size() % capacity;
     } else {
       events[next] = std::move(event);
-      next = (next + 1) % kTraceCapacity;
+      next = (next + 1) % capacity;
       wrapped = true;
+      WDR_COUNTER_INC("wdr.trace.dropped_spans");
     }
+  }
+
+  // Events oldest-first; callers hold `mu`.
+  std::vector<TraceEvent> OrderedLocked() const {
+    std::vector<TraceEvent> out;
+    out.reserve(events.size());
+    if (wrapped) {
+      for (size_t i = 0; i < events.size(); ++i) {
+        out.push_back(events[(next + i) % events.size()]);
+      }
+    } else {
+      out = events;
+    }
+    return out;
   }
 };
 
@@ -44,8 +60,11 @@ TraceBuffer& Buffer() {
   return *buffer;
 }
 
-// Innermost live traced span of this thread (parent of new spans).
+// Innermost live traced span / enclosing trace of this thread. New spans
+// parent to tls_current_span and join tls_current_trace; TraceContextScope
+// seeds both on worker threads.
 thread_local uint64_t tls_current_span = 0;
+thread_local uint64_t tls_current_trace = 0;
 
 void AppendJsonEscaped(std::string& out, const std::string& s) {
   for (char c : s) {
@@ -80,25 +99,41 @@ void ClearTrace() {
   buffer.wrapped = false;
 }
 
+void SetTraceCapacity(size_t capacity) {
+  if (capacity < 1) capacity = 1;
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (capacity == buffer.capacity) return;
+  // Re-linearize so the ring invariants hold at the new capacity; keep the
+  // newest `capacity` events when shrinking.
+  std::vector<TraceEvent> ordered = buffer.OrderedLocked();
+  if (ordered.size() > capacity) {
+    ordered.erase(ordered.begin(),
+                  ordered.begin() + (ordered.size() - capacity));
+  }
+  buffer.capacity = capacity;
+  buffer.events = std::move(ordered);
+  buffer.wrapped = buffer.events.size() == capacity;
+  buffer.next = buffer.events.size() % capacity;
+}
+
+size_t TraceCapacity() {
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  return buffer.capacity;
+}
+
 std::vector<TraceEvent> TraceEvents() {
   TraceBuffer& buffer = Buffer();
   std::lock_guard<std::mutex> lock(buffer.mu);
-  std::vector<TraceEvent> out;
-  out.reserve(buffer.events.size());
-  if (buffer.wrapped) {
-    for (size_t i = 0; i < buffer.events.size(); ++i) {
-      out.push_back(buffer.events[(buffer.next + i) % buffer.events.size()]);
-    }
-  } else {
-    out = buffer.events;
-  }
-  return out;
+  return buffer.OrderedLocked();
 }
 
 size_t ExportTraceJsonLines(std::ostream& os) {
   std::vector<TraceEvent> events = TraceEvents();
   for (const TraceEvent& e : events) {
-    std::string line = "{\"span\":" + std::to_string(e.span_id) +
+    std::string line = "{\"trace\":" + std::to_string(e.trace_id) +
+                       ",\"span\":" + std::to_string(e.span_id) +
                        ",\"parent\":" + std::to_string(e.parent_id) +
                        ",\"name\":\"";
     AppendJsonEscaped(line, e.name);
@@ -121,6 +156,24 @@ size_t ExportTraceJsonLines(std::ostream& os) {
   return events.size();
 }
 
+TraceContext CurrentTraceContext() {
+  return TraceContext{tls_current_trace, tls_current_span};
+}
+
+TraceContextScope::TraceContextScope(const TraceContext& context)
+    : saved_trace_id_(tls_current_trace), saved_span_id_(tls_current_span) {
+  // A zero context means "captured outside any traced span" — adopting it
+  // must not detach whatever context this thread already has.
+  if (context.trace_id == 0 && context.span_id == 0) return;
+  tls_current_trace = context.trace_id;
+  tls_current_span = context.span_id;
+}
+
+TraceContextScope::~TraceContextScope() {
+  tls_current_trace = saved_trace_id_;
+  tls_current_span = saved_span_id_;
+}
+
 void Span::Begin(const char* name) {
   active_ = true;
   name_ = name;
@@ -129,7 +182,12 @@ void Span::Begin(const char* name) {
     traced_ = true;
     span_id_ = Buffer().next_span_id.fetch_add(1, std::memory_order_relaxed);
     parent_id_ = tls_current_span;
+    saved_trace_id_ = tls_current_trace;
+    // A span with no enclosing trace starts one: its own id is the trace
+    // id every descendant (on any thread, via TraceContext) carries.
+    trace_id_ = tls_current_trace != 0 ? tls_current_trace : span_id_;
     tls_current_span = span_id_;
+    tls_current_trace = trace_id_;
   }
 }
 
@@ -138,7 +196,9 @@ void Span::End() {
   if (histogram_ != nullptr) histogram_->RecordNanos(duration);
   if (traced_) {
     tls_current_span = parent_id_;
+    tls_current_trace = saved_trace_id_;
     TraceEvent event;
+    event.trace_id = trace_id_;
     event.span_id = span_id_;
     event.parent_id = parent_id_;
     event.name = name_;

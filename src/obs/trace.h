@@ -13,18 +13,28 @@ namespace wdr::obs {
 
 // Structured tracing: RAII Span scopes that time a region, optionally
 // record the duration into a Histogram, and — when tracing is enabled —
-// emit a structured event (name, start, duration, parent span, key=value
-// attrs) into a process-wide in-memory ring buffer exportable as JSON
-// lines.
+// emit a structured event (trace id, name, start, duration, parent span,
+// key=value attrs) into a process-wide in-memory ring buffer exportable as
+// JSON lines.
 //
 // Overhead contract: with tracing disabled (the default) a Span without a
 // histogram costs one relaxed atomic load; a Span with a histogram adds
 // two clock reads and one histogram record. Everything heavier (event
 // allocation, attr copies, buffer locking) happens only while tracing is
 // enabled.
+//
+// Cross-thread propagation: span parentage is tracked per thread, so a
+// worker thread started (or woken) inside a traced region does NOT inherit
+// the enclosing span by default — its spans would surface as orphan roots.
+// The TraceContext capture/adopt API below fixes that: the dispatching
+// thread captures its context (trace id + current span id) and each worker
+// adopts it for the duration of its work, so parallel-UCQ branches,
+// saturation workers and exec operators all attach to the enclosing query
+// span and the exported trace is one tree per query at any thread count.
 
 // One completed span, as stored in the ring buffer.
 struct TraceEvent {
+  uint64_t trace_id = 0;   // root span id of the enclosing trace tree
   uint64_t span_id = 0;
   uint64_t parent_id = 0;  // 0 = root
   std::string name;
@@ -48,16 +58,54 @@ void SetTraceEnabled(bool enabled);
 // Drops all buffered events.
 void ClearTrace();
 
+// Default ring capacity; override at run time with SetTraceCapacity.
+inline constexpr size_t kDefaultTraceCapacity = 1 << 16;
+
+// Resizes the span ring buffer (values < 1 clamp to 1). Shrinking keeps
+// the newest events. Overwritten-before-export events increment the
+// `wdr.trace.dropped_spans` counter.
+void SetTraceCapacity(size_t capacity);
+size_t TraceCapacity();
+
 // Copies the buffered events, oldest first (the buffer keeps the most
-// recent kTraceCapacity spans; older ones are overwritten).
-inline constexpr size_t kTraceCapacity = 1 << 16;
+// recent TraceCapacity() spans; older ones are overwritten and counted as
+// dropped).
 std::vector<TraceEvent> TraceEvents();
 
 // Writes one JSON object per line:
-//   {"span":3,"parent":1,"name":"wdr.query","start_ns":…,"dur_ns":…,
-//    "attrs":{"rows":"42"}}
+//   {"trace":3,"span":3,"parent":1,"name":"wdr.query","start_ns":…,
+//    "dur_ns":…,"attrs":{"rows":"42"}}
 // Returns the number of lines written.
 size_t ExportTraceJsonLines(std::ostream& os);
+
+// A capturable handle to "where am I in the trace tree": the enclosing
+// trace id and the innermost live span id of the capturing thread. Plain
+// values — safe to copy into a worker lambda or queue entry.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;  // adopted as the parent of the adopter's spans
+};
+
+// Captures the calling thread's current context. Cheap (two TLS reads);
+// returns a zero context when the thread is outside any traced span.
+TraceContext CurrentTraceContext();
+
+// RAII adoption: while in scope, spans created by this thread parent to
+// `context.span_id` and join `context.trace_id` — the cross-thread half of
+// the propagation contract. Restores the thread's previous context on
+// destruction, so pooled workers never leak one query's context into the
+// next. Adopting a zero context is a no-op scope.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext& context);
+  ~TraceContextScope();
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  uint64_t saved_trace_id_;
+  uint64_t saved_span_id_;
+};
 
 // RAII trace scope. Cheap enough to leave in hot paths: fully inert
 // unless it has a histogram sink or tracing is on.
@@ -81,6 +129,10 @@ class Span {
   // Elapsed nanoseconds so far (0 for an inert span).
   uint64_t ElapsedNanos() const;
 
+  // Ids of this span while traced; 0 when tracing was off at construction.
+  uint64_t span_id() const { return span_id_; }
+  uint64_t trace_id() const { return trace_id_; }
+
  private:
   void Begin(const char* name);  // out of line: clocking + trace setup
   void End();
@@ -88,8 +140,10 @@ class Span {
   Histogram* histogram_ = nullptr;
   bool active_ = false;
   bool traced_ = false;  // emitting an event (tracing was on at Begin)
+  uint64_t trace_id_ = 0;
   uint64_t span_id_ = 0;
   uint64_t parent_id_ = 0;
+  uint64_t saved_trace_id_ = 0;
   uint64_t start_nanos_ = 0;
   const char* name_ = nullptr;
   std::vector<std::pair<std::string, std::string>> attrs_;

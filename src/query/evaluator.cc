@@ -18,6 +18,7 @@
 #include "exec/planner.h"
 #include "exec/source.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rdf/dictionary.h"
 
 namespace wdr::query {
@@ -943,6 +944,9 @@ ResultSet EvaluateUnionSequential(const Store& store, const UnionQuery& q,
     }
     if (result.rows.size() >= max_rows) break;
     const size_t rows_before = result.rows.size();
+    obs::Span branch_span("wdr.query.branch");
+    branch_span.AddAttr("branch", static_cast<uint64_t>(branch_index));
+    if (options.collect != nullptr) ++options.collect->branches;
     std::vector<AtomStats> stats;
     obs::ProfileNode* branch_node = nullptr;
     if (profile != nullptr) {
@@ -964,6 +968,11 @@ ResultSet EvaluateUnionSequential(const Store& store, const UnionQuery& q,
     if (options.plan) {
       exec::CompiledPlan plan =
           PlanBgpBranch(store, branch, options, plan_stats);
+      if (options.collect != nullptr && plan.est_rows >= 0) {
+        EvalStats& collect = *options.collect;
+        collect.est_rows =
+            (collect.est_rows < 0 ? 0 : collect.est_rows) + plan.est_rows;
+      }
       const size_t hint = ReserveHint(plan.est_rows);
       if (hint > 0) {
         // Pre-reserve the dedup set and result buffer from the planner's
@@ -1033,6 +1042,7 @@ struct BranchOutput {
   std::vector<AtomStats> stats; // filled only when profiling (legacy path)
   obs::ProfileNode plan_profile;  // operator tree (plan path, profiling)
   uint64_t nanos = 0;           // branch wall time (profiling only)
+  double est_rows = -1;         // planner's estimate (plan mode only)
   bool evaluated = false;       // cancelled branches stay false
 };
 
@@ -1058,6 +1068,8 @@ void EvaluateBranch(const Store& store, const BgpQuery& branch,
                     bool profiled, std::unordered_set<Row, RowHash>& seen,
                     Row& scratch, size_t& worker_rows, BranchOutput& out) {
   out.evaluated = true;
+  obs::Span branch_span("wdr.query.branch");
+  branch_span.AddAttr("branch", static_cast<uint64_t>(branch_index));
   const uint64_t start = NowNanos();
   auto emit_unbounded = [&](Row& row) {
     if (seen.insert(row).second) out.rows.push_back(row);
@@ -1079,6 +1091,7 @@ void EvaluateBranch(const Store& store, const BgpQuery& branch,
   };
   if (options.plan) {
     exec::CompiledPlan plan = PlanBgpBranch(store, branch, options, plan_stats);
+    out.est_rows = plan.est_rows;
     const size_t hint = ReserveHint(plan.est_rows);
     if (hint > 0) {
       if (seen.size() + hint > seen.bucket_count()) {
@@ -1154,7 +1167,15 @@ ResultSet EvaluateUnionParallel(const Store& store, const UnionQuery& q,
   std::atomic<size_t> stop_after{SIZE_MAX};
   std::vector<uint64_t> busy_nanos(static_cast<size_t>(workers), 0);
 
+  // Capture the dispatching thread's trace position so the pool workers'
+  // spans attach to the enclosing query span instead of surfacing as
+  // orphan roots (span parentage is thread-local; see obs/trace.h).
+  const obs::TraceContext trace_context = obs::CurrentTraceContext();
+
   auto work = [&](int worker_id) {
+    obs::TraceContextScope trace_scope(trace_context);
+    obs::Span worker_span("wdr.query.worker");
+    worker_span.AddAttr("worker", static_cast<uint64_t>(worker_id));
     const uint64_t start = NowNanos();
     uint64_t branches_done = 0;
     uint64_t rows_built = 0;
@@ -1191,6 +1212,18 @@ ResultSet EvaluateUnionParallel(const Store& store, const UnionQuery& q,
   };
 
   WorkerPool::Get().Dispatch(workers - 1, work);
+
+  if (options.collect != nullptr) {
+    EvalStats& collect = *options.collect;
+    for (const BranchOutput& out : outputs) {
+      if (!out.evaluated) continue;
+      ++collect.branches;
+      if (out.est_rows >= 0) {
+        collect.est_rows =
+            (collect.est_rows < 0 ? 0 : collect.est_rows) + out.est_rows;
+      }
+    }
+  }
 
   // Idle-at-the-barrier time per worker (how long each waited on the
   // slowest); large values mean skewed branch costs.
@@ -1305,7 +1338,13 @@ ResultSet EvaluateUnionQuery(const Store& store, const UnionQuery& q,
                         " misses)");
     }
   }
-  if (cache_ptr != nullptr) cache_ptr->FlushCounters();
+  if (cache_ptr != nullptr) {
+    cache_ptr->FlushCounters();
+    if (options.collect != nullptr) {
+      options.collect->scan_cache_hits += cache_ptr->hits();
+      options.collect->scan_cache_misses += cache_ptr->misses();
+    }
+  }
   return result;
 }
 

@@ -40,6 +40,21 @@ struct ResultSet {
 // answer-equivalent.
 void ApplySolutionModifiers(const UnionQuery& q, ResultSet& result);
 
+// Per-evaluation measurements for the structured query log, filled when
+// EvaluatorOptions::collect points at an instance. Everything here is
+// already computed by the evaluation; collection adds no extra passes.
+struct EvalStats {
+  // Sum of the planner's per-branch row estimates (plan mode); -1 when no
+  // branch was planned — the legacy join has no cardinality model.
+  double est_rows = -1;
+  // Branches actually evaluated (cancelled branches don't count).
+  uint64_t branches = 0;
+  // This evaluation's cross-branch scan-cache traffic (0/0 when the cache
+  // was not engaged, e.g. single-branch unions).
+  uint64_t scan_cache_hits = 0;
+  uint64_t scan_cache_misses = 0;
+};
+
 // Knobs shared by Evaluator and FederatedEvaluator.
 struct EvaluatorOptions {
   // Pick the cheapest remaining atom at each join step (estimated via
@@ -86,6 +101,10 @@ struct EvaluatorOptions {
   // instead); empty or stale statistics degrade the planner to the greedy
   // bound-first order with nested loops only.
   const exec::Statistics* stats = nullptr;
+  // When non-null, union evaluation accumulates EvalStats here (est-vs-
+  // actual cardinality, scan-cache traffic) for the caller's query-log
+  // record. Not owned; must outlive the evaluation.
+  EvalStats* collect = nullptr;
 };
 
 // BGP / union-of-BGP query evaluation over a triple store, per the paper's

@@ -109,7 +109,15 @@ size_t PropagateParallel(const RuleEngine& engine, rdf::StoreView& closure,
     std::atomic<size_t> next_chunk{0};
     std::vector<uint64_t> busy_nanos(static_cast<size_t>(workers), 0);
 
+    // Worker threads are fresh std::threads with empty trace TLS: adopt
+    // the dispatching thread's context so their spans attach to the
+    // enclosing saturation/query span instead of becoming orphan roots.
+    const obs::TraceContext trace_context = obs::CurrentTraceContext();
+
     auto work = [&](int worker_id) {
+      obs::TraceContextScope trace_scope(trace_context);
+      obs::Span worker_span("wdr.saturation.worker");
+      worker_span.AddAttr("worker", static_cast<uint64_t>(worker_id));
       const uint64_t start = NowNanos();
       size_t derived = 0;
       for (;;) {

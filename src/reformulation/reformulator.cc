@@ -52,6 +52,9 @@ class AtomRewriter {
         encoding_(encoding),
         fresh_counter_(fresh_counter) {}
 
+  // Interval collapses performed across all Rewrite calls so far.
+  size_t range_collapses() const { return range_collapses_; }
+
   template <typename EmitFn>
   void Rewrite(const BgpQuery& q, size_t index, EmitFn&& emit) const {
     const TriplePattern& atom = q.atoms()[index];
@@ -81,6 +84,7 @@ class AtomRewriter {
       // rule firing on a non-type atom, so the range branch is complete on
       // its own (the interval includes p itself).
       if (const rdf::HierInterval* iv = PropertyIntervalFor(atom.p.id)) {
+        ++range_collapses_;
         emit(ReplaceAtom(q, index,
                          TriplePattern{atom.s, PatternTerm::Range(iv->lo, iv->hi),
                                        atom.o}));
@@ -118,6 +122,7 @@ class AtomRewriter {
     // just for c (the fixpoint would otherwise have reached them through
     // the enumerated subclass branches).
     if (const rdf::HierInterval* iv = ClassIntervalFor(c)) {
+      ++range_collapses_;
       emit(ReplaceAtom(q, index,
                        TriplePattern{atom.s, atom.p,
                                      PatternTerm::Range(iv->lo, iv->hi)}));
@@ -184,6 +189,9 @@ class AtomRewriter {
   const schema::Vocabulary& vocab_;
   const rdf::HierEncoding* encoding_;  // may be null
   size_t* fresh_counter_;
+  // mutable: Rewrite is logically const (pure emission), the collapse
+  // count is an observation about it.
+  mutable size_t range_collapses_ = 0;
 };
 
 // Memo key for a BGP. CanonicalKey renames variables positionally, so two
@@ -258,12 +266,15 @@ Result<UnionQuery> Reformulator::Reformulate(const BgpQuery& q,
   WDR_COUNTER_ADD("wdr.reformulation.cqs", result.size());
   WDR_COUNTER_ADD("wdr.reformulation.rewrite_steps", rewrite_steps);
   WDR_COUNTER_ADD("wdr.reformulation.pruned_cqs", pruned);
+  WDR_COUNTER_ADD("wdr.reformulation.range_collapses",
+                  rewriter.range_collapses());
 
   ReformulationStats run_stats;
   run_stats.conjunctive_queries = result.size();
   run_stats.total_atoms = result.TotalAtoms();
   run_stats.rewrite_steps = rewrite_steps;
   run_stats.pruned_cqs = pruned;
+  run_stats.range_collapses = rewriter.range_collapses();
   if (stats != nullptr) *stats = run_stats;
   if (memo_.size() < kMemoCapacity) {
     memo_.emplace(std::move(memo_key), std::make_pair(result, run_stats));
@@ -290,6 +301,7 @@ Result<UnionQuery> Reformulator::Reformulate(const UnionQuery& q,
     total.total_atoms += branch_stats.total_atoms;
     total.rewrite_steps += branch_stats.rewrite_steps;
     total.pruned_cqs += branch_stats.pruned_cqs;
+    total.range_collapses += branch_stats.range_collapses;
   }
   if (stats != nullptr) *stats = total;
   return result;

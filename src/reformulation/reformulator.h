@@ -39,6 +39,10 @@ struct ReformulationStats {
   size_t total_atoms = 0;
   size_t rewrite_steps = 0;  // one-step rewritings applied (pre-dedup)
   size_t pruned_cqs = 0;     // disjuncts removed by minimization
+  // Hierarchy-encoding interval collapses: subclass/subproperty unions
+  // replaced by a single range-constrained atom (0 when the encoding is
+  // off — each collapse stands for a whole enumerated branch family).
+  size_t range_collapses = 0;
 };
 
 // Query reformulation for the RDFS fragment (§II-B, following the EDBT'13

@@ -7,6 +7,7 @@
 #include "io/ntriples.h"
 #include "io/turtle.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "query/sparql_parser.h"
 #include "reasoning/explain.h"
@@ -252,29 +253,68 @@ Result<query::ResultSet> ReasoningStore::Query(std::string_view sparql,
   // A pending encoding rebuild permutes the dictionary id space; run it
   // before parsing so the query's interned ids land in the final space.
   if (options_.encoding) CachedEncoding();
-  WDR_ASSIGN_OR_RETURN(query::UnionQuery q,
-                       query::ParseSparql(sparql, graph_.dict()));
 
-  std::shared_ptr<obs::ProfileNode> profile;
-  if (profiling_ && info != nullptr) {
-    profile = std::make_shared<obs::ProfileNode>();
-    profile->label =
-        std::string("query [mode=") + ReasoningModeName(options_.mode) + "]";
+  // Start the structured query-log record; every exit appends it (errors
+  // included), so /querylog carries one record per executed query.
+  obs::QueryLogRecord record;
+  record.trace_id = span.trace_id();
+  record.query = obs::CanonicalQueryKey(sparql);
+  record.mode = ReasoningModeName(options_.mode);
+  record.backend = rdf::StorageBackendName(options_.backend);
+  record.plan = options_.query.plan;
+  record.encoding = encoding() != nullptr;
+
+  // Route diagnostics through a local QueryInfo when the caller passed
+  // none — the query log wants them either way.
+  QueryInfo local_info;
+  QueryInfo& qinfo = info != nullptr ? *info : local_info;
+  query::EvalStats eval_stats;
+
+  Result<query::ResultSet> result = [&]() -> Result<query::ResultSet> {
+    WDR_ASSIGN_OR_RETURN(query::UnionQuery q,
+                         query::ParseSparql(sparql, graph_.dict()));
+    std::shared_ptr<obs::ProfileNode> profile;
+    if (profiling_ && info != nullptr) {
+      profile = std::make_shared<obs::ProfileNode>();
+      profile->label =
+          std::string("query [mode=") + ReasoningModeName(options_.mode) + "]";
+    }
+    Result<query::ResultSet> r =
+        Dispatch(q, &qinfo, profile.get(), &eval_stats);
+    qinfo.profile = std::move(profile);
+    return r;
+  }();
+
+  qinfo.mode = options_.mode;
+  qinfo.seconds = timer.ElapsedSeconds();
+
+  record.union_size = qinfo.union_size;
+  record.rewrite_steps = qinfo.reformulation.rewrite_steps;
+  record.pruned_cqs = qinfo.reformulation.pruned_cqs;
+  record.range_collapses = qinfo.reformulation.range_collapses;
+  if (eval_stats.est_rows >= 0) {
+    record.est_rows = static_cast<int64_t>(eval_stats.est_rows);
   }
-  Result<query::ResultSet> result = Dispatch(q, info, profile.get());
-  if (info != nullptr) {
-    info->mode = options_.mode;
-    info->seconds = timer.ElapsedSeconds();
-    info->profile = std::move(profile);
+  record.scan_cache_hits = eval_stats.scan_cache_hits;
+  record.scan_cache_misses = eval_stats.scan_cache_misses;
+  record.wall_nanos = static_cast<uint64_t>(qinfo.seconds * 1e9);
+  record.ok = result.ok();
+  if (result.ok()) {
+    record.rows = result.value().rows.size();
+  } else {
+    record.error = result.status().ToString();
   }
+  obs::QueryLog::Get().Append(std::move(record));
   return result;
 }
 
 Result<query::ResultSet> ReasoningStore::Dispatch(const query::UnionQuery& q,
                                                   QueryInfo* info,
-                                                  obs::ProfileNode* profile) {
+                                                  obs::ProfileNode* profile,
+                                                  query::EvalStats* collect) {
   query::Evaluator::Options eval_options = options_.query;
   eval_options.dict = &graph_.dict();
+  eval_options.collect = collect;
   if (eval_options.plan && eval_options.stats == nullptr) {
     // Hand the planner cached statistics so it never pays the O(store)
     // build per query and never degrades on a fresh store.
@@ -302,7 +342,10 @@ Result<query::ResultSet> ReasoningStore::Dispatch(const query::UnionQuery& q,
       obs::MetricsRegistry::Get()
           .GetHistogram("wdr.store.reformulation.rewrite")
           .RecordSeconds(rewrite_seconds);
-      if (info != nullptr) info->union_size = reformulated.size();
+      if (info != nullptr) {
+        info->union_size = reformulated.size();
+        info->reformulation = ref_stats;
+      }
       if (profile != nullptr) {
         obs::ProfileNode& rewrite = profile->AddChild(
             "reformulate (" + std::to_string(reformulated.size()) + " CQs, " +

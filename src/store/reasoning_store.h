@@ -72,6 +72,8 @@ struct QueryInfo {
   ReasoningMode mode = ReasoningMode::kNone;
   size_t union_size = 1;     // UCQ disjuncts evaluated (reformulation)
   double seconds = 0;        // wall-clock, parse included
+  // Rewriting shape (kReformulation mode; zeros elsewhere).
+  reformulation::ReformulationStats reformulation;
   // Per-operator EXPLAIN-ANALYZE tree; set only when the store's
   // profiling flag is on (see SetProfiling). Render() pretty-prints it.
   std::shared_ptr<obs::ProfileNode> profile;
@@ -238,9 +240,12 @@ class ReasoningStore {
   // memoized per-query rewritings until the schema version moves.
   reformulation::Reformulator& CachedReformulator();
 
+  // `collect`, when non-null, receives the evaluator's EvalStats (est-vs-
+  // actual cardinality, scan-cache traffic) for the query-log record.
   Result<query::ResultSet> Dispatch(const query::UnionQuery& q,
                                     QueryInfo* info,
-                                    obs::ProfileNode* profile);
+                                    obs::ProfileNode* profile,
+                                    query::EvalStats* collect = nullptr);
 
   ReasoningStoreOptions options_;
   bool profiling_ = false;

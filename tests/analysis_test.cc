@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/advisor.h"
+#include "analysis/live_profile.h"
 #include "analysis/measure.h"
 #include "common/rng.h"
 #include "reformulation/reformulator.h"
@@ -150,6 +151,52 @@ TEST(MeasureTest, RollsBackUpdates) {
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(first->closure_triples, second->closure_triples);
   EXPECT_EQ(first->answers, second->answers);
+}
+
+TEST(LiveProfileTest, CostProfileFromQueryLogAveragesPerMode) {
+  // Hand-built records: two saturation-mode queries at 2ms and 4ms, one
+  // reformulation-mode query at 10ms, one failed query that must not count.
+  std::vector<obs::QueryLogRecord> records;
+  obs::QueryLogRecord r;
+  r.mode = "saturation";
+  r.wall_nanos = 2'000'000;
+  records.push_back(r);
+  r.wall_nanos = 4'000'000;
+  records.push_back(r);
+  r.mode = "reformulation";
+  r.wall_nanos = 10'000'000;
+  records.push_back(r);
+  r.mode = "saturation";
+  r.wall_nanos = 1'000'000'000;  // would skew the mean if counted
+  r.ok = false;
+  records.push_back(r);
+
+  // Snapshot carrying only the rewrite-cost histogram the reformulation
+  // side subtracts (4ms mean).
+  obs::MetricsSnapshot snapshot;
+  obs::HistogramData rewrite;
+  rewrite.name = "wdr.store.reformulation.rewrite";
+  rewrite.count = 1;
+  rewrite.sum_nanos = 4'000'000;
+  snapshot.histograms.push_back(rewrite);
+
+  CostProfile costs = CostProfileFromQueryLog(records, snapshot);
+  EXPECT_DOUBLE_EQ(costs.eval_saturated_seconds, 0.003);  // mean(2ms, 4ms)
+  // 10ms wall minus the 4ms rewrite mean.
+  EXPECT_DOUBLE_EQ(costs.eval_reformulated_seconds, 0.006);
+  EXPECT_DOUBLE_EQ(costs.reformulation_seconds, 0.004);
+
+  // Modes with no successful records contribute 0, like empty histograms;
+  // a rewrite mean larger than the wall mean clamps at 0 instead of going
+  // negative.
+  CostProfile empty = CostProfileFromQueryLog({}, snapshot);
+  EXPECT_DOUBLE_EQ(empty.eval_saturated_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(empty.eval_reformulated_seconds, 0.0);
+  obs::QueryLogRecord fast;
+  fast.mode = "reformulation";
+  fast.wall_nanos = 1'000'000;  // 1ms wall < 4ms rewrite mean
+  CostProfile clamped = CostProfileFromQueryLog({fast}, snapshot);
+  EXPECT_DOUBLE_EQ(clamped.eval_reformulated_seconds, 0.0);
 }
 
 }  // namespace

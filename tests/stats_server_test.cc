@@ -1,0 +1,315 @@
+#include "obs/stats_server.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/query_log.h"
+#include "obs/trace.h"
+#include "store/reasoning_store.h"
+
+namespace wdr::obs {
+namespace {
+
+// Minimal HTTP/1.0 client over a raw socket — the tests exercise the
+// server exactly the way `curl http://127.0.0.1:PORT/...` would, without
+// depending on curl being present.
+struct HttpResponse {
+  bool ok = false;        // transport-level success (connect + parse)
+  int status = 0;         // e.g. 200, 404
+  std::string content_type;
+  std::string body;
+};
+
+HttpResponse Fetch(int port, const std::string& method,
+                   const std::string& path) {
+  HttpResponse response;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return response;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return response;
+  }
+  const std::string request = method + " " + path +
+                              " HTTP/1.0\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return response;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      ::close(fd);
+      return response;
+    }
+    if (n == 0) break;  // server closes after one response
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) return response;
+  const std::string head = raw.substr(0, header_end);
+  response.body = raw.substr(header_end + 4);
+  std::istringstream lines(head);
+  std::string status_line;
+  if (!std::getline(lines, status_line)) return response;
+  std::istringstream status(status_line);
+  std::string http_version;
+  status >> http_version >> response.status;
+  if (http_version.rfind("HTTP/", 0) != 0 || response.status == 0) {
+    return response;
+  }
+  std::string header;
+  while (std::getline(lines, header)) {
+    if (!header.empty() && header.back() == '\r') header.pop_back();
+    const std::string key = "Content-Type:";
+    if (header.size() > key.size() &&
+        header.compare(0, key.size(), key) == 0) {
+      size_t start = key.size();
+      while (start < header.size() && header[start] == ' ') ++start;
+      response.content_type = header.substr(start);
+    }
+  }
+  response.ok = true;
+  return response;
+}
+
+// Parses a Prometheus text exposition (version 0.0.4) and fails the test
+// on any malformed line — the acceptance check that /metrics really is
+// scrape-able, not just non-empty.
+void ExpectValidPrometheus(const std::string& text) {
+  ASSERT_FALSE(text.empty());
+  auto valid_name = [](const std::string& name) {
+    if (name.empty() || std::isdigit(static_cast<unsigned char>(name[0]))) {
+      return false;
+    }
+    for (char c : name) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != ':')
+        return false;
+    }
+    return true;
+  };
+  std::map<std::string, std::string> types;
+  std::istringstream in(text);
+  std::string line;
+  size_t samples = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, kind, name, type;
+      ls >> hash >> kind >> name >> type;
+      ASSERT_EQ(kind, "TYPE") << line;
+      EXPECT_TRUE(valid_name(name)) << name;
+      EXPECT_TRUE(type == "counter" || type == "gauge" || type == "histogram")
+          << line;
+      types[name] = type;
+      continue;
+    }
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string value = line.substr(space + 1);
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    ASSERT_TRUE(end != nullptr && *end == '\0' && end != value.c_str())
+        << "unparsable value: " << line;
+    std::string name = line.substr(0, space);
+    const size_t brace = name.find('{');
+    if (brace != std::string::npos) name.resize(brace);
+    EXPECT_TRUE(valid_name(name)) << name;
+    // Every sample belongs to a TYPE-declared family (histogram components
+    // strip their _bucket/_sum/_count suffix).
+    bool declared = types.count(name) > 0;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const size_t len = std::string(suffix).size();
+      if (!declared && name.size() > len &&
+          name.compare(name.size() - len, len, suffix) == 0) {
+        declared = types.count(name.substr(0, name.size() - len)) > 0;
+      }
+    }
+    EXPECT_TRUE(declared) << "sample without TYPE: " << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 0u);
+}
+
+TEST(StatsServerTest, ServesIndexOnEphemeralPort) {
+  StatsServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  ASSERT_TRUE(server.running());
+  ASSERT_GT(server.port(), 0);
+  HttpResponse response = Fetch(server.port(), "GET", "/");
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("/metrics"), std::string::npos);
+  EXPECT_NE(response.body.find("/querylog"), std::string::npos);
+  EXPECT_NE(response.body.find("/trace"), std::string::npos);
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(StatsServerTest, MetricsEndpointServesValidPrometheusText) {
+  MetricsRegistry::Get().GetCounter("wdr.test.server.counter").Add(5);
+  MetricsRegistry::Get()
+      .GetHistogram("wdr.test.server.hist")
+      .RecordNanos(1234);
+  StatsServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  HttpResponse response = Fetch(server.port(), "GET", "/metrics");
+  server.Stop();
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.content_type.find("text/plain"), std::string::npos);
+  EXPECT_NE(response.content_type.find("version=0.0.4"), std::string::npos);
+  ExpectValidPrometheus(response.body);
+  EXPECT_NE(response.body.find("wdr_test_server_counter_total"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("wdr_test_server_hist_seconds_bucket"),
+            std::string::npos);
+}
+
+TEST(StatsServerTest, MetricsJsonEndpointServesSnapshot) {
+  MetricsRegistry::Get().GetCounter("wdr.test.server.json").Add(7);
+  StatsServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  HttpResponse response = Fetch(server.port(), "GET", "/metrics.json");
+  server.Stop();
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.content_type.find("application/json"),
+            std::string::npos);
+  ASSERT_FALSE(response.body.empty());
+  EXPECT_EQ(response.body.front(), '{');
+  EXPECT_NE(response.body.find("\"wdr.test.server.json\":"),
+            std::string::npos);
+}
+
+TEST(StatsServerTest, QuerylogEndpointReturnsOneRecordPerQuery) {
+  QueryLog::Get().Clear();
+  store::ReasoningStoreOptions options;
+  options.mode = store::ReasoningMode::kReformulation;
+  options.encoding = false;
+  store::ReasoningStore store(options);
+  ASSERT_TRUE(store
+                  .LoadTurtle("@prefix ex: <http://ex.org/> .\n"
+                              "@prefix rdfs: "
+                              "<http://www.w3.org/2000/01/rdf-schema#> .\n"
+                              "ex:Cat rdfs:subClassOf ex:Animal .\n"
+                              "ex:tom a ex:Cat .\n")
+                  .ok());
+  const char* query =
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+      "PREFIX ex: <http://ex.org/>\n"
+      "SELECT ?x WHERE { ?x rdf:type ex:Animal }";
+  ASSERT_TRUE(store.Query(query).ok());
+  ASSERT_TRUE(store.Query(query).ok());
+
+  StatsServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  HttpResponse response = Fetch(server.port(), "GET", "/querylog");
+  server.Stop();
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.content_type.find("application/x-ndjson"),
+            std::string::npos);
+  std::istringstream in(response.body);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"mode\":\"reformulation\""), std::string::npos);
+    EXPECT_NE(line.find("\"wall_nanos\":"), std::string::npos);
+    EXPECT_NE(line.find("\"rows\":"), std::string::npos);
+    EXPECT_NE(line.find("\"est_rows\":"), std::string::npos);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+  QueryLog::Get().Clear();
+}
+
+TEST(StatsServerTest, TraceEndpointServesBufferedSpans) {
+  ClearTrace();
+  SetTraceEnabled(true);
+  {
+    Span span("wdr.test.server_span");
+  }
+  SetTraceEnabled(false);
+  StatsServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  HttpResponse response = Fetch(server.port(), "GET", "/trace");
+  server.Stop();
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.content_type.find("application/x-ndjson"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("\"name\":\"wdr.test.server_span\""),
+            std::string::npos);
+  ClearTrace();
+}
+
+TEST(StatsServerTest, UnknownPathIs404AndNonGetIs405) {
+  StatsServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  HttpResponse not_found = Fetch(server.port(), "GET", "/nope");
+  ASSERT_TRUE(not_found.ok);
+  EXPECT_EQ(not_found.status, 404);
+  HttpResponse bad_method = Fetch(server.port(), "POST", "/metrics");
+  ASSERT_TRUE(bad_method.ok);
+  EXPECT_EQ(bad_method.status, 405);
+  server.Stop();
+}
+
+TEST(StatsServerTest, QueryStringIsIgnoredInRouting) {
+  StatsServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  HttpResponse response = Fetch(server.port(), "GET", "/metrics?name=wdr");
+  server.Stop();
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(response.status, 200);
+}
+
+TEST(StatsServerTest, StopThenRestartOnNewPort) {
+  StatsServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  const int first_port = server.port();
+  // Starting an already-running server is an error, not a silent rebind.
+  EXPECT_FALSE(server.Start(0).ok());
+  server.Stop();
+  // The old port no longer accepts connections.
+  EXPECT_FALSE(Fetch(first_port, "GET", "/").ok);
+  ASSERT_TRUE(server.Start(0).ok());
+  HttpResponse response = Fetch(server.port(), "GET", "/");
+  EXPECT_TRUE(response.ok);
+  EXPECT_EQ(response.status, 200);
+  server.Stop();
+  // Stop is idempotent.
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace wdr::obs
