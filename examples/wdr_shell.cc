@@ -5,7 +5,11 @@
 //   wdr_shell [--mode=saturation|reformulation|backward|none]
 //             [--backend=ordered|flat] [--threads=N] [--query-threads=N]
 //             [--plan] [--encoding=on|off] [--explain] [--script=FILE]
-//             [--serve=PORT] [file.ttl ...]
+//             [--serve=PORT] [--listen=PORT] [file.ttl ...]
+//
+// With --listen=PORT (or `.listen PORT` at the prompt) the shell starts
+// the concurrent query server on the loaded data and — when stdin is not
+// a command stream — stays up serving clients until interrupted.
 //
 // Reads commands from stdin (one per line):
 //   SELECT ...          run a SPARQL query
@@ -25,6 +29,10 @@
 //   .stats              store statistics + live wdr.* metrics
 //   .serve PORT / off   live stats endpoint on 127.0.0.1:PORT — /metrics
 //                       (Prometheus), /metrics.json, /querylog, /trace
+//   .listen PORT / off  multi-client query server on 127.0.0.1:PORT: the
+//                       current graph is snapshotted into a concurrent
+//                       wdr::server::SnapshotStore and served over the
+//                       framed protocol (connect with wdr_client)
 //   .slowlog MS / off   flag queries at or above MS milliseconds as slow
 //                       in the query log
 //   .help               this text
@@ -39,19 +47,25 @@
 //
 // Without stdin input (or with --demo) runs a scripted demonstration so
 // the binary is exercisable non-interactively.
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/strings.h"
+#include "io/turtle_writer.h"
 #include "obs/metrics.h"
 #include "obs/query_log.h"
 #include "obs/stats_server.h"
 #include "obs/trace.h"
+#include "server/server.h"
+#include "server/snapshot_store.h"
 #include "store/reasoning_store.h"
 
 namespace {
@@ -64,6 +78,12 @@ std::string g_trace_path;
 
 // The ".serve" / "--serve=" endpoint; stopped on destruction.
 wdr::obs::StatsServer g_stats_server;
+
+// The ".listen" / "--listen=" query server and its snapshot-isolated
+// store. The snapshot is taken when listening starts: later shell-local
+// commands do not feed it — clients update it over the wire.
+std::unique_ptr<wdr::server::SnapshotStore> g_snapshot_store;
+std::unique_ptr<wdr::server::Server> g_query_server;
 
 // --explain: print the operator tree after every query.
 bool g_explain = false;
@@ -108,6 +128,10 @@ void PrintHelp() {
                "  .serve PORT           live stats endpoint on 127.0.0.1:PORT "
                "(/metrics, /metrics.json, /querylog, /trace)\n"
                "  .serve off            stop the stats endpoint\n"
+               "  .listen PORT          multi-client query server on "
+               "127.0.0.1:PORT (snapshot of the current graph; connect with "
+               "wdr_client)\n"
+               "  .listen off           stop the query server\n"
                "  .slowlog MS           flag queries >= MS ms as slow in the "
                "query log\n"
                "  .slowlog off          disable the slow-query flag\n"
@@ -173,6 +197,49 @@ bool StopTrace() {
   std::cout << "wrote " << events << " span(s) to " << g_trace_path << "\n";
   g_trace_path.clear();
   wdr::obs::ClearTrace();
+  return true;
+}
+
+// Snapshots the shell's current graph into a concurrent SnapshotStore
+// (same mode/backend/settings) and starts the framed-protocol query
+// server on it.
+bool StartListen(const ReasoningStore& store, int port) {
+  if (g_query_server != nullptr) {
+    g_query_server->Stop();
+    g_query_server.reset();
+    g_snapshot_store.reset();
+  }
+  wdr::store::ReasoningStoreOptions options;
+  options.mode = store.mode();
+  options.backend = store.backend();
+  options.query.plan = store.plan_mode();
+  options.query.threads = store.query_threads();
+  options.saturation.threads = store.saturation_threads();
+  options.encoding = store.encoding_enabled();
+  g_snapshot_store =
+      std::make_unique<wdr::server::SnapshotStore>(options);
+  auto loaded = g_snapshot_store->LoadTurtle(wdr::io::WriteTurtle(
+      store.graph(), {{"ex", "http://ex.org/"}}));
+  if (!loaded.ok()) {
+    std::cerr << "snapshot failed: " << loaded.status() << "\n";
+    g_snapshot_store.reset();
+    return false;
+  }
+  wdr::server::ServerOptions server_options;
+  server_options.port = port;
+  g_query_server = std::make_unique<wdr::server::Server>(*g_snapshot_store,
+                                                         server_options);
+  wdr::Status status = g_query_server->Start();
+  if (!status.ok()) {
+    std::cerr << status << "\n";
+    g_query_server.reset();
+    g_snapshot_store.reset();
+    return false;
+  }
+  std::cout << "query server listening on 127.0.0.1:"
+            << g_query_server->port() << " (" << *loaded
+            << " triples snapshotted; connect with wdr_client --port="
+            << g_query_server->port() << ")\n";
   return true;
 }
 
@@ -339,6 +406,27 @@ bool RunCommand(ReasoningStore& store, const std::string& line) {
       }
       return StartServe(static_cast<int>(port));
     }
+    if (command == ".listen") {
+      if (argument == "off") {
+        if (g_query_server == nullptr) {
+          std::cerr << "query server is not running\n";
+          return false;
+        }
+        g_query_server->Stop();
+        g_query_server.reset();
+        g_snapshot_store.reset();
+        std::cout << "query server stopped\n";
+        return true;
+      }
+      char* end = nullptr;
+      const long port = std::strtol(argument.c_str(), &end, 10);
+      if (argument.empty() || end == nullptr || *end != '\0' || port < 0 ||
+          port > 65535) {
+        std::cerr << "usage: .listen PORT | .listen off\n";
+        return false;
+      }
+      return StartListen(store, static_cast<int>(port));
+    }
     if (command == ".slowlog") {
       if (argument == "off") {
         wdr::obs::QueryLog::Get().SetSlowThresholdNanos(0);
@@ -465,6 +553,7 @@ void RunDemo(ReasoningStore& store) {
 int main(int argc, char** argv) {
   wdr::store::ReasoningStoreOptions options;
   bool demo = false;
+  int listen_port = -1;  // -1 = no --listen flag (0 picks an ephemeral port)
   std::string script_path;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
@@ -512,6 +601,14 @@ int main(int argc, char** argv) {
         return EXIT_FAILURE;
       }
       if (!StartServe(static_cast<int>(port))) return EXIT_FAILURE;
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      char* end = nullptr;
+      const long port = std::strtol(arg.c_str() + 9, &end, 10);
+      if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+        std::cerr << "invalid port in " << arg << "\n";
+        return EXIT_FAILURE;
+      }
+      listen_port = static_cast<int>(port);
     } else if (arg.rfind("--script=", 0) == 0) {
       script_path = arg.substr(9);
     } else if (arg == "--script" && i + 1 < argc) {
@@ -526,6 +623,10 @@ int main(int argc, char** argv) {
   ReasoningStore store(options);
   for (const std::string& file : files) {
     if (LoadFile(store, file) < 0) return EXIT_FAILURE;
+  }
+
+  if (listen_port >= 0 && !StartListen(store, listen_port)) {
+    return EXIT_FAILURE;
   }
 
   if (!script_path.empty()) {
@@ -545,6 +646,17 @@ int main(int argc, char** argv) {
       }
     }
     if (!g_trace_path.empty()) StopTrace();
+    return EXIT_SUCCESS;
+  }
+
+  // With --listen and no command stream, stay up serving clients until
+  // interrupted — the plain "run me as a server" invocation.
+  if (listen_port >= 0 && !demo &&
+      std::cin.peek() == std::char_traits<char>::eof()) {
+    std::cout << "serving; interrupt (Ctrl-C) to stop\n";
+    while (g_query_server != nullptr && g_query_server->running()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
     return EXIT_SUCCESS;
   }
 

@@ -19,6 +19,10 @@ enum class StatusCode {
   kOutOfRange,
   kResourceExhausted,
   kInternal,
+  kFailedPrecondition,
+  kDeadlineExceeded,
+  kCancelled,
+  kUnavailable,
 };
 
 // Returns a stable human-readable name for `code`, e.g. "InvalidArgument".
@@ -66,6 +70,10 @@ Status ParseError(std::string message);
 Status OutOfRangeError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status InternalError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status CancelledError(std::string message);
+Status UnavailableError(std::string message);
 
 // Holds either a value of type T or an error Status. Accessing the value of
 // an error Result is a programming bug and aborts via assert in debug

@@ -2,10 +2,21 @@
 #define WDR_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 #include <type_traits>
 #include <utility>
 
 namespace wdr {
+
+// Absolute steady-clock nanos, the time base of every deadline in the
+// library (query::EvaluatorOptions::deadline_nanos and the server's
+// per-query timeouts): deadline = SteadyNowNanos() + budget.
+inline uint64_t SteadyNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 // Monotonic wall-clock stopwatch used by the benchmark harnesses.
 class Timer {

@@ -1,0 +1,140 @@
+#include "obs/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace wdr::obs {
+
+Status ListenSocket::Start(int port, int backlog) {
+  if (listening()) {
+    return InvalidArgumentError("socket already listening on port " +
+                                std::to_string(port_));
+  }
+  if (port < 0 || port > 65535) {
+    return InvalidArgumentError("invalid port " + std::to_string(port));
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = InternalError(std::string("bind 127.0.0.1:") +
+                             std::to_string(port) + ": " +
+                             std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status s = InternalError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  // Resolve the ephemeral port before anyone starts accepting.
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+  fd_ = fd;
+  return Status::Ok();
+}
+
+int ListenSocket::Accept() {
+  for (;;) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    return -1;  // shut down or unrecoverable
+  }
+}
+
+void ListenSocket::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void ListenSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    port_ = 0;
+  }
+}
+
+bool SendAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;  // peer gone or send timeout
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool ReadHttpRequestHead(int fd, HttpRequest* request, size_t max_bytes) {
+  std::string head;
+  char buf[2048];
+  while (head.size() < max_bytes &&
+         head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    head.append(buf, static_cast<size_t>(n));
+  }
+  // Request line: METHOD SP PATH SP VERSION.
+  const size_t eol = head.find_first_of("\r\n");
+  const std::string line = head.substr(0, eol);
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  request->method = line.substr(0, sp1);
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  request->path = line.substr(
+      sp1 + 1, sp2 == std::string::npos ? std::string::npos : sp2 - sp1 - 1);
+  if (request->path.empty()) return false;
+  // Strip any query string; the embedded routes take no parameters.
+  if (size_t q = request->path.find('?'); q != std::string::npos) {
+    request->path.resize(q);
+  }
+  return true;
+}
+
+const char* HttpStatusLine(int status) {
+  switch (status) {
+    case 200:
+      return "200 OK";
+    case 400:
+      return "400 Bad Request";
+    case 404:
+      return "404 Not Found";
+    case 405:
+      return "405 Method Not Allowed";
+    case 503:
+      return "503 Service Unavailable";
+    default:
+      return "500 Internal Server Error";
+  }
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.0 ";
+  out += HttpStatusLine(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: " + std::to_string(response.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace wdr::obs

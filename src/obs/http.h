@@ -1,0 +1,88 @@
+#ifndef WDR_OBS_HTTP_H_
+#define WDR_OBS_HTTP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace wdr::obs {
+
+// Zero-dependency POSIX socket plumbing shared by the telemetry endpoint
+// (obs::StatsServer) and the query front-end (wdr::server::Server). Both
+// servers are loopback TCP listeners with one blocking accept loop; this
+// header owns the parts that are identical — bind/listen/accept/shutdown,
+// full-buffer sends, and the HTTP/1.0 request/response framing — so the
+// two front doors cannot drift apart on socket handling.
+
+// A bound, listening loopback TCP socket. Start() binds 127.0.0.1:port
+// (port 0 picks an ephemeral port, resolved into port()); Shutdown()
+// unblocks a concurrent Accept() (which then returns a negative fd) and
+// Close() releases the descriptor. The Shutdown/Close split mirrors the
+// stop protocol of an accept-loop thread: shut down first, join the loop,
+// then close.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket() { Close(); }
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  // InvalidArgument for out-of-range ports or when already listening;
+  // Internal with errno detail when socket/bind/listen fails.
+  Status Start(int port, int backlog = 16);
+
+  // Accepts one connection; blocks. Returns the connection fd, or a
+  // negative value when the socket was shut down or accept failed
+  // unrecoverably (EINTR is retried internally).
+  int Accept();
+
+  void Shutdown();
+  void Close();
+
+  bool listening() const { return fd_ >= 0; }
+  int port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+// Sends the whole buffer (retrying partial sends, MSG_NOSIGNAL). Returns
+// false when the peer is gone or the send times out; there is nothing
+// useful to do beyond closing in that case.
+bool SendAll(int fd, std::string_view data);
+
+// One parsed HTTP request head.
+struct HttpRequest {
+  std::string method;
+  std::string path;  // query string stripped
+};
+
+// Reads from `fd` until the end of the request head (CRLFCRLF or LFLF,
+// capped at `max_bytes`) — tolerating arbitrarily fragmented reads, since
+// TCP makes no delivery-unit promises — and parses the request line.
+// Returns false on EOF before a complete head, on a cap overflow, or on a
+// malformed request line. The request body, if any, is not consumed.
+bool ReadHttpRequestHead(int fd, HttpRequest* request,
+                         size_t max_bytes = 16 * 1024);
+
+// One response to serialize.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+// Renders status + headers + body as one HTTP/1.0 Connection: close
+// response buffer.
+std::string SerializeHttpResponse(const HttpResponse& response);
+
+// The reason phrase line for the handful of statuses the embedded servers
+// emit ("200 OK", "404 Not Found", ...).
+const char* HttpStatusLine(int status);
+
+}  // namespace wdr::obs
+
+#endif  // WDR_OBS_HTTP_H_

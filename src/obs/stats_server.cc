@@ -1,15 +1,11 @@
 #include "obs/stats_server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
-#include <cerrno>
-#include <cstring>
 #include <sstream>
 #include <string>
 
+#include "obs/http.h"
 #include "obs/metrics.h"
 #include "obs/query_log.h"
 #include "obs/trace.h"
@@ -17,28 +13,9 @@
 namespace wdr::obs {
 namespace {
 
-struct Response {
-  int status = 200;
-  std::string content_type = "text/plain; charset=utf-8";
-  std::string body;
-};
-
-const char* StatusLine(int status) {
-  switch (status) {
-    case 200:
-      return "200 OK";
-    case 404:
-      return "404 Not Found";
-    case 405:
-      return "405 Method Not Allowed";
-    default:
-      return "500 Internal Server Error";
-  }
-}
-
-Response Handle(const std::string& method, const std::string& path) {
+HttpResponse Handle(const std::string& method, const std::string& path) {
   WDR_COUNTER_INC("wdr.statsserver.requests");
-  Response r;
+  HttpResponse r;
   if (method != "GET") {
     r.status = 405;
     r.body = "method not allowed\n";
@@ -77,53 +54,15 @@ Response Handle(const std::string& method, const std::string& path) {
   return r;
 }
 
-void WriteAll(int fd, const std::string& data) {
-  size_t off = 0;
-  while (off < data.size()) {
-    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
-    if (n <= 0) return;  // peer gone; nothing useful to do
-    off += static_cast<size_t>(n);
-  }
-}
-
 void ServeConnection(int fd) {
-  // Read until the end of the request head (or a sane cap). The request
-  // body, if any, is ignored — every route is GET-shaped.
-  std::string head;
-  char buf[2048];
-  while (head.size() < 16 * 1024 &&
-         head.find("\r\n\r\n") == std::string::npos &&
-         head.find("\n\n") == std::string::npos) {
-    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    head.append(buf, static_cast<size_t>(n));
+  HttpRequest request;
+  HttpResponse r;
+  if (ReadHttpRequestHead(fd, &request)) {
+    r = Handle(request.method, request.path);
+  } else {
+    r = HttpResponse{405, "text/plain", "bad request\n"};
   }
-  // Request line: METHOD SP PATH SP VERSION.
-  std::string method, path;
-  {
-    size_t eol = head.find_first_of("\r\n");
-    std::string line = head.substr(0, eol);
-    size_t sp1 = line.find(' ');
-    if (sp1 != std::string::npos) {
-      method = line.substr(0, sp1);
-      size_t sp2 = line.find(' ', sp1 + 1);
-      path = line.substr(sp1 + 1, sp2 == std::string::npos
-                                      ? std::string::npos
-                                      : sp2 - sp1 - 1);
-    }
-  }
-  // Strip any query string; routes take no parameters.
-  if (size_t q = path.find('?'); q != std::string::npos) path.resize(q);
-  Response r = path.empty() ? Response{405, "text/plain", "bad request\n"}
-                            : Handle(method, path);
-  std::string out = "HTTP/1.0 ";
-  out += StatusLine(r.status);
-  out += "\r\nContent-Type: ";
-  out += r.content_type;
-  out += "\r\nContent-Length: " + std::to_string(r.body.size());
-  out += "\r\nConnection: close\r\n\r\n";
-  out += r.body;
-  WriteAll(fd, out);
+  SendAll(fd, SerializeHttpResponse(r));
 }
 
 }  // namespace
@@ -133,39 +72,8 @@ Status StatsServer::Start(int port) {
     return InvalidArgumentError("stats server already running on port " +
                                 std::to_string(port_));
   }
-  if (port < 0 || port > 65535) {
-    return InvalidArgumentError("invalid port " + std::to_string(port));
-  }
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return InternalError(std::string("socket: ") + std::strerror(errno));
-  }
-  int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status s = InternalError(std::string("bind 127.0.0.1:") +
-                             std::to_string(port) + ": " +
-                             std::strerror(errno));
-    ::close(fd);
-    return s;
-  }
-  if (::listen(fd, 16) != 0) {
-    Status s = InternalError(std::string("listen: ") + std::strerror(errno));
-    ::close(fd);
-    return s;
-  }
-  // Resolve the ephemeral port before the loop starts serving.
-  socklen_t len = sizeof(addr);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
-    port_ = ntohs(addr.sin_port);
-  } else {
-    port_ = port;
-  }
-  listen_fd_ = fd;
+  WDR_RETURN_IF_ERROR(listener_.Start(port));
+  port_ = listener_.port();
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
@@ -173,11 +81,8 @@ Status StatsServer::Start(int port) {
 
 void StatsServer::AcceptLoop() {
   while (running()) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listen socket shut down (Stop) or unrecoverable
-    }
+    int fd = listener_.Accept();
+    if (fd < 0) break;  // listen socket shut down (Stop) or unrecoverable
     ServeConnection(fd);
     ::close(fd);
   }
@@ -185,12 +90,11 @@ void StatsServer::AcceptLoop() {
 
 void StatsServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
-  // shutdown() unblocks the accept() in the loop thread; close() then
-  // releases the descriptor once the loop has observed running_ == false.
-  ::shutdown(listen_fd_, SHUT_RDWR);
+  // Shutdown unblocks the accept() in the loop thread; Close then releases
+  // the descriptor once the loop has observed running_ == false.
+  listener_.Shutdown();
   if (thread_.joinable()) thread_.join();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  listener_.Close();
   port_ = 0;
 }
 

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/status.h"
+#include "obs/http.h"
 
 namespace wdr::obs {
 
@@ -50,7 +51,7 @@ class StatsServer {
 
   std::thread thread_;
   std::atomic<bool> running_{false};
-  int listen_fd_ = -1;
+  ListenSocket listener_;
   int port_ = 0;
 };
 

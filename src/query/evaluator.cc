@@ -36,6 +36,40 @@ uint64_t NowNanos() {
           .count());
 }
 
+// Cooperative-cancellation probe built from EvaluatorOptions::cancel /
+// deadline_nanos. The flag costs one relaxed load per probe; the deadline
+// clock is only read every kClockStride probes (a syscall-adjacent clock
+// read per enumerated triple would dominate small scans). Each evaluation
+// thread carries its own probe by value so the stride counter is never
+// shared; the underlying atomic flag is what coordinates across threads.
+class CancelProbe {
+ public:
+  CancelProbe() = default;
+  explicit CancelProbe(const EvaluatorOptions& options)
+      : cancel_(options.cancel), deadline_(options.deadline_nanos) {}
+
+  bool enabled() const { return cancel_ != nullptr || deadline_ != 0; }
+
+  // True once the flag has been raised or the deadline has passed; sticky.
+  bool Expired() {
+    if (expired_) return true;
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      expired_ = true;
+    } else if (deadline_ != 0 && (++ticks_ & (kClockStride - 1)) == 0 &&
+               NowNanos() >= deadline_) {
+      expired_ = true;
+    }
+    return expired_;
+  }
+
+ private:
+  static constexpr uint64_t kClockStride = 4096;  // power of two
+  const std::atomic<bool>* cancel_ = nullptr;
+  uint64_t deadline_ = 0;
+  uint64_t ticks_ = 0;
+  bool expired_ = false;
+};
+
 // Lowers `target` to `value` if smaller (atomic fetch-min).
 void AtomicMin(std::atomic<size_t>& target, size_t value) {
   size_t current = target.load(std::memory_order_relaxed);
@@ -314,6 +348,11 @@ class BgpJoin {
     eager_cache_ = eager;
   }
 
+  // Attaches a cooperative-cancellation probe (may be null); checked per
+  // enumerated triple, so a cancelled join stops mid-scan. `probe` must
+  // outlive Run().
+  void set_cancel(CancelProbe* probe) { cancel_probe_ = probe; }
+
   const std::vector<TermId>& bindings() const { return bindings_; }
 
  private:
@@ -357,6 +396,10 @@ class BgpJoin {
 
     AtomStats* as = stats_ ? &(*stats_)[atom_index] : nullptr;
     auto process = [&](const Triple& t) {
+      if (cancel_probe_ != nullptr && cancel_probe_->Expired()) {
+        stopped_ = true;
+        return false;
+      }
       if (as) ++as->triples;
       // Bind unbound variable positions, enforcing repeated-variable
       // consistency (e.g. ?x ?p ?x). At most three variables bind per
@@ -519,6 +562,7 @@ class BgpJoin {
   std::vector<TermId> bindings_;
   std::vector<size_t> remaining_;
   std::vector<AtomStats>* stats_ = nullptr;  // not owned; null = no profiling
+  CancelProbe* cancel_probe_ = nullptr;      // not owned; null = no deadline
   ScanCache* cache_ = nullptr;               // not owned; null = no caching
   bool eager_cache_ = true;                  // see set_scan_cache
   std::vector<std::vector<Triple>> scratch_;  // per-depth tee buffers
@@ -849,6 +893,9 @@ ResultSet EvaluateBgp(const Store& store, const BgpQuery& q,
   ResultSet result;
   result.var_names = q.ProjectionNames();
   const uint64_t start = NowNanos();
+  // Plan-path executors probe per emitted row (the batch pipeline has no
+  // per-triple hook); the legacy join probes per enumerated triple.
+  CancelProbe probe(options);
 
   if (options.plan) {
     std::optional<exec::Statistics> local_stats;
@@ -865,13 +912,13 @@ ResultSet EvaluateBgp(const Store& store, const BgpQuery& q,
                                if (seen.insert(row).second) {
                                  result.rows.push_back(row);
                                }
-                               return true;
+                               return !probe.Expired();
                              });
       } else {
         ExecutePlannedBranch(store, plan, options, /*cache=*/nullptr,
                              /*eager=*/true, profile, scratch, [&](Row& row) {
                                result.rows.push_back(row);
-                               return true;
+                               return !probe.Expired();
                              });
       }
       if (profile != nullptr) {
@@ -884,6 +931,7 @@ ResultSet EvaluateBgp(const Store& store, const BgpQuery& q,
 
   std::vector<AtomStats> stats;
   BgpJoin<Store> join(store, q, options.greedy_join_order);
+  if (probe.enabled()) join.set_cancel(&probe);
   if (profile != nullptr) {
     stats.resize(q.atoms().size());
     join.set_stats(&stats);
@@ -935,6 +983,7 @@ ResultSet EvaluateUnionSequential(const Store& store, const UnionQuery& q,
   ResultSet result;
   const size_t max_rows = MaxRowsNeeded(q);
   std::unordered_set<Row, RowHash> seen;
+  CancelProbe probe(options);
   obs::ProfileNode* overflow = nullptr;
   size_t overflow_branches = 0;
   size_t branch_index = 0;
@@ -943,6 +992,7 @@ ResultSet EvaluateUnionSequential(const Store& store, const UnionQuery& q,
       result.var_names = branch.ProjectionNames();
     }
     if (result.rows.size() >= max_rows) break;
+    if (probe.enabled() && probe.Expired()) break;
     const size_t rows_before = result.rows.size();
     obs::Span branch_span("wdr.query.branch");
     branch_span.AddAttr("branch", static_cast<uint64_t>(branch_index));
@@ -963,7 +1013,7 @@ ResultSet EvaluateUnionSequential(const Store& store, const UnionQuery& q,
     Row scratch;
     auto emit = [&](Row& row) {
       if (seen.insert(row).second) result.rows.push_back(row);
-      return result.rows.size() < max_rows;
+      return result.rows.size() < max_rows && !probe.Expired();
     };
     if (options.plan) {
       exec::CompiledPlan plan =
@@ -1001,6 +1051,7 @@ ResultSet EvaluateUnionSequential(const Store& store, const UnionQuery& q,
     } else {
       BgpJoin<Store> join(store, branch, options.greedy_join_order);
       join.set_scan_cache(cache, /*eager=*/max_rows == SIZE_MAX);
+      if (probe.enabled()) join.set_cancel(&probe);
       if (profile != nullptr) {
         stats.resize(branch.atoms().size());
         join.set_stats(&stats);
@@ -1066,14 +1117,15 @@ void EvaluateBranch(const Store& store, const BgpQuery& branch,
                     ScanCache* cache, const exec::Statistics* plan_stats,
                     size_t max_rows, std::atomic<size_t>& stop_after,
                     bool profiled, std::unordered_set<Row, RowHash>& seen,
-                    Row& scratch, size_t& worker_rows, BranchOutput& out) {
+                    Row& scratch, size_t& worker_rows, CancelProbe& probe,
+                    BranchOutput& out) {
   out.evaluated = true;
   obs::Span branch_span("wdr.query.branch");
   branch_span.AddAttr("branch", static_cast<uint64_t>(branch_index));
   const uint64_t start = NowNanos();
   auto emit_unbounded = [&](Row& row) {
     if (seen.insert(row).second) out.rows.push_back(row);
-    return true;
+    return !probe.Expired();
   };
   auto emit_bounded = [&](Row& row) {
     if (stop_after.load(std::memory_order_relaxed) < branch_index) {
@@ -1087,7 +1139,7 @@ void EvaluateBranch(const Store& store, const BgpQuery& branch,
       AtomicMin(stop_after, branch_index);
       return false;
     }
-    return true;
+    return !probe.Expired();
   };
   if (options.plan) {
     exec::CompiledPlan plan = PlanBgpBranch(store, branch, options, plan_stats);
@@ -1112,6 +1164,7 @@ void EvaluateBranch(const Store& store, const BgpQuery& branch,
   }
   BgpJoin<Store> join(store, branch, options.greedy_join_order);
   join.set_scan_cache(cache, /*eager=*/max_rows == SIZE_MAX);
+  if (probe.enabled()) join.set_cancel(&probe);
   if (profiled) {
     out.stats.resize(branch.atoms().size());
     join.set_stats(&out.stats);
@@ -1184,16 +1237,21 @@ ResultSet EvaluateUnionParallel(const Store& store, const UnionQuery& q,
     std::unordered_set<Row, RowHash> seen;
     Row scratch;
     size_t worker_rows = 0;
+    // Worker-local probe: the stride counter must not be shared, while the
+    // underlying cancel flag/deadline are common to all workers.
+    CancelProbe probe(options);
     for (;;) {
+      if (probe.enabled() && probe.Expired()) break;
       const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) break;
       const size_t lo = c * chunk_size;
       const size_t hi = std::min(n, lo + chunk_size);
       for (size_t b = lo; b < hi; ++b) {
         if (b > stop_after.load(std::memory_order_relaxed)) continue;
+        if (probe.enabled() && probe.Expired()) break;
         EvaluateBranch(store, q.branches()[b], b, options, cache, plan_stats,
                        max_rows, stop_after, profiled, seen, scratch,
-                       worker_rows, outputs[b]);
+                       worker_rows, probe, outputs[b]);
         ++branches_done;
         rows_built += outputs[b].rows.size();
       }

@@ -1,6 +1,7 @@
 #ifndef WDR_QUERY_EVALUATOR_H_
 #define WDR_QUERY_EVALUATOR_H_
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -105,6 +106,18 @@ struct EvaluatorOptions {
   // actual cardinality, scan-cache traffic) for the caller's query-log
   // record. Not owned; must outlive the evaluation.
   EvalStats* collect = nullptr;
+  // Cooperative cancellation, for callers serving queries with a timeout
+  // (the server's per-query deadline). When `cancel` is non-null and
+  // becomes true, or `deadline_nanos` (absolute std::chrono::steady_clock
+  // nanos; 0 = none) passes, evaluation stops soon after — mid-scan, mid-
+  // branch — and returns whatever rows it had. A truncated ResultSet is
+  // indistinguishable from a complete one here, so callers that need
+  // all-or-nothing semantics must re-check the condition after Evaluate
+  // returns and discard the rows (ReasoningStore::Execute does). The flag
+  // is probed per emitted triple; the clock is only read every few
+  // thousand triples so the uncancelled path stays unmeasurable.
+  const std::atomic<bool>* cancel = nullptr;
+  uint64_t deadline_nanos = 0;
 };
 
 // BGP / union-of-BGP query evaluation over a triple store, per the paper's

@@ -134,13 +134,28 @@ void FlatTripleStore::MaybeCompact() {
   const size_t pending = delta_[0].size() + tombstones_.size();
   if (pending < kMergeFloor) return;
   if (pending * 4 < main_[0].size()) return;  // amortize the linear rebuild
-  if (open_scans_.load(std::memory_order_relaxed) > 0) {
-    // Cursors hold pointers into main_; the merge is retried on the next
-    // mutation after they close.
+  if (Restructurable()) {
+    Compact();
+  } else {
+    // Cursors or pinned readers hold pointers into main_; the merge is
+    // retried on the next mutation after they release.
     WDR_COUNTER_INC("wdr.store.flat.compactions_deferred");
-    return;
+  }
+}
+
+bool FlatTripleStore::TryCompact() {
+  if (delta_[0].empty() && tombstones_.empty()) return true;
+  if (!Restructurable()) {
+    WDR_COUNTER_INC("wdr.store.flat.compactions_deferred");
+    return false;
   }
   Compact();
+  return true;
+}
+
+bool FlatTripleStore::Restructurable() const {
+  return open_scans_.load(std::memory_order_relaxed) == 0 &&
+         epoch_pins_.load(std::memory_order_relaxed) == 0;
 }
 
 bool FlatTripleStore::InMain(const Triple& t) const {
@@ -188,8 +203,7 @@ size_t FlatTripleStore::InsertBatch(std::span<const Triple> batch) {
     Build(std::vector<Triple>(batch.begin(), batch.end()));
     return size();
   }
-  if (open_scans_.load(std::memory_order_relaxed) == 0 &&
-      batch.size() >= kMergeFloor &&
+  if (Restructurable() && batch.size() >= kMergeFloor &&
       batch.size() * 2 >= before) {
     // Large batch relative to the store: one linear rebuild beats
     // per-triple delta maintenance.

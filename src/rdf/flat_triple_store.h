@@ -68,8 +68,25 @@ class FlatTripleStore final : public StoreView {
   void Build(std::vector<Triple> triples);
 
   // Merges the delta log and tombstones into the main arrays now. Must not
-  // be called while a scan is open.
+  // be called while a scan is open or an epoch pin is held.
   void Compact();
+
+  // Compacts if pending work exists and no scan or pin forbids it; counts
+  // a deferral (wdr.store.flat.compactions_deferred) and returns false
+  // otherwise. The deterministic compaction hook for fault-injection tests.
+  bool TryCompact() override;
+
+  // Epoch pins defer merges exactly like open cursors: a pinned reader may
+  // keep scanning the frozen main arrays across many scans.
+  void PinEpoch() const override {
+    epoch_pins_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void UnpinEpoch() const override {
+    epoch_pins_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  size_t epoch_pins() const override {
+    return epoch_pins_.load(std::memory_order_relaxed);
+  }
 
   // Pending (unmerged) delta/tombstone volume, for tests and benches.
   size_t delta_size() const { return delta_[0].size(); }
@@ -106,8 +123,11 @@ class FlatTripleStore final : public StoreView {
 
   bool InMain(const Triple& t) const;
 
+  // True when no open scan and no epoch pin holds pointers into main_.
+  bool Restructurable() const;
+
   // Merges when the pending volume justifies the linear rebuild and no
-  // scan holds pointers into the main arrays.
+  // scan or pin holds pointers into the main arrays.
   void MaybeCompact();
 
   // [first, last) of the keys in `main_[order]` within the plan's bounds.
@@ -126,6 +146,11 @@ class FlatTripleStore final : public StoreView {
   // from several threads at once; relaxed ordering suffices since the
   // count only gates compaction, which runs on the (single) writer thread.
   mutable std::atomic<size_t> open_scans_{0};
+  // Reader-held epoch pins (see StoreView::PinEpoch); same deferral rule
+  // and memory-order rationale as open_scans_, but held across whole
+  // read operations rather than single cursors. Like the scan count,
+  // copies and moves do not carry pins.
+  mutable std::atomic<size_t> epoch_pins_{0};
 };
 
 }  // namespace wdr::rdf

@@ -352,6 +352,29 @@ class StoreView {
   // Copies all triples in SPO order.
   std::vector<Triple> ToVector() const;
 
+  // --- Epoch pinning -----------------------------------------------------
+  //
+  // A reader that consumes a store across multiple scans (a whole query
+  // evaluation, a snapshot held across requests) pins its epoch: while any
+  // pin is held the store must not physically restructure — for the flat
+  // backend that means delta/tombstone merges are deferred exactly as they
+  // are for open cursors (the open_scans_ contract generalized from one
+  // scan to one reader). Pins are counted, not owned; use EpochPin (below)
+  // for scope safety. Thread-safe: concurrent readers pin and unpin freely.
+  // Backends whose nodes are stable under mutation (the ordered backend)
+  // only count, since they never restructure.
+
+  virtual void PinEpoch() const {}
+  virtual void UnpinEpoch() const {}
+  // Live pins, for tests and the compaction-defer assertions.
+  virtual size_t epoch_pins() const { return 0; }
+
+  // Attempts any deferred physical restructuring now (the deterministic
+  // hook the fault-injection tests drive). Returns false when live scans
+  // or epoch pins forbid it; true otherwise — including when the backend
+  // has nothing to restructure.
+  virtual bool TryCompact() { return true; }
+
   // --- Introspection -----------------------------------------------------
 
   virtual StorageBackend backend() const = 0;
@@ -360,6 +383,44 @@ class StoreView {
   virtual std::unique_ptr<StoreView> Clone() const = 0;
 
   static constexpr size_t kMatchBatch = 64;
+};
+
+// RAII epoch pin: pins `store` for the lifetime of the object. Movable so
+// a pinned read can be handed across scopes; a moved-from or default pin
+// holds nothing.
+class EpochPin {
+ public:
+  EpochPin() = default;
+  explicit EpochPin(const StoreView& store) : store_(&store) {
+    store_->PinEpoch();
+  }
+  ~EpochPin() { Release(); }
+
+  EpochPin(const EpochPin&) = delete;
+  EpochPin& operator=(const EpochPin&) = delete;
+  EpochPin(EpochPin&& other) noexcept : store_(other.store_) {
+    other.store_ = nullptr;
+  }
+  EpochPin& operator=(EpochPin&& other) noexcept {
+    if (this != &other) {
+      Release();
+      store_ = other.store_;
+      other.store_ = nullptr;
+    }
+    return *this;
+  }
+
+  void Release() {
+    if (store_ != nullptr) {
+      store_->UnpinEpoch();
+      store_ = nullptr;
+    }
+  }
+
+  bool held() const { return store_ != nullptr; }
+
+ private:
+  const StoreView* store_ = nullptr;
 };
 
 // Creates an empty store of the requested backend.

@@ -1,10 +1,12 @@
 #ifndef WDR_RDF_TRIPLE_STORE_H_
 #define WDR_RDF_TRIPLE_STORE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <set>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "rdf/store_view.h"
@@ -21,10 +23,31 @@ class TripleStore final : public StoreView {
  public:
   TripleStore() = default;
 
-  TripleStore(const TripleStore&) = default;
-  TripleStore& operator=(const TripleStore&) = default;
-  TripleStore(TripleStore&&) = default;
-  TripleStore& operator=(TripleStore&&) = default;
+  // Copies and moves carry the data but not the epoch-pin count (pins
+  // belong to readers of the source object). Spelled out because the
+  // atomic counter is neither copyable nor movable.
+  TripleStore(const TripleStore& other)
+      : spo_(other.spo_), pos_(other.pos_), osp_(other.osp_) {}
+  TripleStore& operator=(const TripleStore& other) {
+    if (this != &other) {
+      spo_ = other.spo_;
+      pos_ = other.pos_;
+      osp_ = other.osp_;
+    }
+    return *this;
+  }
+  TripleStore(TripleStore&& other) noexcept
+      : spo_(std::move(other.spo_)),
+        pos_(std::move(other.pos_)),
+        osp_(std::move(other.osp_)) {}
+  TripleStore& operator=(TripleStore&& other) noexcept {
+    if (this != &other) {
+      spo_ = std::move(other.spo_);
+      pos_ = std::move(other.pos_);
+      osp_ = std::move(other.osp_);
+    }
+    return *this;
+  }
 
   // Inserts `t`; returns false if it was already present.
   bool Insert(const Triple& t) override;
@@ -62,6 +85,19 @@ class TripleStore final : public StoreView {
     return std::make_unique<TripleStore>(*this);
   }
 
+  // Node-based indexes never restructure, so pinned readers need no merge
+  // deferral here — the count exists so the pinning contract (and its
+  // tests) is uniform across backends.
+  void PinEpoch() const override {
+    epoch_pins_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void UnpinEpoch() const override {
+    epoch_pins_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  size_t epoch_pins() const override {
+    return epoch_pins_.load(std::memory_order_relaxed);
+  }
+
   // Direct (non-virtual) scan for callers holding the concrete type:
   // iterates the chosen index in place without cursor dispatch. Shadows
   // StoreView::Match with identical semantics.
@@ -95,6 +131,9 @@ class TripleStore final : public StoreView {
   std::set<Triple> spo_;
   std::set<Triple> pos_;
   std::set<Triple> osp_;
+  // See PinEpoch; relaxed ordering suffices since the count is advisory
+  // for this backend.
+  mutable std::atomic<size_t> epoch_pins_{0};
 };
 
 }  // namespace wdr::rdf

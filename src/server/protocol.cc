@@ -1,0 +1,115 @@
+#include "server/protocol.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/http.h"
+
+namespace wdr::server {
+namespace {
+
+// Reads exactly `n` bytes into `out`, riding out fragmentation and EINTR.
+// Returns the byte count actually read (short on EOF/error/timeout).
+size_t RecvExactly(int fd, char* out, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, out + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    break;  // EOF (0), timeout, or hard error
+  }
+  return got;
+}
+
+}  // namespace
+
+bool WriteFrame(int fd, std::string_view payload) {
+  char prefix[4];
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  prefix[0] = static_cast<char>((n >> 24) & 0xff);
+  prefix[1] = static_cast<char>((n >> 16) & 0xff);
+  prefix[2] = static_cast<char>((n >> 8) & 0xff);
+  prefix[3] = static_cast<char>(n & 0xff);
+  // Two sends keep the payload un-copied; TCP coalesces them anyway.
+  return obs::SendAll(fd, std::string_view(prefix, 4)) &&
+         obs::SendAll(fd, payload);
+}
+
+FrameReadResult ReadFrame(int fd, size_t max_bytes, std::string* payload) {
+  char prefix[4];
+  const size_t head = RecvExactly(fd, prefix, 4);
+  if (head == 0) return FrameReadResult::kClosed;
+  if (head < 4) return FrameReadResult::kTruncated;
+  const uint32_t n = (static_cast<uint32_t>(static_cast<unsigned char>(prefix[0])) << 24) |
+                     (static_cast<uint32_t>(static_cast<unsigned char>(prefix[1])) << 16) |
+                     (static_cast<uint32_t>(static_cast<unsigned char>(prefix[2])) << 8) |
+                     static_cast<uint32_t>(static_cast<unsigned char>(prefix[3]));
+  if (n > max_bytes) return FrameReadResult::kOversized;
+  payload->resize(n);
+  if (n != 0 && RecvExactly(fd, payload->data(), n) < n) {
+    return FrameReadResult::kTruncated;
+  }
+  return FrameReadResult::kOk;
+}
+
+Request ParseRequest(std::string_view payload) {
+  Request request;
+  std::string_view first = payload;
+  const size_t newline = payload.find('\n');
+  if (newline != std::string_view::npos) {
+    first = payload.substr(0, newline);
+    request.body = payload.substr(newline + 1);
+  }
+  const size_t space = first.find(' ');
+  if (space == std::string_view::npos) {
+    request.verb = first;
+  } else {
+    request.verb = first.substr(0, space);
+    request.args = first.substr(space + 1);
+  }
+  return request;
+}
+
+std::string OkResponse(std::string_view head_kv, std::string_view body) {
+  std::string out = "OK";
+  if (!head_kv.empty()) {
+    out += ' ';
+    out += head_kv;
+  }
+  out += '\n';
+  out += body;
+  return out;
+}
+
+std::string ErrResponse(const Status& status) {
+  return "ERR " + status.ToString();
+}
+
+Response ParseResponse(std::string_view payload) {
+  Response response;
+  std::string_view first = payload;
+  const size_t newline = payload.find('\n');
+  if (newline != std::string_view::npos) {
+    first = payload.substr(0, newline);
+    response.body = payload.substr(newline + 1);
+  }
+  if (first.substr(0, 2) == "OK") {
+    response.ok = true;
+    if (first.size() > 3) response.head = std::string(first.substr(3));
+  } else if (first.substr(0, 3) == "ERR") {
+    response.ok = false;
+    if (first.size() > 4) response.head = std::string(first.substr(4));
+  } else {
+    response.ok = false;
+    response.head = "malformed response: " + std::string(first);
+  }
+  return response;
+}
+
+}  // namespace wdr::server

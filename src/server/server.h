@@ -1,0 +1,93 @@
+#ifndef WDR_SERVER_SERVER_H_
+#define WDR_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/http.h"
+#include "server/protocol.h"
+#include "server/snapshot_store.h"
+
+namespace wdr::server {
+
+struct ServerOptions {
+  // 0 picks an ephemeral port, readable via Server::port() after Start().
+  int port = 0;
+  // Admission control: connections beyond this many concurrent sessions
+  // get an "ERR Unavailable: server full" greeting and an immediate close.
+  size_t max_sessions = 64;
+  // Per-frame cap, both directions. Oversized requests are answered with
+  // an ERR frame and the session is closed without allocating the claim.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // SO_RCVTIMEO per session socket: an idle (or deliberately slow) client
+  // holds its session at most this long between frames. 0 = no timeout.
+  int recv_timeout_ms = 60'000;
+  // SO_SNDTIMEO per session socket: a reader that stops draining its
+  // responses cannot wedge a session thread forever. 0 = no timeout.
+  int send_timeout_ms = 10'000;
+  // Default per-query deadline, overridable per session with
+  // "SET timeout_ms=N" (0 = none).
+  uint64_t query_timeout_ms = 10'000;
+  // Per-session prepared-plan cache capacity (distinct query texts).
+  size_t plan_cache_entries = 32;
+};
+
+// The concurrent multi-client front door: a framed-protocol TCP server
+// (see protocol.h) running many sessions against one SnapshotStore.
+// Thread-per-session — sessions are I/O-bound and the paper's workloads
+// are tens of clients, not tens of thousands. Each session owns its
+// settings (reasoning mode, plan/encoding toggles, timeout) and a
+// prepared-plan cache; reads are snapshot-isolated by SnapshotStore and
+// updates from any session are serialized by its single-writer protocol.
+//
+// Lifecycle: Start() binds and spawns the accept loop; Stop() (or the
+// destructor) shuts the listener down, nudges every live session socket,
+// and joins all threads. A session ends at BYE, clean disconnect, any
+// protocol violation, or an idle timeout — active_sessions() returning
+// to zero after abuse is a protocol-test invariant.
+class Server {
+ public:
+  Server(SnapshotStore& store, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  Status Start();
+  void Stop();
+
+  int port() const { return listener_.port(); }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  size_t active_sessions() const;
+
+ private:
+  void AcceptLoop();
+  void ServeSession(int fd, uint64_t session_id);
+  // One request frame in, one response out; false ends the session.
+  bool HandleFrame(int fd, uint64_t session_id, std::string_view payload,
+                   struct SessionState& session);
+
+  SnapshotStore& store_;
+  ServerOptions options_;
+  obs::ListenSocket listener_;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+
+  // Session registry: live socket fds (for Stop() to nudge) and the
+  // threads to join. Threads of finished sessions are reaped lazily on
+  // the next accept and finally in Stop().
+  mutable std::mutex sessions_mu_;
+  std::unordered_map<uint64_t, int> session_fds_;
+  std::vector<std::thread> session_threads_;
+  std::atomic<size_t> active_sessions_{0};
+  uint64_t next_session_id_ = 1;
+};
+
+}  // namespace wdr::server
+
+#endif  // WDR_SERVER_SERVER_H_

@@ -126,9 +126,10 @@ void ReasoningStore::OnUpdate(bool schema_changed) {
     schema_cache_.reset();
     // One counter invalidates everything derived from the schema: the
     // encoding (rebuilt lazily at the next Query) and the cached
-    // Reformulator with its memo.
+    // Reformulators with their memos.
     ++schema_version_;
     reformulator_cache_.reset();
+    reformulator_plain_cache_.reset();
   }
 }
 
@@ -173,6 +174,10 @@ void ReasoningStore::RebuildEncoding() {
   schema_cache_.reset();
   stats_cache_.reset();
   reformulator_cache_.reset();
+  // The schema version is unchanged by a rebuild, so the plain cache's
+  // version check would wrongly pass — reset it explicitly (its baked-in
+  // schema ids were just permuted).
+  reformulator_plain_cache_.reset();
   encoding_ = std::move(encoding);
   WDR_COUNTER_INC("wdr.store.encoding.rebuilds");
   obs::MetricsRegistry::Get()
@@ -192,6 +197,17 @@ reformulation::Reformulator& ReasoningStore::CachedReformulator() {
     reformulator_version_ = schema_version_;
   }
   return *reformulator_cache_;
+}
+
+reformulation::Reformulator& ReasoningStore::CachedPlainReformulator() {
+  if (!reformulator_plain_cache_.has_value() ||
+      reformulator_plain_version_ != schema_version_) {
+    reformulation::ReformulationOptions ref_options = options_.reformulation;
+    ref_options.encoding = nullptr;
+    reformulator_plain_cache_.emplace(CachedSchema(), vocab_, ref_options);
+    reformulator_plain_version_ = schema_version_;
+  }
+  return *reformulator_plain_cache_;
 }
 
 const schema::Schema& ReasoningStore::CachedSchema() {
@@ -241,53 +257,13 @@ Result<size_t> ReasoningStore::LoadNTriples(std::string_view text) {
   return added;
 }
 
-Result<query::ResultSet> ReasoningStore::Query(std::string_view sparql,
-                                               QueryInfo* info) {
-  obs::Histogram& latency = obs::MetricsRegistry::Get().GetHistogram(
-      std::string("wdr.store.query.") + ReasoningModeName(options_.mode));
-  obs::Span span("wdr.store.query", &latency);
-  span.AddAttr("mode", ReasoningModeName(options_.mode));
-  WDR_COUNTER_INC("wdr.store.queries");
+namespace {
 
-  Timer timer;
-  // A pending encoding rebuild permutes the dictionary id space; run it
-  // before parsing so the query's interned ids land in the final space.
-  if (options_.encoding) CachedEncoding();
-
-  // Start the structured query-log record; every exit appends it (errors
-  // included), so /querylog carries one record per executed query.
-  obs::QueryLogRecord record;
-  record.trace_id = span.trace_id();
-  record.query = obs::CanonicalQueryKey(sparql);
-  record.mode = ReasoningModeName(options_.mode);
-  record.backend = rdf::StorageBackendName(options_.backend);
-  record.plan = options_.query.plan;
-  record.encoding = encoding() != nullptr;
-
-  // Route diagnostics through a local QueryInfo when the caller passed
-  // none — the query log wants them either way.
-  QueryInfo local_info;
-  QueryInfo& qinfo = info != nullptr ? *info : local_info;
-  query::EvalStats eval_stats;
-
-  Result<query::ResultSet> result = [&]() -> Result<query::ResultSet> {
-    WDR_ASSIGN_OR_RETURN(query::UnionQuery q,
-                         query::ParseSparql(sparql, graph_.dict()));
-    std::shared_ptr<obs::ProfileNode> profile;
-    if (profiling_ && info != nullptr) {
-      profile = std::make_shared<obs::ProfileNode>();
-      profile->label =
-          std::string("query [mode=") + ReasoningModeName(options_.mode) + "]";
-    }
-    Result<query::ResultSet> r =
-        Dispatch(q, &qinfo, profile.get(), &eval_stats);
-    qinfo.profile = std::move(profile);
-    return r;
-  }();
-
-  qinfo.mode = options_.mode;
-  qinfo.seconds = timer.ElapsedSeconds();
-
+// Finishes a query-log record from the run's diagnostics. Shared by
+// Query() and Execute() so both paths log identical shapes.
+void CompleteRecord(obs::QueryLogRecord& record, const QueryInfo& qinfo,
+                    const query::EvalStats& eval_stats,
+                    const Result<query::ResultSet>& result) {
   record.union_size = qinfo.union_size;
   record.rewrite_steps = qinfo.reformulation.rewrite_steps;
   record.pruned_cqs = qinfo.reformulation.pruned_cqs;
@@ -304,87 +280,299 @@ Result<query::ResultSet> ReasoningStore::Query(std::string_view sparql,
   } else {
     record.error = result.status().ToString();
   }
+}
+
+// The all-or-nothing half of cooperative cancellation: the evaluator stops
+// early and returns partial rows; this turns a tripped condition into an
+// error so callers never mistake a truncated answer set for a complete one.
+Status ReadInterrupted(const query::EvaluatorOptions& eval) {
+  if (eval.cancel != nullptr &&
+      eval.cancel->load(std::memory_order_relaxed)) {
+    return CancelledError("query cancelled");
+  }
+  if (eval.deadline_nanos != 0 && SteadyNowNanos() >= eval.deadline_nanos) {
+    return DeadlineExceededError("query deadline exceeded");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<query::ResultSet> ReasoningStore::Query(std::string_view sparql,
+                                               QueryInfo* info) {
+  obs::Histogram& latency = obs::MetricsRegistry::Get().GetHistogram(
+      std::string("wdr.store.query.") + ReasoningModeName(options_.mode));
+  obs::Span span("wdr.store.query", &latency);
+  span.AddAttr("mode", ReasoningModeName(options_.mode));
+  WDR_COUNTER_INC("wdr.store.queries");
+
+  Timer timer;
+  // Start the structured query-log record; every exit appends it (errors
+  // included), so /querylog carries one record per executed query.
+  obs::QueryLogRecord record;
+  record.trace_id = span.trace_id();
+
+  // Route diagnostics through a local QueryInfo when the caller passed
+  // none — the query log wants them either way.
+  QueryInfo local_info;
+  QueryInfo& qinfo = info != nullptr ? *info : local_info;
+  query::EvalStats eval_stats;
+
+  Result<query::ResultSet> result = [&]() -> Result<query::ResultSet> {
+    WDR_ASSIGN_OR_RETURN(PreparedQuery prepared,
+                         PrepareInternal(sparql, ReadOptions{}, &record));
+    std::shared_ptr<obs::ProfileNode> profile;
+    if (profiling_ && info != nullptr) {
+      profile = std::make_shared<obs::ProfileNode>();
+      profile->label =
+          std::string("query [mode=") + ReasoningModeName(options_.mode) + "]";
+    }
+    Result<query::ResultSet> r =
+        ExecuteInternal(prepared, &qinfo, profile.get(), &eval_stats);
+    qinfo.profile = std::move(profile);
+    return r;
+  }();
+
+  qinfo.mode = options_.mode;
+  qinfo.seconds = timer.ElapsedSeconds();
+  CompleteRecord(record, qinfo, eval_stats, result);
   obs::QueryLog::Get().Append(std::move(record));
   return result;
 }
 
-Result<query::ResultSet> ReasoningStore::Dispatch(const query::UnionQuery& q,
-                                                  QueryInfo* info,
-                                                  obs::ProfileNode* profile,
-                                                  query::EvalStats* collect) {
-  query::Evaluator::Options eval_options = options_.query;
-  eval_options.dict = &graph_.dict();
-  eval_options.collect = collect;
-  if (eval_options.plan && eval_options.stats == nullptr) {
+Result<PreparedQuery> ReasoningStore::Prepare(std::string_view sparql,
+                                              const ReadOptions& options) {
+  obs::Span span("wdr.store.prepare");
+  Timer timer;
+  obs::QueryLogRecord record;
+  record.trace_id = span.trace_id();
+  Result<PreparedQuery> prepared = PrepareInternal(sparql, options, &record);
+  if (!prepared.ok()) {
+    // A failed prepare is a query that never reaches Execute; log it here
+    // so the one-record-per-query invariant holds on the split path too.
+    WDR_COUNTER_INC("wdr.store.queries");
+    record.ok = false;
+    record.error = prepared.status().ToString();
+    record.wall_nanos = static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9);
+    obs::QueryLog::Get().Append(std::move(record));
+  }
+  return prepared;
+}
+
+Result<query::ResultSet> ReasoningStore::Execute(const PreparedQuery& prepared,
+                                                 QueryInfo* info) const {
+  obs::Histogram& latency = obs::MetricsRegistry::Get().GetHistogram(
+      std::string("wdr.store.query.") + ReasoningModeName(prepared.mode));
+  obs::Span span("wdr.store.query", &latency);
+  span.AddAttr("mode", ReasoningModeName(prepared.mode));
+  WDR_COUNTER_INC("wdr.store.queries");
+  Timer timer;
+
+  QueryInfo local_info;
+  QueryInfo& qinfo = info != nullptr ? *info : local_info;
+  query::EvalStats eval_stats;
+  std::shared_ptr<obs::ProfileNode> profile;
+  // Profiling renders labels through the dictionary — a shared mutable
+  // structure concurrent Prepares intern into. Concurrent callers (the
+  // server) keep profiling off; single-threaded callers get the full tree.
+  if (profiling_ && info != nullptr) {
+    profile = std::make_shared<obs::ProfileNode>();
+    profile->label =
+        std::string("query [mode=") + ReasoningModeName(prepared.mode) + "]";
+  }
+  Result<query::ResultSet> result =
+      ExecuteInternal(prepared, &qinfo, profile.get(), &eval_stats);
+  qinfo.profile = std::move(profile);
+  qinfo.mode = prepared.mode;
+  qinfo.seconds = prepared.prepare_seconds + timer.ElapsedSeconds();
+
+  obs::QueryLogRecord record = prepared.record;
+  record.trace_id = span.trace_id();
+  CompleteRecord(record, qinfo, eval_stats, result);
+  obs::QueryLog::Get().Append(std::move(record));
+  return result;
+}
+
+void ReasoningStore::Warm() {
+  if (options_.encoding) CachedEncoding();
+  CachedSchema();
+  CachedStats();
+  CachedReformulator();
+  // The plain flavor only differs when the encoding is on (it IS the
+  // plain one otherwise).
+  if (options_.encoding) CachedPlainReformulator();
+}
+
+Result<PreparedQuery> ReasoningStore::PrepareInternal(
+    std::string_view sparql, const ReadOptions& ropts,
+    obs::QueryLogRecord* record) {
+  Timer timer;
+  PreparedQuery prepared;
+  prepared.mode = ropts.mode.value_or(options_.mode);
+  if (prepared.mode == ReasoningMode::kSaturation && !saturated_.has_value()) {
+    return FailedPreconditionError(
+        "saturation mode needs a maintained closure: the store's configured "
+        "mode is not kSaturation");
+  }
+  const bool want_encoding = ropts.encoding.value_or(options_.encoding);
+  if (want_encoding && !options_.encoding) {
+    return FailedPreconditionError(
+        "hierarchy encoding is not enabled on this store (it permutes the "
+        "shared id space and cannot be materialized per session)");
+  }
+
+  // Resolve the encoding before parsing: a pending rebuild permutes the
+  // dictionary id space, and the query's interned ids must land in the
+  // final space. Frozen prepares never rebuild — a stale encoding just
+  // means classic reformulation for this query.
+  const rdf::HierEncoding* enc = nullptr;
+  if (options_.encoding) {
+    if (ropts.frozen) {
+      if (encoding_.has_value() && encoding_->version() == schema_version_) {
+        enc = &*encoding_;
+      }
+    } else {
+      enc = CachedEncoding();
+    }
+  }
+  const bool use_encoding = want_encoding && enc != nullptr;
+
+  query::EvaluatorOptions eval = options_.query;
+  eval.dict = &graph_.dict();
+  eval.plan = ropts.plan.value_or(eval.plan);
+  if (ropts.threads.has_value()) {
+    eval.threads = *ropts.threads < 1 ? 1 : *ropts.threads;
+  }
+  eval.cancel = ropts.cancel;
+  eval.deadline_nanos = ropts.deadline_nanos;
+  if (eval.plan && eval.stats == nullptr) {
     // Hand the planner cached statistics so it never pays the O(store)
     // build per query and never degrades on a fresh store.
-    eval_options.stats = &CachedStats();
+    eval.stats = &CachedStats();
   }
-  switch (options_.mode) {
-    case ReasoningMode::kNone: {
-      query::Evaluator evaluator(graph_.store(), eval_options);
-      return evaluator.Evaluate(q, profile);
-    }
-    case ReasoningMode::kSaturation: {
-      query::Evaluator evaluator(saturated_->closure(), eval_options);
-      return evaluator.Evaluate(q, profile);
-    }
-    case ReasoningMode::kReformulation: {
-      reformulation::Reformulator& reformulator = CachedReformulator();
-      reformulation::ReformulationStats ref_stats;
-      double rewrite_seconds = 0;
-      Result<query::UnionQuery> reformulated_or = [&] {
-        ScopedTimer<> rewrite_timer(rewrite_seconds);
-        return reformulator.Reformulate(q, &ref_stats);
-      }();
-      WDR_ASSIGN_OR_RETURN(query::UnionQuery reformulated,
-                           std::move(reformulated_or));
-      obs::MetricsRegistry::Get()
-          .GetHistogram("wdr.store.reformulation.rewrite")
-          .RecordSeconds(rewrite_seconds);
-      if (info != nullptr) {
-        info->union_size = reformulated.size();
-        info->reformulation = ref_stats;
-      }
-      if (profile != nullptr) {
-        obs::ProfileNode& rewrite = profile->AddChild(
-            "reformulate (" + std::to_string(reformulated.size()) + " CQs, " +
-            std::to_string(ref_stats.pruned_cqs) + " pruned)");
-        rewrite.rows = reformulated.size();
-        rewrite.seconds = rewrite_seconds;
-      }
-      query::Evaluator evaluator(graph_.store(), eval_options);
-      return evaluator.Evaluate(reformulated, profile);
-    }
-    case ReasoningMode::kBackward: {
-      backward::BackwardOptions boptions;
-      boptions.plan = eval_options.plan;
-      boptions.hash_joins = eval_options.hash_joins;
-      boptions.batch_rows = eval_options.batch_rows;
-      boptions.stats = eval_options.stats;
-      backward::BackwardChainingEvaluator evaluator(
-          graph_.store(), CachedSchema(), vocab_, boptions);
-      if (profile == nullptr) return evaluator.Evaluate(q);
-      backward::BackwardStats stats;
-      double seconds = 0;
-      Result<query::ResultSet> result = [&] {
-        ScopedTimer<> eval_timer(seconds);
-        return evaluator.Evaluate(q, &stats);
-      }();
-      obs::ProfileNode& node = profile->AddChild(
-          "backward_join (" + std::to_string(stats.atom_alternatives) +
-          " alternatives)");
-      node.scans = stats.index_probes;
-      node.seconds = seconds;
-      profile->seconds += seconds;
-      if (result.ok()) {
-        node.rows = result.value().rows.size();
-        profile->rows = result.value().rows.size();
-      }
-      return result;
-    }
+
+  // Prefill the log record before parsing so failures carry full context.
+  record->query = obs::CanonicalQueryKey(sparql);
+  record->mode = ReasoningModeName(prepared.mode);
+  record->backend = rdf::StorageBackendName(options_.backend);
+  record->plan = eval.plan;
+  record->encoding = use_encoding;
+
+  WDR_ASSIGN_OR_RETURN(query::UnionQuery q,
+                       query::ParseSparql(sparql, graph_.dict()));
+
+  if (prepared.mode == ReasoningMode::kReformulation) {
+    // Rewriting happens at prepare time: the reformulator's memo is shared
+    // mutable state, and baking the UCQ into the PreparedQuery makes
+    // Execute pure. An encoding-enabled store serves sessions that opted
+    // out (and frozen prepares that found the encoding stale) from the
+    // classic-reformulator cache.
+    reformulation::Reformulator& reformulator =
+        (options_.encoding && !use_encoding) ? CachedPlainReformulator()
+                                             : CachedReformulator();
+    reformulation::ReformulationStats ref_stats;
+    double rewrite_seconds = 0;
+    Result<query::UnionQuery> reformulated_or = [&] {
+      ScopedTimer<> rewrite_timer(rewrite_seconds);
+      return reformulator.Reformulate(q, &ref_stats);
+    }();
+    WDR_ASSIGN_OR_RETURN(prepared.query, std::move(reformulated_or));
+    obs::MetricsRegistry::Get()
+        .GetHistogram("wdr.store.reformulation.rewrite")
+        .RecordSeconds(rewrite_seconds);
+    prepared.union_size = prepared.query.size();
+    prepared.reformulation = ref_stats;
+    prepared.rewrite_seconds = rewrite_seconds;
+  } else {
+    prepared.query = std::move(q);
   }
-  return InternalError("unknown reasoning mode");
+  if (prepared.mode == ReasoningMode::kBackward) {
+    prepared.schema = &CachedSchema();
+  }
+  prepared.eval = eval;
+  prepared.prepare_seconds = timer.ElapsedSeconds();
+  prepared.record = *record;
+  return prepared;
+}
+
+Result<query::ResultSet> ReasoningStore::ExecuteInternal(
+    const PreparedQuery& prepared, QueryInfo* info, obs::ProfileNode* profile,
+    query::EvalStats* collect) const {
+  query::EvaluatorOptions eval_options = prepared.eval;
+  eval_options.collect = collect;
+  if (info != nullptr) {
+    info->union_size = prepared.union_size;
+    info->reformulation = prepared.reformulation;
+  }
+  if (prepared.mode == ReasoningMode::kSaturation && !saturated_.has_value()) {
+    return FailedPreconditionError("closure dropped since this query was "
+                                   "prepared (mode changed?)");
+  }
+
+  // Pin the queried store's epoch for the whole evaluation: a pinned flat
+  // store defers compaction, so cursors into its arrays stay valid even
+  // if a (misbehaving) writer mutates underneath — and the pin count is
+  // how the snapshot tests assert reader visibility.
+  const rdf::StoreView& queried =
+      prepared.mode == ReasoningMode::kSaturation ? saturated_->closure()
+                                                  : graph_.store();
+  rdf::EpochPin pin(queried);
+
+  Result<query::ResultSet> result = [&]() -> Result<query::ResultSet> {
+    switch (prepared.mode) {
+      case ReasoningMode::kNone:
+      case ReasoningMode::kSaturation: {
+        query::Evaluator evaluator(queried, eval_options);
+        return evaluator.Evaluate(prepared.query, profile);
+      }
+      case ReasoningMode::kReformulation: {
+        if (profile != nullptr) {
+          obs::ProfileNode& rewrite = profile->AddChild(
+              "reformulate (" + std::to_string(prepared.union_size) +
+              " CQs, " + std::to_string(prepared.reformulation.pruned_cqs) +
+              " pruned)");
+          rewrite.rows = prepared.union_size;
+          rewrite.seconds = prepared.rewrite_seconds;
+        }
+        query::Evaluator evaluator(queried, eval_options);
+        return evaluator.Evaluate(prepared.query, profile);
+      }
+      case ReasoningMode::kBackward: {
+        backward::BackwardOptions boptions;
+        boptions.plan = eval_options.plan;
+        boptions.hash_joins = eval_options.hash_joins;
+        boptions.batch_rows = eval_options.batch_rows;
+        boptions.stats = eval_options.stats;
+        backward::BackwardChainingEvaluator evaluator(
+            graph_.store(), *prepared.schema, vocab_, boptions);
+        if (profile == nullptr) return evaluator.Evaluate(prepared.query);
+        backward::BackwardStats stats;
+        double seconds = 0;
+        Result<query::ResultSet> result = [&] {
+          ScopedTimer<> eval_timer(seconds);
+          return evaluator.Evaluate(prepared.query, &stats);
+        }();
+        obs::ProfileNode& node = profile->AddChild(
+            "backward_join (" + std::to_string(stats.atom_alternatives) +
+            " alternatives)");
+        node.scans = stats.index_probes;
+        node.seconds = seconds;
+        profile->seconds += seconds;
+        if (result.ok()) {
+          node.rows = result.value().rows.size();
+          profile->rows = result.value().rows.size();
+        }
+        return result;
+      }
+    }
+    return InternalError("unknown reasoning mode");
+  }();
+  if (result.ok()) {
+    // A tripped cancellation leaves a truncated row set; surface it as an
+    // error rather than an answer.
+    WDR_RETURN_IF_ERROR(ReadInterrupted(eval_options));
+  }
+  return result;
 }
 
 std::vector<std::string> ReasoningStore::DecodeRow(

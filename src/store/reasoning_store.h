@@ -1,6 +1,8 @@
 #ifndef WDR_STORE_REASONING_STORE_H_
 #define WDR_STORE_REASONING_STORE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -10,6 +12,7 @@
 #include "common/status.h"
 #include "exec/statistics.h"
 #include "obs/profile.h"
+#include "obs/query_log.h"
 #include "query/evaluator.h"
 #include "rdf/graph.h"
 #include "rdf/hier_encoding.h"
@@ -67,6 +70,71 @@ struct ReasoningStoreOptions {
   bool encoding = EncodingModeDefault();
 };
 
+// Per-read overrides and controls for Prepare()/Execute(). Default-
+// constructed, a ReadOptions changes nothing: the store's own settings
+// apply. The server's sessions are the main client — each session carries
+// its own ReadOptions so many clients with different mode/plan/encoding
+// settings can share one store.
+struct ReadOptions {
+  // Reasoning-mode override. kSaturation is only accepted when the store
+  // itself maintains a closure (its configured mode is kSaturation);
+  // otherwise Prepare returns FailedPrecondition — building a closure per
+  // query would be neither cheap nor the technique the caller asked for.
+  std::optional<ReasoningMode> mode;
+  // Plan-based evaluation override (see SetPlanMode).
+  std::optional<bool> plan;
+  // Hierarchy-encoding override. `true` requires the store's encoding to
+  // be enabled (the encoding permutes the global id space; it cannot be
+  // materialized per session) — FailedPrecondition otherwise. `false` on
+  // an encoding-enabled store rewrites through a plain (classic)
+  // reformulator instead of the interval-collapsing one.
+  std::optional<bool> encoding;
+  // Union-branch worker threads override (values < 1 clamp to 1).
+  std::optional<int> threads;
+  // Cooperative cancellation, threaded into the evaluator (see
+  // query::EvaluatorOptions): Execute returns Cancelled once `*cancel` is
+  // true, DeadlineExceeded once `deadline_nanos` (absolute steady-clock
+  // nanos, SteadyNowNanos time base; 0 = none) has passed. Partial rows
+  // are discarded, never returned.
+  const std::atomic<bool>* cancel = nullptr;
+  uint64_t deadline_nanos = 0;
+  // Frozen prepare: never rebuild the hierarchy encoding (a rebuild
+  // permutes the dictionary id space under every concurrent reader's
+  // feet). If the encoding is stale, reformulation falls back to the
+  // classic rewriting for this query. The server prepares frozen; its
+  // writer refreshes the encoding via Warm() before publishing.
+  bool frozen = false;
+};
+
+// A parsed, rewritten, ready-to-evaluate query: the output of Prepare()
+// and the input of Execute(). Splitting the two is what makes concurrent
+// reads safe: Prepare touches shared mutable state (interning query terms
+// into the dictionary, filling caches) and must be externally serialized
+// with other Prepares; Execute is const and id-pure, so any number of
+// Executes run concurrently against a frozen store. A PreparedQuery may
+// be Executed repeatedly (the server's per-session plan cache does) as
+// long as the store is not updated in between.
+struct PreparedQuery {
+  ReasoningMode mode = ReasoningMode::kNone;
+  // The evaluable form: the parsed query, already reformulated into a UCQ
+  // in kReformulation mode.
+  query::UnionQuery query;
+  // Fully resolved evaluator knobs (dict, cached statistics, cancellation).
+  query::EvaluatorOptions eval;
+  // Schema snapshot for kBackward (null in other modes). Borrowed from the
+  // store's cache; valid until the next update.
+  const schema::Schema* schema = nullptr;
+  // Rewrite diagnostics captured at prepare time (kReformulation).
+  size_t union_size = 1;
+  reformulation::ReformulationStats reformulation;
+  double rewrite_seconds = 0;
+  // Parse + rewrite wall time, folded into QueryInfo::seconds by Execute.
+  double prepare_seconds = 0;
+  // Query-log prefill (canonical key, mode, backend, plan/encoding flags);
+  // Execute copies and completes it, one appended record per execution.
+  obs::QueryLogRecord record;
+};
+
 // Per-query diagnostics.
 struct QueryInfo {
   ReasoningMode mode = ReasoningMode::kNone;
@@ -115,8 +183,35 @@ class ReasoningStore {
   // --- Querying -----------------------------------------------------------
 
   // Answers a SPARQL BGP/UNION query under the configured mode.
+  // Equivalent to Prepare() + Execute(); one query-log record either way.
   Result<query::ResultSet> Query(std::string_view sparql,
                                  QueryInfo* info = nullptr);
+
+  // Parses (interning query terms into the dictionary), resolves the
+  // per-read settings against the store's own, and — in reformulation
+  // mode — rewrites, yielding a ready-to-evaluate PreparedQuery. MUTATES
+  // shared state (dictionary, lazy caches): callers running concurrent
+  // reads must serialize all Prepare calls (and DecodeRow) among
+  // themselves; see wdr::server::SnapshotStore. A failed Prepare appends
+  // its own query-log record (parse errors are queries too).
+  Result<PreparedQuery> Prepare(std::string_view sparql,
+                                const ReadOptions& options = {});
+
+  // Evaluates a PreparedQuery. Const and touches no lazily-filled cache:
+  // safe to call from many threads at once (against a store no writer is
+  // mutating), each execution pinning the queried store's epoch for its
+  // duration (StoreView::PinEpoch — the flat backend defers compaction
+  // while pins are held). Returns Cancelled / DeadlineExceeded and
+  // discards rows when the prepared read's cancellation tripped. Appends
+  // one query-log record per call.
+  Result<query::ResultSet> Execute(const PreparedQuery& prepared,
+                                   QueryInfo* info = nullptr) const;
+
+  // Fills every lazy cache the read path can touch — hierarchy encoding
+  // (when enabled), schema view, planner statistics, both reformulator
+  // flavors — so subsequent frozen Prepares rebuild nothing. The server's
+  // writer calls this before publishing a store to readers.
+  void Warm();
 
   // Decodes a result row to N-Triples term strings.
   std::vector<std::string> DecodeRow(const query::Row& row) const;
@@ -239,13 +334,25 @@ class ReasoningStore {
   // Reformulator snapshot for the current schema version; carries the
   // memoized per-query rewritings until the schema version moves.
   reformulation::Reformulator& CachedReformulator();
+  // Like CachedReformulator but always classic (no interval collapse),
+  // serving sessions that opt out of the encoding on an encoding-enabled
+  // store.
+  reformulation::Reformulator& CachedPlainReformulator();
 
-  // `collect`, when non-null, receives the evaluator's EvalStats (est-vs-
-  // actual cardinality, scan-cache traffic) for the query-log record.
-  Result<query::ResultSet> Dispatch(const query::UnionQuery& q,
-                                    QueryInfo* info,
-                                    obs::ProfileNode* profile,
-                                    query::EvalStats* collect = nullptr);
+  // Prepare() minus the query-log bookkeeping: fills `record`'s prefix
+  // fields (query key, mode, backend, flags) before parsing so the caller
+  // can log failures with full context.
+  Result<PreparedQuery> PrepareInternal(std::string_view sparql,
+                                        const ReadOptions& options,
+                                        obs::QueryLogRecord* record);
+
+  // Execute() minus span/record assembly. `collect`, when non-null,
+  // receives the evaluator's EvalStats (est-vs-actual cardinality,
+  // scan-cache traffic) for the query-log record.
+  Result<query::ResultSet> ExecuteInternal(const PreparedQuery& prepared,
+                                           QueryInfo* info,
+                                           obs::ProfileNode* profile,
+                                           query::EvalStats* collect) const;
 
   ReasoningStoreOptions options_;
   bool profiling_ = false;
@@ -271,6 +378,9 @@ class ReasoningStore {
   std::optional<rdf::HierEncoding> encoding_;
   std::optional<reformulation::Reformulator> reformulator_cache_;
   uint64_t reformulator_version_ = 0;
+  // Classic (encoding-free) flavor; see CachedPlainReformulator.
+  std::optional<reformulation::Reformulator> reformulator_plain_cache_;
+  uint64_t reformulator_plain_version_ = 0;
 };
 
 }  // namespace wdr::store

@@ -1,0 +1,351 @@
+// Protocol-robustness suite for server::Server: hostile and broken
+// clients — malformed frames, oversized length claims, truncated writes,
+// abrupt disconnects, slow readers, admission floods — must always get a
+// clean error (or a clean close) and must NEVER wedge a session thread or
+// leak a session: after every abuse the active session count returns to
+// zero and a fresh well-behaved client still gets service.
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/snapshot_store.h"
+#include "store/reasoning_store.h"
+
+namespace wdr::server {
+namespace {
+
+constexpr const char* kPrefixes =
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+    "PREFIX ex: <http://ex.org/>\n";
+
+// Polls until `cond` holds or ~5s elapse; hostile-client cleanup is
+// asynchronous (the session thread has to notice the dead socket).
+template <typename Cond>
+bool WaitFor(Cond cond) {
+  for (int i = 0; i < 500; ++i) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return cond();
+}
+
+class ServerProtocolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(store_
+                    .LoadTurtle("@prefix rdfs: "
+                                "<http://www.w3.org/2000/01/rdf-schema#> .\n"
+                                "@prefix ex: <http://ex.org/> .\n"
+                                "ex:Cat rdfs:subClassOf ex:Animal .\n"
+                                "ex:tom a ex:Cat .\n")
+                    .ok());
+  }
+
+  void StartServer(ServerOptions options = {}) {
+    server_ = std::make_unique<Server>(store_, options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  // Every test ends with the same leak check: all sessions drained.
+  void TearDown() override {
+    if (server_ == nullptr) return;
+    EXPECT_TRUE(WaitFor([&] { return server_->active_sessions() == 0; }))
+        << "leaked sessions: " << server_->active_sessions();
+    server_->Stop();
+    EXPECT_EQ(server_->active_sessions(), 0u);
+  }
+
+  SnapshotStore store_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerProtocolTest, GreetingAndBasicVerbs) {
+  StartServer();
+  Client client;
+  ASSERT_TRUE(client.Connect(server_->port()).ok());
+  EXPECT_NE(client.greeting().find("proto=1"), std::string::npos);
+  EXPECT_NE(client.greeting().find("epoch=1"), std::string::npos);
+
+  auto ping = client.Call("PING\n");
+  ASSERT_TRUE(ping.ok());
+  EXPECT_TRUE(ping.value().ok);
+  EXPECT_NE(ping.value().head.find("epoch=1"), std::string::npos);
+
+  auto info = client.Call("INFO\n");
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info.value().ok);
+  EXPECT_NE(info.value().head.find("mode=saturation"), std::string::npos);
+  EXPECT_NE(info.value().head.find("sessions=1"), std::string::npos);
+
+  auto query = client.Query(std::string(kPrefixes) +
+                            "SELECT ?x WHERE { ?x rdf:type ex:Animal }");
+  ASSERT_TRUE(query.ok());
+  EXPECT_TRUE(query.value().ok) << query.value().head;
+  EXPECT_NE(query.value().head.find("rows=1"), std::string::npos);
+  EXPECT_NE(query.value().body.find("tom"), std::string::npos);
+
+  auto bye = client.Call("BYE\n");
+  ASSERT_TRUE(bye.ok());
+  EXPECT_TRUE(bye.value().ok);
+}
+
+TEST_F(ServerProtocolTest, SessionSettingsChangeBehavior) {
+  StartServer();
+  Client client;
+  ASSERT_TRUE(client.Connect(server_->port()).ok());
+
+  // Per-session mode override; answers must not change (same epoch, the
+  // modes are answer-equivalent — the library's core property).
+  const std::string query = std::string(kPrefixes) +
+                            "SELECT ?x WHERE { ?x rdf:type ex:Animal }";
+  for (const char* mode : {"reformulation", "backward", "saturation", "none"}) {
+    auto set = client.Set(std::string("mode=") + mode);
+    ASSERT_TRUE(set.ok());
+    EXPECT_TRUE(set.value().ok) << set.value().head;
+    auto result = client.Query(query);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.value().ok) << result.value().head;
+    const bool reasoning = std::string(mode) != "none";
+    EXPECT_NE(result.value().head.find(reasoning ? "rows=1" : "rows=0"),
+              std::string::npos)
+        << mode << ": " << result.value().head;
+  }
+
+  // Bad settings are errors, and the session survives them.
+  for (const char* bad :
+       {"mode=telepathy", "threads=many", "nonsense=1", "timeout_ms=-2",
+        "plan=maybe"}) {
+    auto set = client.Set(bad);
+    ASSERT_TRUE(set.ok());
+    EXPECT_FALSE(set.value().ok) << bad;
+  }
+  auto set = client.Call("SET\n");  // no arguments at all
+  ASSERT_TRUE(set.ok());
+  EXPECT_FALSE(set.value().ok);
+
+  auto alive = client.Call("PING\n");
+  ASSERT_TRUE(alive.ok());
+  EXPECT_TRUE(alive.value().ok);
+}
+
+TEST_F(ServerProtocolTest, MalformedRequestsGetErrorsNotDisconnects) {
+  StartServer();
+  Client client;
+  ASSERT_TRUE(client.Connect(server_->port()).ok());
+
+  // Unknown verbs, empty frames, bad SPARQL: ERR responses, session lives.
+  for (const char* junk :
+       {"FROBNICATE\n", "\n", "", "query lowercase\n", "QUERY\nnot sparql"}) {
+    auto response = client.Call(junk);
+    ASSERT_TRUE(response.ok()) << junk;
+    EXPECT_FALSE(response.value().ok) << junk;
+  }
+  auto alive = client.Call("PING\n");
+  ASSERT_TRUE(alive.ok());
+  EXPECT_TRUE(alive.value().ok);
+}
+
+TEST_F(ServerProtocolTest, OversizedFrameClaimIsRejectedWithoutAllocation) {
+  ServerOptions options;
+  options.max_frame_bytes = 1024;
+  StartServer(options);
+
+  const int fd = RawConnect(server_->port());
+  ASSERT_GE(fd, 0);
+  std::string greeting;
+  ASSERT_EQ(ReadFrame(fd, kDefaultMaxFrameBytes, &greeting),
+            FrameReadResult::kOk);
+
+  // Claim a 256 MiB frame. The server must answer with an ERR frame and
+  // close — without ever allocating the claimed buffer.
+  const unsigned char prefix[4] = {0x10, 0x00, 0x00, 0x00};
+  ASSERT_EQ(::send(fd, prefix, 4, 0), 4);
+  std::string response;
+  ASSERT_EQ(ReadFrame(fd, kDefaultMaxFrameBytes, &response),
+            FrameReadResult::kOk);
+  EXPECT_EQ(response.rfind("ERR ", 0), 0u) << response;
+  EXPECT_NE(response.find("frame exceeds limit"), std::string::npos);
+  // And the connection is closed behind it.
+  EXPECT_EQ(ReadFrame(fd, kDefaultMaxFrameBytes, &response),
+            FrameReadResult::kClosed);
+  ::close(fd);
+}
+
+TEST_F(ServerProtocolTest, TruncatedFrameTearsSessionDownCleanly) {
+  StartServer();
+  const int fd = RawConnect(server_->port());
+  ASSERT_GE(fd, 0);
+  std::string greeting;
+  ASSERT_EQ(ReadFrame(fd, kDefaultMaxFrameBytes, &greeting),
+            FrameReadResult::kOk);
+  ASSERT_TRUE(WaitFor([&] { return server_->active_sessions() == 1; }));
+
+  // Claim 100 bytes, deliver 10, vanish.
+  const unsigned char prefix[4] = {0x00, 0x00, 0x00, 0x64};
+  ASSERT_EQ(::send(fd, prefix, 4, 0), 4);
+  ASSERT_EQ(::send(fd, "0123456789", 10, 0), 10);
+  ::close(fd);
+  // TearDown asserts the session count returns to zero.
+}
+
+TEST_F(ServerProtocolTest, AbruptMidSessionDisconnectIsCleanedUp) {
+  StartServer();
+  for (int round = 0; round < 3; ++round) {
+    const int fd = RawConnect(server_->port());
+    ASSERT_GE(fd, 0);
+    std::string greeting;
+    ASSERT_EQ(ReadFrame(fd, kDefaultMaxFrameBytes, &greeting),
+              FrameReadResult::kOk);
+    // Half a prefix, then gone.
+    const unsigned char half[2] = {0x00, 0x00};
+    ASSERT_EQ(::send(fd, half, 2, 0), 2);
+    ::close(fd);
+  }
+  // And a polite client still gets served afterwards.
+  ASSERT_TRUE(WaitFor([&] { return server_->active_sessions() == 0; }));
+  Client client;
+  ASSERT_TRUE(client.Connect(server_->port()).ok());
+  auto ping = client.Call("PING\n");
+  ASSERT_TRUE(ping.ok());
+  EXPECT_TRUE(ping.value().ok);
+}
+
+TEST_F(ServerProtocolTest, SlowReaderIsDisconnectedBySendTimeout) {
+  ServerOptions options;
+  options.send_timeout_ms = 200;  // server gives up on a clogged socket
+  StartServer(options);
+
+  // Bulk up the store so each QUERY response is tens of KB.
+  std::string bulk = "@prefix ex: <http://ex.org/> .\n";
+  for (int i = 0; i < 3000; ++i) {
+    bulk += "ex:s" + std::to_string(i) + " ex:edge ex:o" + std::to_string(i) +
+            " .\n";
+  }
+  ASSERT_TRUE(store_.LoadTurtle(bulk).ok());
+
+  const int fd = RawConnect(server_->port());
+  ASSERT_GE(fd, 0);
+  // Our own sends must not block forever once buffers fill either.
+  struct timeval tv = {0, 200 * 1000};
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  std::string greeting;
+  ASSERT_EQ(ReadFrame(fd, kDefaultMaxFrameBytes, &greeting),
+            FrameReadResult::kOk);
+
+  // Pipeline queries without ever reading a response. Responses pile up
+  // in the socket buffers until the server's send blocks and times out;
+  // the session must then be torn down, not left wedged.
+  const std::string query = std::string("QUERY\n") + kPrefixes +
+                            "SELECT ?x ?y WHERE { ?x ex:edge ?y }";
+  for (int i = 0; i < 512; ++i) {
+    if (!WriteFrame(fd, query)) break;  // buffers full: server is clogged
+  }
+  EXPECT_TRUE(WaitFor([&] { return server_->active_sessions() == 0; }));
+  ::close(fd);
+}
+
+TEST_F(ServerProtocolTest, AdmissionControlRejectsAndRecovers) {
+  ServerOptions options;
+  options.max_sessions = 2;
+  StartServer(options);
+
+  Client a, b;
+  ASSERT_TRUE(a.Connect(server_->port()).ok());
+  ASSERT_TRUE(b.Connect(server_->port()).ok());
+  ASSERT_TRUE(WaitFor([&] { return server_->active_sessions() == 2; }));
+
+  // The third connection is rejected with a reason, not a bare RST.
+  Client c;
+  const Status rejected = c.Connect(server_->port());
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.ToString().find("server full"), std::string::npos)
+      << rejected.ToString();
+
+  // Capacity frees up once a session leaves.
+  a.Close();
+  ASSERT_TRUE(WaitFor([&] { return server_->active_sessions() <= 1; }));
+  Client d;
+  EXPECT_TRUE(WaitFor([&] { return d.Connect(server_->port()).ok(); }));
+  auto ping = d.Call("PING\n");
+  ASSERT_TRUE(ping.ok());
+  EXPECT_TRUE(ping.value().ok);
+}
+
+TEST_F(ServerProtocolTest, UpdatesVisibleToOtherSessionsWithNewEpoch) {
+  StartServer();
+  Client writer, reader;
+  ASSERT_TRUE(writer.Connect(server_->port()).ok());
+  ASSERT_TRUE(reader.Connect(server_->port()).ok());
+
+  auto update = writer.Update(std::string(kPrefixes) +
+                              "INSERT DATA { ex:felix a ex:Cat }");
+  ASSERT_TRUE(update.ok());
+  EXPECT_TRUE(update.value().ok) << update.value().head;
+  EXPECT_NE(update.value().head.find("inserted=1"), std::string::npos);
+  EXPECT_NE(update.value().head.find("epoch=2"), std::string::npos);
+
+  auto result = reader.Query(std::string(kPrefixes) +
+                             "SELECT ?x WHERE { ?x rdf:type ex:Animal }");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().ok);
+  EXPECT_NE(result.value().head.find("rows=2"), std::string::npos)
+      << result.value().head;
+  EXPECT_NE(result.value().head.find("epoch=2"), std::string::npos);
+}
+
+TEST_F(ServerProtocolTest, StopWithLiveSessionsJoinsEverything) {
+  StartServer();
+  Client idle1, idle2;
+  ASSERT_TRUE(idle1.Connect(server_->port()).ok());
+  ASSERT_TRUE(idle2.Connect(server_->port()).ok());
+  ASSERT_TRUE(WaitFor([&] { return server_->active_sessions() == 2; }));
+  // Stop must unblock both sessions from their recv and join; this must
+  // not hang and must leave zero sessions (checked in TearDown too).
+  server_->Stop();
+  EXPECT_EQ(server_->active_sessions(), 0u);
+  EXPECT_FALSE(server_->running());
+}
+
+// Frame- and parse-level unit coverage (no sockets).
+TEST(ProtocolTest, RequestParsing) {
+  const Request full = ParseRequest("QUERY limit=5\nSELECT * WHERE {}");
+  EXPECT_EQ(full.verb, "QUERY");
+  EXPECT_EQ(full.args, "limit=5");
+  EXPECT_EQ(full.body, "SELECT * WHERE {}");
+
+  const Request bare = ParseRequest("PING");
+  EXPECT_EQ(bare.verb, "PING");
+  EXPECT_TRUE(bare.args.empty());
+  EXPECT_TRUE(bare.body.empty());
+
+  const Request empty = ParseRequest("");
+  EXPECT_TRUE(empty.verb.empty());
+}
+
+TEST(ProtocolTest, ResponseRoundTrip) {
+  const Response ok = ParseResponse(OkResponse("rows=3 epoch=7", "a\tb\n"));
+  EXPECT_TRUE(ok.ok);
+  EXPECT_EQ(ok.head, "rows=3 epoch=7");
+  EXPECT_EQ(ok.body, "a\tb\n");
+
+  const Response err =
+      ParseResponse(ErrResponse(InvalidArgumentError("nope")));
+  EXPECT_FALSE(err.ok);
+  EXPECT_NE(err.head.find("nope"), std::string::npos);
+
+  const Response garbage = ParseResponse("WAT\n");
+  EXPECT_FALSE(garbage.ok);
+}
+
+}  // namespace
+}  // namespace wdr::server

@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 #include <map>
@@ -31,8 +32,15 @@ struct HttpResponse {
   std::string body;
 };
 
-HttpResponse Fetch(int port, const std::string& method,
-                   const std::string& path) {
+// Fetches one URL. The response is consumed the way a careful HTTP client
+// must: the head is accumulated across however many recv() calls TCP
+// fragments it into (a single recv may return as little as one byte), and
+// the body is then read to Content-Length when the server declared one, or
+// to EOF otherwise — no single-recv assumptions anywhere. When
+// `trickle_request` is set the request bytes are sent one at a time, which
+// exercises the server side of the same fragmented-read contract.
+HttpResponse Fetch(int port, const std::string& method, const std::string& path,
+                   bool trickle_request = false) {
   HttpResponse response;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return response;
@@ -47,52 +55,84 @@ HttpResponse Fetch(int port, const std::string& method,
   const std::string request = method + " " + path +
                               " HTTP/1.0\r\nHost: 127.0.0.1\r\n"
                               "Connection: close\r\n\r\n";
+  const size_t chunk = trickle_request ? 1 : request.size();
   size_t sent = 0;
   while (sent < request.size()) {
-    const ssize_t n =
-        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    const size_t len = std::min(chunk, request.size() - sent);
+    const ssize_t n = ::send(fd, request.data() + sent, len, 0);
     if (n <= 0) {
       ::close(fd);
       return response;
     }
     sent += static_cast<size_t>(n);
   }
+
+  // Phase 1: read until the complete header block has arrived. Bytes past
+  // the blank line belong to the body and are kept.
   std::string raw;
+  size_t header_end = std::string::npos;
   char buf[4096];
-  for (;;) {
+  while (header_end == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      ::close(fd);
+      return response;  // EOF or error before a complete head
+    }
+    raw.append(buf, static_cast<size_t>(n));
+    header_end = raw.find("\r\n\r\n");
+  }
+  const std::string head = raw.substr(0, header_end);
+  response.body = raw.substr(header_end + 4);
+
+  std::istringstream lines(head);
+  std::string status_line;
+  if (!std::getline(lines, status_line)) {
+    ::close(fd);
+    return response;
+  }
+  std::istringstream status(status_line);
+  std::string http_version;
+  status >> http_version >> response.status;
+  if (http_version.rfind("HTTP/", 0) != 0 || response.status == 0) {
+    ::close(fd);
+    return response;
+  }
+  size_t content_length = std::string::npos;
+  std::string header;
+  while (std::getline(lines, header)) {
+    if (!header.empty() && header.back() == '\r') header.pop_back();
+    auto value_of = [&header](const std::string& key) -> std::string {
+      if (header.size() <= key.size() ||
+          header.compare(0, key.size(), key) != 0) {
+        return "";
+      }
+      size_t start = key.size();
+      while (start < header.size() && header[start] == ' ') ++start;
+      return header.substr(start);
+    };
+    if (std::string v = value_of("Content-Type:"); !v.empty()) {
+      response.content_type = v;
+    }
+    if (std::string v = value_of("Content-Length:"); !v.empty()) {
+      content_length = static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    }
+  }
+
+  // Phase 2: the body — to the declared length, or to EOF without one.
+  while (content_length == std::string::npos ||
+         response.body.size() < content_length) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n < 0) {
       ::close(fd);
       return response;
     }
     if (n == 0) break;  // server closes after one response
-    raw.append(buf, static_cast<size_t>(n));
+    response.body.append(buf, static_cast<size_t>(n));
   }
   ::close(fd);
-
-  const size_t header_end = raw.find("\r\n\r\n");
-  if (header_end == std::string::npos) return response;
-  const std::string head = raw.substr(0, header_end);
-  response.body = raw.substr(header_end + 4);
-  std::istringstream lines(head);
-  std::string status_line;
-  if (!std::getline(lines, status_line)) return response;
-  std::istringstream status(status_line);
-  std::string http_version;
-  status >> http_version >> response.status;
-  if (http_version.rfind("HTTP/", 0) != 0 || response.status == 0) {
-    return response;
-  }
-  std::string header;
-  while (std::getline(lines, header)) {
-    if (!header.empty() && header.back() == '\r') header.pop_back();
-    const std::string key = "Content-Type:";
-    if (header.size() > key.size() &&
-        header.compare(0, key.size(), key) == 0) {
-      size_t start = key.size();
-      while (start < header.size() && header[start] == ' ') ++start;
-      response.content_type = header.substr(start);
-    }
+  if (content_length != std::string::npos &&
+      response.body.size() != content_length) {
+    return response;  // truncated body
   }
   response.ok = true;
   return response;
@@ -282,6 +322,19 @@ TEST(StatsServerTest, UnknownPathIs404AndNonGetIs405) {
   ASSERT_TRUE(bad_method.ok);
   EXPECT_EQ(bad_method.status, 405);
   server.Stop();
+}
+
+TEST(StatsServerTest, HandlesByteAtATimeRequests) {
+  // The request arrives one byte per segment; the server must keep reading
+  // until the head terminator instead of assuming one recv == one request.
+  StatsServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  HttpResponse response =
+      Fetch(server.port(), "GET", "/", /*trickle_request=*/true);
+  server.Stop();
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("/metrics"), std::string::npos);
 }
 
 TEST(StatsServerTest, QueryStringIsIgnoredInRouting) {
