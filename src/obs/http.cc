@@ -76,6 +76,7 @@ bool SendAll(int fd, std::string_view data) {
   size_t off = 0;
   while (off < data.size()) {
     ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;  // peer gone or send timeout
     off += static_cast<size_t>(n);
   }

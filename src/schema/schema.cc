@@ -39,7 +39,13 @@ const std::vector<TermId>& Schema::GetClosure(const EdgeMap& map,
                                               TermId key) const {
   auto it = map.find(key);
   if (it != map.end()) return it->second;
-  auto [cached, inserted] = reflexive_cache_.try_emplace(key);
+  // Fault in the reflexive closure {key}. Concurrent readers land here
+  // outside any per-side Prepare serialization (backward chaining calls
+  // this mid-Execute), hence the cache's own lock. An entry is fully
+  // built before the lock is released and never mutated after, so the
+  // returned reference is safe to read lock-free.
+  std::lock_guard<std::mutex> lock(reflexive_cache_->mu);
+  auto [cached, inserted] = reflexive_cache_->entries.try_emplace(key);
   if (inserted) cached->second.push_back(key);
   return cached->second;
 }

@@ -1,6 +1,8 @@
 #ifndef WDR_SCHEMA_SCHEMA_H_
 #define WDR_SCHEMA_SCHEMA_H_
 
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -143,7 +145,17 @@ class Schema {
   size_t constraint_count_ = 0;
 
   // Fallback storage for reflexive closures of ids absent from the maps.
-  mutable std::unordered_map<TermId, std::vector<TermId>> reflexive_cache_;
+  // Closure getters run concurrently from reader threads (reformulation
+  // and backward chaining during snapshot-isolated reads), so the faulted
+  // entries live behind their own lock; the node-based map keeps returned
+  // references valid across later insertions. shared_ptr keeps Schema
+  // copyable — copies sharing this derived cache is harmless.
+  struct ReflexiveCache {
+    std::mutex mu;
+    std::unordered_map<TermId, std::vector<TermId>> entries;
+  };
+  std::shared_ptr<ReflexiveCache> reflexive_cache_ =
+      std::make_shared<ReflexiveCache>();
 };
 
 }  // namespace wdr::schema

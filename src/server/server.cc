@@ -80,6 +80,10 @@ Status ApplySetting(SessionStateImpl& session, std::string_view key,
   if (key == "plan") return parse_bool(&session.read_options.plan);
   if (key == "encoding") return parse_bool(&session.read_options.encoding);
   if (key == "threads") {
+    if (value == "default") {
+      session.read_options.threads.reset();
+      return Status::Ok();
+    }
     int threads = 0;
     for (char c : value) {
       if (c < '0' || c > '9') {
@@ -89,7 +93,7 @@ Status ApplySetting(SessionStateImpl& session, std::string_view key,
       if (threads > 1024) return InvalidArgumentError("threads too large");
     }
     if (value.empty()) return InvalidArgumentError("threads must be a number");
-    if (value == "default" || threads == 0) {
+    if (threads == 0) {  // alternate reset spelling
       session.read_options.threads.reset();
     } else {
       session.read_options.threads = threads;
@@ -184,15 +188,18 @@ void Server::Stop() {
 
   // Nudge every live session off its blocking recv, then join all
   // session threads (including already-finished ones not yet reaped).
-  std::vector<std::thread> threads;
+  // Joining happens outside sessions_mu_: exiting sessions need it to
+  // erase their fd and announce completion.
+  std::unordered_map<uint64_t, std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     for (const auto& [id, fd] : session_fds_) {
       ::shutdown(fd, SHUT_RDWR);
     }
     threads.swap(session_threads_);
+    finished_sessions_.clear();
   }
-  for (std::thread& t : threads) {
+  for (auto& [id, t] : threads) {
     if (t.joinable()) t.join();
   }
 }
@@ -229,21 +236,32 @@ void Server::AcceptLoop() {
     metrics.GetCounter("wdr.server.sessions.accepted").Add(1);
 
     uint64_t session_id;
+    std::vector<std::thread> reaped;
     {
       std::lock_guard<std::mutex> lock(sessions_mu_);
       session_id = next_session_id_++;
       session_fds_.emplace(session_id, fd);
-      // Lazy reap: move finished threads out so the vector stays small
-      // under session churn. A thread is joinable-but-finished once its
-      // session closed; joining here is immediate.
-      if (session_threads_.size() > options_.max_sessions * 2) {
-        for (std::thread& t : session_threads_) {
-          if (t.joinable()) t.join();
+      // Lazy reap: move out exactly the threads whose sessions announced
+      // completion, so the registry stays small under session churn. Only
+      // finished threads leave here — a live thread must never be joined
+      // under sessions_mu_ (its exit path locks it to erase its fd).
+      for (uint64_t finished_id : finished_sessions_) {
+        auto it = session_threads_.find(finished_id);
+        if (it != session_threads_.end()) {
+          reaped.push_back(std::move(it->second));
+          session_threads_.erase(it);
         }
-        session_threads_.clear();
       }
-      session_threads_.emplace_back(
-          [this, fd, session_id] { ServeSession(fd, session_id); });
+      finished_sessions_.clear();
+      session_threads_.emplace(
+          session_id,
+          std::thread([this, fd, session_id] { ServeSession(fd, session_id); }));
+    }
+    // Join outside the lock: these threads have already pushed their ids
+    // onto finished_sessions_, so they finish (at most the post-announce
+    // tail) without needing anything we hold.
+    for (std::thread& t : reaped) {
+      if (t.joinable()) t.join();
     }
   }
 }
@@ -286,11 +304,16 @@ void Server::ServeSession(int fd, uint64_t session_id) {
     alive = HandleFrame(fd, session_id, payload, session);
   }
 
-  ::close(fd);
+  // Deregister before closing: once the fd leaves session_fds_, Stop()
+  // can no longer ::shutdown() it, so the close below cannot race a
+  // nudge aimed at a recycled descriptor number. The finished-id push is
+  // this thread's completion announcement to the accept-loop reaper.
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     session_fds_.erase(session_id);
+    finished_sessions_.push_back(session_id);
   }
+  ::close(fd);
   active_sessions_.fetch_sub(1, std::memory_order_acq_rel);
   metrics.GetCounter("wdr.server.sessions.closed").Add(1);
   metrics.GetGauge("wdr.server.sessions.active")

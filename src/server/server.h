@@ -79,11 +79,16 @@ class Server {
   std::thread accept_thread_;
 
   // Session registry: live socket fds (for Stop() to nudge) and the
-  // threads to join. Threads of finished sessions are reaped lazily on
-  // the next accept and finally in Stop().
+  // threads to join, keyed by session id. A session thread announces its
+  // own completion by pushing its id onto finished_sessions_ as its last
+  // act under sessions_mu_; the accept loop moves exactly those threads
+  // out and joins them OUTSIDE the lock (joining a live thread under
+  // sessions_mu_ would deadlock against the session's own fd-erase).
+  // Stop() joins everything, live or finished.
   mutable std::mutex sessions_mu_;
   std::unordered_map<uint64_t, int> session_fds_;
-  std::vector<std::thread> session_threads_;
+  std::unordered_map<uint64_t, std::thread> session_threads_;
+  std::vector<uint64_t> finished_sessions_;
   std::atomic<size_t> active_sessions_{0};
   uint64_t next_session_id_ = 1;
 };

@@ -100,6 +100,9 @@ Result<SnapshotStore::ReadResult> SnapshotStore::Query(
   // per-query cancellation fields are patched in either way.
   store::PreparedQuery* prepared = nullptr;
   store::PreparedQuery fresh;
+  if (cache != nullptr && cache->capacity_ == 0) {
+    cache = nullptr;  // capacity 0 disables caching; the LRU needs >= 1 slot
+  }
   if (cache != nullptr) {
     std::string key(sparql);
     key += '\0';

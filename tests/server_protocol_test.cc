@@ -121,6 +121,16 @@ TEST_F(ServerProtocolTest, SessionSettingsChangeBehavior) {
         << mode << ": " << result.value().head;
   }
 
+  // Every numeric/toggle setting resets with value "default", matching
+  // the mode handler (threads also accepts 0 as an alternate spelling).
+  for (const char* reset :
+       {"threads=4", "threads=default", "threads=0", "plan=default",
+        "encoding=default", "mode=default"}) {
+    auto ok = client.Set(reset);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_TRUE(ok.value().ok) << reset << ": " << ok.value().head;
+  }
+
   // Bad settings are errors, and the session survives them.
   for (const char* bad :
        {"mode=telepathy", "threads=many", "nonsense=1", "timeout_ms=-2",
@@ -279,6 +289,60 @@ TEST_F(ServerProtocolTest, AdmissionControlRejectsAndRecovers) {
   auto ping = d.Call("PING\n");
   ASSERT_TRUE(ping.ok());
   EXPECT_TRUE(ping.value().ok);
+}
+
+// Regression: the accept loop's lazy reap used to join EVERY registered
+// session thread — live ones included — while holding the registry lock,
+// deadlocking against the live session's own exit path once churn pushed
+// the thread count past max_sessions*2. With one session pinned open,
+// churn well past that threshold; the accept loop must keep admitting
+// (a recurrence shows up as this test hanging).
+TEST_F(ServerProtocolTest, SessionChurnWithLiveSessionDoesNotWedgeAccept) {
+  ServerOptions options;
+  options.max_sessions = 4;
+  StartServer(options);
+
+  Client pinned;
+  ASSERT_TRUE(pinned.Connect(server_->port()).ok());
+
+  for (int i = 0; i < 24; ++i) {  // 3x the old join-all threshold
+    Client churn;
+    ASSERT_TRUE(churn.Connect(server_->port()).ok()) << "iteration " << i;
+    auto ping = churn.Call("PING\n");
+    ASSERT_TRUE(ping.ok());
+    EXPECT_TRUE(ping.value().ok);
+    churn.Close();
+    ASSERT_TRUE(WaitFor([&] { return server_->active_sessions() == 1; }));
+  }
+
+  // The pinned session stayed live through all of it and still works.
+  auto ping = pinned.Call("PING\n");
+  ASSERT_TRUE(ping.ok());
+  EXPECT_TRUE(ping.value().ok);
+}
+
+// Regression: plan_cache_entries=0 (caching disabled) used to evict the
+// just-inserted entry on the miss path and dereference the empty LRU.
+TEST_F(ServerProtocolTest, ZeroCapacityPlanCacheServesQueries) {
+  ServerOptions options;
+  options.plan_cache_entries = 0;
+  StartServer(options);
+  Client client;
+  ASSERT_TRUE(client.Connect(server_->port()).ok());
+
+  const std::string query = std::string(kPrefixes) +
+                            "SELECT ?x WHERE { ?x rdf:type ex:Animal }";
+  for (int i = 0; i < 2; ++i) {
+    auto result = client.Query(query);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.value().ok) << result.value().head;
+    EXPECT_NE(result.value().head.find("rows=1"), std::string::npos);
+  }
+  // A disabled cache records neither hits nor misses.
+  auto info = client.Call("INFO\n");
+  ASSERT_TRUE(info.ok());
+  EXPECT_NE(info.value().head.find("plan_hits=0"), std::string::npos);
+  EXPECT_NE(info.value().head.find("plan_misses=0"), std::string::npos);
 }
 
 TEST_F(ServerProtocolTest, UpdatesVisibleToOtherSessionsWithNewEpoch) {
