@@ -1,0 +1,245 @@
+// "Online Figure 3": the paper's saturation-vs-reformulation crossover,
+// decided per query at run time by the kAuto strategy selector instead of
+// offline by Fig. 3 thresholds.
+//
+// The harness runs the standard Q1-Q10 university workload through the
+// ReasoningStore front door four times, once per static mode — which both
+// measures the static baselines and fills the process-wide query log the
+// selector trains on — then through a kAuto store, and compares:
+//
+//   auto aggregate  vs  each static mode's aggregate  (should be <= all)
+//   auto aggregate  vs  the per-query oracle          (min per query;
+//                                                      should be close)
+//
+// Exported gauges (for --metrics-json artifacts):
+//   wdr.bench.auto.vs_best_static_x100   100 * auto / best static aggregate
+//   wdr.bench.auto.vs_oracle_x100        100 * auto / oracle aggregate
+//
+// Answer-count agreement across all five configurations is always
+// enforced; the performance bounds (auto within 1.25x of the best static
+// and 1.3x of the oracle — the slack absorbs the selector's per-query
+// probe, which is a real cost on microsecond queries) fail the run only
+// under --check, so CI timing noise cannot turn the perf-smoke job red.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "io/turtle_writer.h"
+#include "obs/query_log.h"
+#include "reformulation/reformulator.h"
+#include "store/reasoning_store.h"
+#include "workload/queries.h"
+#include "workload/university.h"
+
+namespace {
+
+// Serializes one workload query as SPARQL text for the store front door
+// (constants in the university workload are always IRIs).
+std::string ToSparql(const wdr::query::BgpQuery& q,
+                     const wdr::rdf::Dictionary& dict) {
+  std::string text = "SELECT";
+  if (q.distinct()) text += " DISTINCT";
+  for (wdr::query::VarId v : q.projection()) text += " ?" + q.var_name(v);
+  text += " WHERE {";
+  bool first = true;
+  for (const wdr::query::TriplePattern& atom : q.atoms()) {
+    if (!first) text += " .";
+    first = false;
+    for (const wdr::query::PatternTerm* term : {&atom.s, &atom.p, &atom.o}) {
+      text += ' ';
+      text += term->is_var() ? "?" + q.var_name(term->var)
+                             : dict.term(term->id).ToNTriples();
+    }
+  }
+  text += " }";
+  return text;
+}
+
+// Extracts a bare boolean flag from argv, removing it.
+bool ConsumeFlag(int* argc, char** argv, const char* flag) {
+  bool found = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      found = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return found;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string metrics_path =
+      wdr::bench::ConsumeMetricsJsonFlag(&argc, argv);
+  const bool check = ConsumeFlag(&argc, argv, "--check");
+
+  wdr::workload::UniversityConfig config;
+  config.universities = 3;
+  wdr::workload::UniversityData data =
+      wdr::workload::GenerateUniversityData(config);
+  wdr::reformulation::CloseSchema(data.graph, data.vocab);
+  const std::string turtle = wdr::io::WriteTurtle(data.graph);
+
+  std::vector<wdr::workload::NamedQuery> queries =
+      wdr::workload::StandardQuerySet(data.graph.dict());
+  std::vector<std::string> sparql;
+  for (const auto& nq : queries) {
+    sparql.push_back(ToSparql(nq.query, data.graph.dict()));
+  }
+
+  constexpr int kReps = 5;
+  const wdr::store::ReasoningMode kStaticModes[] = {
+      wdr::store::ReasoningMode::kSaturation,
+      wdr::store::ReasoningMode::kReformulation,
+      wdr::store::ReasoningMode::kBackward,
+      wdr::store::ReasoningMode::kDatalog};
+  constexpr size_t kStaticCount = 4;
+
+  std::printf("=== Online strategy selection (%zu triples, %zu queries, "
+              "mean of %d reps) ===\n\n",
+              data.graph.size(), sparql.size(), kReps);
+
+  // --- Static sweeps. Run FIRST: their query-log records are exactly the
+  // training data the kAuto selector refreshes from, so the auto sweep
+  // below models the steady state of a store that has seen mixed traffic.
+  std::vector<std::vector<double>> static_us(
+      kStaticCount, std::vector<double>(sparql.size(), 0));
+  std::vector<size_t> answers(sparql.size(), 0);
+  bool all_agree = true;
+  for (size_t m = 0; m < kStaticCount; ++m) {
+    wdr::store::ReasoningStoreOptions options;
+    options.mode = kStaticModes[m];
+    wdr::store::ReasoningStore store(options);
+    auto loaded = store.LoadTurtle(turtle);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load (%s) failed: %s\n",
+                   wdr::store::ReasoningModeName(kStaticModes[m]),
+                   loaded.status().ToString().c_str());
+      return EXIT_FAILURE;
+    }
+    for (size_t k = 0; k < sparql.size(); ++k) {
+      size_t n = 0;
+      wdr::bench::RepStats t = wdr::bench::TimeReps(1, kReps, [&] {
+        auto result = store.Query(sparql[k]);
+        n = result.ok() ? result->rows.size() : 0;
+      });
+      static_us[m][k] = t.mean_us;
+      if (m == 0) {
+        answers[k] = n;
+      } else if (n != answers[k]) {
+        all_agree = false;
+        std::fprintf(stderr, "%s: %s answers %zu != saturation %zu\n",
+                     queries[k].name.c_str(),
+                     wdr::store::ReasoningModeName(kStaticModes[m]), n,
+                     answers[k]);
+      }
+    }
+  }
+
+  // --- Auto sweep: one kAuto store over the same queries. Two untimed
+  // passes let the selector refresh its model from the static sweeps'
+  // records and fill its per-key memory with its own routings.
+  wdr::store::ReasoningStoreOptions auto_options;
+  auto_options.mode = wdr::store::ReasoningMode::kAuto;
+  wdr::store::ReasoningStore auto_store(auto_options);
+  if (!auto_store.LoadTurtle(turtle).ok()) {
+    std::fprintf(stderr, "load (auto) failed\n");
+    return EXIT_FAILURE;
+  }
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const std::string& q : sparql) {
+      auto warm = auto_store.Query(q);
+      if (!warm.ok()) {
+        std::fprintf(stderr, "auto warmup failed: %s\n",
+                     warm.status().ToString().c_str());
+        return EXIT_FAILURE;
+      }
+    }
+  }
+  std::vector<double> auto_us(sparql.size(), 0);
+  std::vector<std::string> auto_route(sparql.size());
+  for (size_t k = 0; k < sparql.size(); ++k) {
+    size_t n = 0;
+    wdr::bench::RepStats t = wdr::bench::TimeReps(1, kReps, [&] {
+      auto result = auto_store.Query(sparql[k]);
+      n = result.ok() ? result->rows.size() : 0;
+    });
+    auto_us[k] = t.mean_us;
+    if (n != answers[k]) {
+      all_agree = false;
+      std::fprintf(stderr, "%s: auto answers %zu != saturation %zu\n",
+                   queries[k].name.c_str(), n, answers[k]);
+    }
+    auto decision = auto_store.LastAutoDecision();
+    auto_route[k] = decision.has_value()
+                        ? wdr::analysis::RouteName(decision->route)
+                        : "?";
+  }
+
+  // --- Report.
+  std::printf("%-4s %8s | %10s %10s %10s %10s | %10s %-13s | %8s\n", "q",
+              "answers", "sat", "ref", "bwd", "dl", "auto", "route",
+              "oracle");
+  std::printf("%.*s\n", 104,
+              "--------------------------------------------------------------"
+              "------------------------------------------");
+  double static_total[kStaticCount] = {};
+  double auto_total = 0, oracle_total = 0;
+  for (size_t k = 0; k < sparql.size(); ++k) {
+    double oracle = static_us[0][k];
+    for (size_t m = 0; m < kStaticCount; ++m) {
+      static_total[m] += static_us[m][k];
+      if (static_us[m][k] < oracle) oracle = static_us[m][k];
+    }
+    auto_total += auto_us[k];
+    oracle_total += oracle;
+    std::printf(
+        "%-4s %8zu | %8.0fus %8.0fus %8.0fus %8.0fus | %8.0fus %-13s | "
+        "%6.0fus\n",
+        queries[k].name.c_str(), answers[k], static_us[0][k], static_us[1][k],
+        static_us[2][k], static_us[3][k], auto_us[k], auto_route[k].c_str(),
+        oracle);
+  }
+
+  double best_static = static_total[0];
+  for (size_t m = 1; m < kStaticCount; ++m) {
+    if (static_total[m] < best_static) best_static = static_total[m];
+  }
+  std::printf("\naggregate: sat %.0fus  ref %.0fus  bwd %.0fus  dl %.0fus  "
+              "| auto %.0fus  oracle %.0fus\n",
+              static_total[0], static_total[1], static_total[2],
+              static_total[3], auto_total, oracle_total);
+  const double vs_best = 100.0 * auto_total / best_static;
+  const double vs_oracle = 100.0 * auto_total / oracle_total;
+  std::printf("auto vs best static: %.0f%%   auto vs per-query oracle: "
+              "%.0f%%\n",
+              vs_best, vs_oracle);
+  std::printf("answer agreement across all configurations: %s\n",
+              all_agree ? "yes" : "NO — BUG");
+
+  wdr::obs::MetricsRegistry::Get()
+      .GetGauge("wdr.bench.auto.vs_best_static_x100")
+      .Set(static_cast<int64_t>(vs_best));
+  wdr::obs::MetricsRegistry::Get()
+      .GetGauge("wdr.bench.auto.vs_oracle_x100")
+      .Set(static_cast<int64_t>(vs_oracle));
+
+  if (!metrics_path.empty() && !wdr::bench::ExportMetricsJson(metrics_path)) {
+    return EXIT_FAILURE;
+  }
+  if (!all_agree) return EXIT_FAILURE;
+  if (check) {
+    const bool pass = auto_total <= best_static * 1.25 &&
+                      auto_total <= oracle_total * 1.3;
+    std::printf("--check (auto <= 1.25x best static && <= 1.3x oracle): %s\n",
+                pass ? "pass" : "FAIL");
+    if (!pass) return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

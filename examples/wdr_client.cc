@@ -11,9 +11,12 @@
 //   SELECT ...            query (sent as QUERY)
 //   INSERT/DELETE DATA    update (sent as UPDATE)
 //   .set k=v [k=v ...]    session settings: mode=saturation|reformulation|
-//                         backward|none|default, plan=0|1|default,
-//                         encoding=0|1|default, threads=N, timeout_ms=N
-//   .info                 server/session info (epoch, size, plan cache)
+//                         backward|datalog|auto|none|default,
+//                         plan=0|1|default, encoding=0|1|default,
+//                         threads=N, timeout_ms=N
+//   .info                 server/session info (epoch, size, plan cache,
+//                         auto-mode routing counters)
+//   .why                  last auto-mode routing decision (sent as WHY)
 //   .ping                 liveness + current epoch
 //   .quit                 close the session
 //
@@ -47,6 +50,7 @@ std::string ToRequest(const std::string& line) {
   if (line[0] == '.') {
     if (line.rfind(".set ", 0) == 0) return "SET " + line.substr(5) + "\n";
     if (line == ".info") return "INFO\n";
+    if (line == ".why") return "WHY\n";
     if (line == ".ping") return "PING\n";
     if (line == ".quit") return "BYE\n";
     std::cerr << "unknown command: " << line << "\n";

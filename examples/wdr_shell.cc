@@ -2,7 +2,7 @@
 // shape of tool a downstream user runs first.
 //
 // Usage:
-//   wdr_shell [--mode=saturation|reformulation|backward|none]
+//   wdr_shell [--mode=saturation|reformulation|backward|datalog|none|auto]
 //             [--backend=ordered|flat] [--threads=N] [--query-threads=N]
 //             [--plan] [--encoding=on|off] [--explain] [--script=FILE]
 //             [--serve=PORT] [--listen=PORT] [file.ttl ...]
@@ -15,7 +15,10 @@
 //   SELECT ...          run a SPARQL query
 //   INSERT DATA {...}   / DELETE DATA {...}   run an update
 //   .load FILE          load a Turtle/N-Triples file
-//   .mode MODE          switch reasoning technique at run time
+//   .mode MODE          switch reasoning technique at run time ("auto"
+//                       routes each query through the online selector)
+//   .why                last auto-mode routing decision with its per-route
+//                       cost estimates
 //   .backend ENGINE     switch storage engine (ordered|flat) at run time
 //   .threads N          saturation worker threads for closure builds
 //   .qthreads N         worker threads for union-query branches
@@ -97,6 +100,10 @@ bool ParseMode(const std::string& name, ReasoningMode* mode) {
     *mode = ReasoningMode::kBackward;
   } else if (name == "none") {
     *mode = ReasoningMode::kNone;
+  } else if (name == "datalog") {
+    *mode = ReasoningMode::kDatalog;
+  } else if (name == "auto") {
+    *mode = ReasoningMode::kAuto;
   } else {
     return false;
   }
@@ -110,7 +117,10 @@ void PrintHelp() {
                "  DELETE DATA { ... }   remove ground triples\n"
                "  .load FILE            load Turtle (.ttl) or N-Triples\n"
                "  .explain <s> <p> <o> .  prove why a triple is entailed\n"
-               "  .mode MODE            saturation|reformulation|backward|none\n"
+               "  .mode MODE            "
+               "saturation|reformulation|backward|datalog|none|auto\n"
+               "  .why                  last auto-mode routing decision "
+               "(estimates per route)\n"
                "  .backend ENGINE       ordered|flat storage engine\n"
                "  .threads N            saturation worker threads (N >= 1)\n"
                "  .qthreads N           union-branch query threads (N >= 1)\n"
@@ -312,6 +322,22 @@ bool RunCommand(ReasoningStore& store, const std::string& line) {
       }
       std::cerr << "unknown mode '" << argument << "'\n";
       return false;
+    }
+    if (command == ".why") {
+      const auto decision = store.LastAutoDecision();
+      if (!decision.has_value()) {
+        std::cerr << "no auto-routed query yet (try .mode auto, then run a "
+                     "query)\n";
+        return false;
+      }
+      std::cout << "route = " << wdr::analysis::RouteName(decision->route)
+                << (decision->fallback ? " (static fallback)" : "")
+                << (decision->per_key ? " (per-key history)" : "")
+                << "\n  closure: "
+                << (decision->closure_available ? "materialized" : "absent")
+                << "  model: v" << decision->model_version << "\n  "
+                << decision->rationale << "\n";
+      return true;
     }
     if (command == ".backend") {
       wdr::rdf::StorageBackend backend;
@@ -538,6 +564,15 @@ void RunDemo(ReasoningStore& store) {
       "PREFIX ex: <http://ex.org/> "
       "SELECT ?x ?y WHERE { ?x rdf:type ?y . ?y rdfs:subClassOf ex:Mammal }",
       ".plan off",
+      ".mode datalog",
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+      "PREFIX ex: <http://ex.org/> "
+      "SELECT ?x WHERE { ?x rdf:type ex:Mammal }",
+      ".mode auto",
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+      "PREFIX ex: <http://ex.org/> "
+      "SELECT ?x WHERE { ?x rdf:type ex:Mammal }",
+      ".why",
       ".stats",
   };
   std::cout << "(no stdin input — running the scripted demo; pipe commands "

@@ -55,15 +55,21 @@ CostProfile CostProfileFromQueryLog(
       ++ref_count;
     }
   }
-  costs.eval_saturated_seconds =
-      sat_count == 0 ? 0 : sat_nanos * 1e-9 / static_cast<double>(sat_count);
+  // Cold start: a window with no records for a mode says nothing about
+  // that mode's cost — keep the metrics-derived value already in `costs`
+  // rather than zeroing it (a zero would make the unobserved mode look
+  // free to anything ranking techniques by this profile).
+  if (sat_count != 0) {
+    costs.eval_saturated_seconds =
+        sat_nanos * 1e-9 / static_cast<double>(sat_count);
+  }
   // Record wall time covers rewrite + evaluation (same shape as the
   // reformulation-mode histogram); CostProfile wants evaluation only.
-  costs.eval_reformulated_seconds =
-      ref_count == 0
-          ? 0
-          : std::max(0.0, ref_nanos * 1e-9 / static_cast<double>(ref_count) -
-                              costs.reformulation_seconds);
+  if (ref_count != 0) {
+    costs.eval_reformulated_seconds =
+        std::max(0.0, ref_nanos * 1e-9 / static_cast<double>(ref_count) -
+                          costs.reformulation_seconds);
+  }
   return costs;
 }
 

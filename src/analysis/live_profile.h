@@ -39,7 +39,9 @@ bool MetricsCoverComparison(const obs::MetricsSnapshot& snapshot);
 // exactly the queries in `records` — e.g. one tenant's recent window —
 // rather than everything the process ever ran. Build/maintenance costs are
 // per-record invisible and still come from `snapshot`. Modes with no
-// successful records contribute 0, like empty histograms.
+// successful records in the window keep the metrics-derived value (an
+// empty or single-mode window must not make the unobserved mode look
+// free); only when the histograms are empty too does a cost read 0.
 CostProfile CostProfileFromQueryLog(
     const std::vector<obs::QueryLogRecord>& records,
     const obs::MetricsSnapshot& snapshot);

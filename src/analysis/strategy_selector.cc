@@ -1,0 +1,391 @@
+#include "analysis/strategy_selector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "analysis/live_profile.h"
+
+namespace wdr::analysis {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Closure build cost when no measured wdr.saturation.build sample exists
+// yet: a per-triple constant in the right order of magnitude for the
+// in-memory saturator. Only used to gate lazy materialization; the first
+// real build replaces it through the metrics-derived prior.
+constexpr double kBuildSecondsPerTriple = 50e-9;
+
+int RouteOfMode(const std::string& mode) {
+  if (mode == "saturation") return static_cast<int>(Route::kSaturation);
+  if (mode == "reformulation") return static_cast<int>(Route::kReformulation);
+  if (mode == "backward") return static_cast<int>(Route::kBackward);
+  if (mode == "datalog") return static_cast<int>(Route::kDatalog);
+  return -1;  // none / unknown: not a reasoning route
+}
+
+// The fan-out feature of one log record: the probe's estimate when it ran,
+// the realized union size for reformulation records otherwise.
+double RecordFanout(const obs::QueryLogRecord& r) {
+  if (r.fanout > 0) return static_cast<double>(r.fanout);
+  if (r.mode == "reformulation" && r.union_size > 0) {
+    return static_cast<double>(r.union_size);
+  }
+  return 1.0;
+}
+
+std::string FormatSeconds(double seconds) {
+  if (!std::isfinite(seconds)) return "n/a";
+  char buf[32];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fus", seconds * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace
+
+const char* RouteName(Route route) {
+  switch (route) {
+    case Route::kSaturation:
+      return "saturation";
+    case Route::kReformulation:
+      return "reformulation";
+    case Route::kBackward:
+      return "backward";
+    case Route::kDatalog:
+      return "datalog";
+  }
+  return "unknown";
+}
+
+StrategySelector::StrategySelector(Options options) : options_(options) {
+  if (options_.refresh_every < 1) options_.refresh_every = 1;
+  if (options_.window < 1) options_.window = 1;
+  if (options_.min_route_samples < 1) options_.min_route_samples = 1;
+  for (RouteModel& m : route_models_) m.base = kInf;
+}
+
+void StrategySelector::SetPrior(const CostProfile& prior) {
+  prior_ = prior;
+  has_prior_ = true;
+  estimated_build_seconds_ = prior_.saturation_seconds;
+  if (model_version_ != 0) return;  // fitted models take precedence
+  // Prior-backed models so a selector that never refreshed (cold store,
+  // first queries) still prices saturation vs reformulation.
+  for (size_t i = 0; i < kRouteCount; ++i) {
+    RouteModel& m = route_models_[i];
+    m = RouteModel{};
+    m.from_prior = true;
+    switch (static_cast<Route>(i)) {
+      case Route::kSaturation:
+        m.base = prior_.eval_saturated_seconds > 0
+                     ? prior_.eval_saturated_seconds
+                     : kInf;
+        break;
+      case Route::kReformulation: {
+        const double flat =
+            prior_.reformulation_seconds + prior_.eval_reformulated_seconds;
+        m.base = flat > 0 ? flat : kInf;
+        break;
+      }
+      case Route::kBackward:
+      case Route::kDatalog:
+        m.base = kInf;
+        break;
+    }
+  }
+}
+
+bool StrategySelector::NeedsRefresh() const {
+  return model_version_ == 0 ||
+         decisions_since_refresh_ >= options_.refresh_every;
+}
+
+void StrategySelector::Refresh(
+    const std::vector<obs::QueryLogRecord>& records,
+    const obs::MetricsSnapshot& snapshot) {
+  // Sliding window: the newest options_.window records.
+  const size_t begin =
+      records.size() > options_.window ? records.size() - options_.window : 0;
+
+  // The live profile refreshes the prior: query-side costs from the window
+  // where observed, metrics-derived (or the static prior) elsewhere —
+  // build and maintenance costs are only visible through the histograms.
+  CostProfile live = CostProfileFromQueryLog(
+      std::vector<obs::QueryLogRecord>(records.begin() +
+                                           static_cast<ptrdiff_t>(begin),
+                                       records.end()),
+      snapshot);
+  if (has_prior_) {
+    // Keep static-prior fields the live metrics have no data for.
+    if (live.saturation_seconds == 0)
+      live.saturation_seconds = prior_.saturation_seconds;
+    if (live.reformulation_seconds == 0)
+      live.reformulation_seconds = prior_.reformulation_seconds;
+    if (live.eval_saturated_seconds == 0)
+      live.eval_saturated_seconds = prior_.eval_saturated_seconds;
+    if (live.eval_reformulated_seconds == 0)
+      live.eval_reformulated_seconds = prior_.eval_reformulated_seconds;
+    if (live.maintain_instance_insert_seconds == 0)
+      live.maintain_instance_insert_seconds =
+          prior_.maintain_instance_insert_seconds;
+    if (live.maintain_instance_delete_seconds == 0)
+      live.maintain_instance_delete_seconds =
+          prior_.maintain_instance_delete_seconds;
+    if (live.maintain_schema_insert_seconds == 0)
+      live.maintain_schema_insert_seconds =
+          prior_.maintain_schema_insert_seconds;
+    if (live.maintain_schema_delete_seconds == 0)
+      live.maintain_schema_delete_seconds =
+          prior_.maintain_schema_delete_seconds;
+  }
+  prior_ = live;
+  has_prior_ = true;
+  estimated_build_seconds_ = prior_.saturation_seconds;
+
+  // Per-route through-origin fits and the per-key memory.
+  double wall_sum[kRouteCount] = {};
+  double fanout_sum[kRouteCount] = {};
+  double rows_sum[kRouteCount] = {};
+  size_t counts[kRouteCount] = {};
+  size_t ok_records = 0;
+  per_key_.clear();
+  for (size_t i = begin; i < records.size(); ++i) {
+    const obs::QueryLogRecord& r = records[i];
+    if (!r.ok) continue;
+    const int route = RouteOfMode(r.mode);
+    if (route < 0) continue;
+    ++ok_records;
+    const double wall = static_cast<double>(r.wall_nanos) * 1e-9;
+    wall_sum[route] += wall;
+    fanout_sum[route] += RecordFanout(r);
+    rows_sum[route] += static_cast<double>(r.rows);
+    ++counts[route];
+    KeyStats& ks = per_key_[r.query];
+    const double n = static_cast<double>(++ks.samples[route]);
+    ks.mean_seconds[route] += (wall - ks.mean_seconds[route]) / n;
+  }
+
+  for (size_t i = 0; i < kRouteCount; ++i) {
+    RouteModel& m = route_models_[i];
+    m = RouteModel{};
+    if (counts[i] >= options_.min_route_samples) {
+      m.samples = counts[i];
+      m.mean_rows = rows_sum[i] / static_cast<double>(counts[i]);
+      const Route route = static_cast<Route>(i);
+      if (route == Route::kReformulation || route == Route::kBackward) {
+        // Fan-out-linear: these routes pay per rewriting branch.
+        m.per_branch = wall_sum[i] / std::max(1.0, fanout_sum[i]);
+      } else {
+        // Flat: the closure / materialization pre-paid the reasoning.
+        m.base = wall_sum[i] / static_cast<double>(counts[i]);
+      }
+      continue;
+    }
+    // No window data: price from the prior where it has an opinion
+    // (saturation and reformulation — the two techniques the static
+    // CostProfile measures); backward and Datalog stay unpriced until the
+    // log has seen them.
+    m.from_prior = true;
+    switch (static_cast<Route>(i)) {
+      case Route::kSaturation:
+        m.base = prior_.eval_saturated_seconds > 0
+                     ? prior_.eval_saturated_seconds
+                     : kInf;
+        break;
+      case Route::kReformulation: {
+        const double flat =
+            prior_.reformulation_seconds + prior_.eval_reformulated_seconds;
+        m.base = flat > 0 ? flat : kInf;
+        break;
+      }
+      case Route::kBackward:
+      case Route::kDatalog:
+        m.base = kInf;
+        break;
+    }
+  }
+
+  // Advisor pass over the observed mix: does saturation pay for itself at
+  // this window's query/update ratio? Drives lazy materialization and the
+  // hysteresis drop votes.
+  WorkloadForecast forecast;
+  forecast.query_runs = static_cast<double>(ok_records);
+  forecast.instance_inserts = static_cast<double>(updates_since_refresh_);
+  if (forecast.query_runs > 0 &&
+      (prior_.eval_saturated_seconds > 0 ||
+       prior_.eval_reformulated_seconds > 0)) {
+    const Recommendation rec = Recommend(prior_, forecast);
+    advisor_prefers_saturation_ = rec.technique == Technique::kSaturation;
+    if (rec.reformulation_total_seconds > 0 &&
+        rec.saturation_total_seconds >=
+            options_.drop_after_factor * rec.reformulation_total_seconds) {
+      ++drop_votes_;
+    } else {
+      drop_votes_ = 0;
+    }
+  } else {
+    advisor_prefers_saturation_ = false;
+    drop_votes_ = 0;
+  }
+
+  updates_since_refresh_ = 0;
+  decisions_since_refresh_ = 0;
+  ++model_version_;
+  WDR_COUNTER_INC("wdr.auto.model_refreshes");
+}
+
+double StrategySelector::EstimateRoute(Route route,
+                                       const std::string& query_key,
+                                       const QueryFeatures& features,
+                                       bool* per_key) const {
+  // Level 1: this exact query's measured history — the per-query oracle
+  // once every route has been tried on it.
+  if (auto it = per_key_.find(query_key); it != per_key_.end()) {
+    const KeyStats& ks = it->second;
+    const size_t i = static_cast<size_t>(route);
+    if (ks.samples[i] > 0) {
+      if (per_key != nullptr) *per_key = true;
+      return ks.mean_seconds[i];
+    }
+  }
+  // Level 2: the parametric per-route model.
+  const RouteModel& m = route_models_[static_cast<size_t>(route)];
+  if (!std::isfinite(m.base) && m.per_branch == 0) return kInf;
+  double cost = (std::isfinite(m.base) ? m.base : 0) +
+                m.per_branch * std::max(1.0, features.fanout);
+  // Statistics row bound: scale within the route by the query's relative
+  // expected output. Clamped — the bound is coarse and must refine the
+  // estimate, not dominate it.
+  if (features.est_rows >= 0 && m.mean_rows > 0 && m.samples > 0) {
+    const double scale = std::clamp(
+        (1.0 + features.est_rows) / (1.0 + m.mean_rows), 0.5, 2.0);
+    cost *= scale;
+  }
+  return cost;
+}
+
+RouteDecision StrategySelector::Decide(const std::string& query_key,
+                                       const QueryFeatures& features,
+                                       bool closure_available,
+                                       size_t store_size) {
+  ++decisions_since_refresh_;
+
+  RouteDecision d;
+  d.features = features;
+  d.closure_available = closure_available;
+  d.model_version = model_version_;
+
+  bool any_viable = false;
+  double sat_hypothetical = kInf;  // saturation cost if the closure existed
+  for (size_t i = 0; i < kRouteCount; ++i) {
+    const Route route = static_cast<Route>(i);
+    bool per_key = false;
+    double est = EstimateRoute(route, query_key, features, &per_key);
+    if (route == Route::kSaturation) {
+      sat_hypothetical = est;
+      if (!closure_available) est = kInf;  // not routable without a closure
+    }
+    d.est_seconds[i] = est;
+    if (std::isfinite(est) &&
+        (!any_viable || est < d.est_seconds[static_cast<size_t>(d.route)])) {
+      d.route = route;
+      d.per_key = per_key;
+      any_viable = true;
+    }
+  }
+
+  if (!any_viable) {
+    // Stale / cold model: no route is priceable. Fall back to the safe
+    // static mode — the maintained closure when there is one (queries on
+    // G∞ are never wrong, only possibly not optimal), zero-maintenance
+    // reformulation otherwise.
+    d.route = closure_available ? Route::kSaturation : Route::kReformulation;
+    d.fallback = true;
+    d.rationale = "no cost data (model v" + std::to_string(model_version_) +
+                  "): safe static fallback to " + RouteName(d.route);
+    WDR_COUNTER_INC("wdr.auto.fallbacks");
+  } else {
+    char line[256];
+    std::snprintf(
+        line, sizeof(line),
+        "est sat=%s ref=%s bwd=%s dl=%s fanout=%.0f%s -> %s (%s, model v%llu)",
+        FormatSeconds(d.est_seconds[0]).c_str(),
+        FormatSeconds(d.est_seconds[1]).c_str(),
+        FormatSeconds(d.est_seconds[2]).c_str(),
+        FormatSeconds(d.est_seconds[3]).c_str(), features.fanout,
+        features.fanout_exact ? "" : "~", RouteName(d.route),
+        d.per_key ? "per-key history" : "per-route model",
+        static_cast<unsigned long long>(model_version_));
+    d.rationale = line;
+  }
+
+  // Lazy-materialization bookkeeping: every query that would have been
+  // cheaper on a (nonexistent) closure adds its forgone savings; once they
+  // cover the estimated build cost and the advisor agrees the workload
+  // mix supports maintenance, advise the store to build.
+  if (!closure_available) {
+    const double chosen = d.est_seconds[static_cast<size_t>(d.route)];
+    if (std::isfinite(sat_hypothetical) && std::isfinite(chosen) &&
+        sat_hypothetical < chosen) {
+      forgone_sat_savings_seconds_ += chosen - sat_hypothetical;
+    }
+    double build = estimated_build_seconds_;
+    if (build <= 0) {
+      build = static_cast<double>(store_size) * kBuildSecondsPerTriple;
+    }
+    if (advisor_prefers_saturation_ && build > 0 &&
+        forgone_sat_savings_seconds_ >=
+            options_.materialize_payback * build) {
+      d.materialize_closure = true;
+    }
+  } else if (drop_votes_ >= 2) {
+    d.drop_closure = true;
+  }
+
+  obs::MetricsRegistry::Get()
+      .GetCounter(std::string("wdr.auto.decisions.") + RouteName(d.route))
+      .Add(1);
+  return d;
+}
+
+void StrategySelector::NoteUpdate() { ++updates_since_refresh_; }
+
+void StrategySelector::ClosureMaterialized() {
+  forgone_sat_savings_seconds_ = 0;
+  drop_votes_ = 0;
+  WDR_COUNTER_INC("wdr.auto.closure_materializations");
+}
+
+void StrategySelector::ClosureDropped() {
+  forgone_sat_savings_seconds_ = 0;
+  drop_votes_ = 0;
+  advisor_prefers_saturation_ = false;
+  WDR_COUNTER_INC("wdr.auto.closure_drops");
+}
+
+void RecordEstimateError(Route route, double estimated_seconds,
+                         double actual_seconds) {
+  if (!std::isfinite(estimated_seconds) || estimated_seconds < 0 ||
+      actual_seconds < 0) {
+    return;  // fallback decisions carry no estimate to score
+  }
+  const double err_pct = 100.0 *
+                         std::fabs(estimated_seconds - actual_seconds) /
+                         std::max(actual_seconds, 1e-9);
+  obs::MetricsRegistry::Get()
+      .GetHistogram("wdr.auto.est_error_pct")
+      .RecordNanos(static_cast<uint64_t>(std::min(err_pct, 1e9)));
+  obs::MetricsRegistry::Get()
+      .GetHistogram(std::string("wdr.auto.actual.") + RouteName(route))
+      .RecordSeconds(actual_seconds);
+}
+
+}  // namespace wdr::analysis

@@ -1,0 +1,201 @@
+#ifndef WDR_ANALYSIS_STRATEGY_SELECTOR_H_
+#define WDR_ANALYSIS_STRATEGY_SELECTOR_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/advisor.h"
+#include "analysis/thresholds.h"
+#include "obs/metrics.h"
+#include "obs/query_log.h"
+
+namespace wdr::analysis {
+
+// Per-query strategy selection — the runtime half of the paper's §II-D
+// open issue ("automatizing the choice between these two techniques"),
+// generalized from the advisor's one-shot workload recommendation to a
+// per-query, online-fitted decision in the spirit of VLog's
+// Reasoner::chooseMostEfficientAlgo. The selector owns no store state: it
+// consumes query features (reformulation fan-out probe, statistics
+// bounds), a sliding window of structured query-log records, and the live
+// metrics snapshot, and produces routing decisions the store executes
+// (store::ReasoningMode::kAuto).
+
+// The four static evaluation routes a query can be sent down. Values
+// index the per-route arrays below.
+enum class Route : uint8_t {
+  kSaturation = 0,     // query the maintained closure G∞
+  kReformulation = 1,  // rewrite into a UCQ over G
+  kBackward = 2,       // backward chaining inside the join
+  kDatalog = 3,        // Datalog translation + magic sets
+};
+inline constexpr size_t kRouteCount = 4;
+const char* RouteName(Route route);
+
+// Per-query features the store extracts cheaply at prepare time. All are
+// estimates: the fan-out comes from Reformulator::EstimateFanout (exact
+// only on a memo hit), the row bound from exec::Statistics.
+struct QueryFeatures {
+  double fanout = 1;        // estimated reformulation |UCQ| (>= 1)
+  bool fanout_exact = false;
+  size_t atoms = 1;         // BGP join width
+  double est_rows = -1;     // statistics row bound; < 0 when unknown
+};
+
+// One fitted per-route cost model: cost(q) = base + per_branch * fanout(q),
+// optionally scaled by the query's relative row bound. per_branch is only
+// nonzero for the routes whose cost grows with the rewriting fan-out
+// (reformulation, backward); the closure- and materialization-backed
+// routes pre-paid that cost.
+struct RouteModel {
+  double base = 0;        // seconds
+  double per_branch = 0;  // seconds per estimated UCQ branch
+  double mean_rows = 0;   // mean answer rows over the fitted window
+  size_t samples = 0;     // window records behind the fit
+  bool from_prior = false;  // no window data: values derive from the prior
+};
+
+// One routing decision, as recorded in the store's decision ring and
+// rendered by the shell's `.why`.
+struct RouteDecision {
+  Route route = Route::kReformulation;
+  // Predicted seconds per route (indexed by Route); infinity marks a route
+  // that was not viable for this query (no closure, no cost data).
+  std::array<double, kRouteCount> est_seconds{};
+  QueryFeatures features;
+  bool closure_available = false;
+  // Stale model: no per-route cost data existed, so the decision is the
+  // safe static fallback (saturation when the closure is materialized,
+  // reformulation otherwise) rather than a fitted choice.
+  bool fallback = false;
+  // Estimate came from the per-query-key memory rather than the
+  // parametric per-route model (repeated queries route near-oracle).
+  bool per_key = false;
+  // Lifecycle advice for the store's lazy closure policy: build the
+  // closure now (the forgone savings have paid for it), or drop it (the
+  // advisor has seen maintenance dominate for two refreshes).
+  bool materialize_closure = false;
+  bool drop_closure = false;
+  uint64_t model_version = 0;  // Refresh() generation the decision used
+  std::string rationale;       // one-line human-readable explanation
+};
+
+// Online strategy selector. Not thread-safe: the store calls Decide /
+// Refresh / NoteUpdate from its externally-serialized prepare/update path
+// (see store::ReasoningStore). The only cross-thread feedback —
+// estimated-vs-actual error from concurrent Executes — goes through the
+// lock-free metrics registry via the free function RecordEstimateError.
+class StrategySelector {
+ public:
+  struct Options {
+    // Decisions between model refits from the query-log window.
+    size_t refresh_every = 32;
+    // Newest query-log records considered per refit.
+    size_t window = 256;
+    // A route needs at least this many window records to be considered
+    // fitted; below it the route falls back to the prior (or infinity).
+    size_t min_route_samples = 2;
+    // Materialize the closure once the accumulated estimated savings of
+    // the saturation route exceed this multiple of the estimated closure
+    // build cost AND the advisor recommends saturation on the observed
+    // query/update mix.
+    double materialize_payback = 1.0;
+    // Drop a materialized closure when the advisor has priced
+    // reformulation at least this factor below saturation for two
+    // consecutive refreshes (hysteresis against flapping).
+    double drop_after_factor = 2.0;
+  };
+
+  StrategySelector() : StrategySelector(Options{}) {}
+  explicit StrategySelector(Options options);
+
+  // Sets the cold-start prior (typically CostProfileFromMetrics at store
+  // construction). Routes without window data price from this.
+  void SetPrior(const CostProfile& prior);
+
+  // True when Decide wants fresh window data first (never refreshed, or
+  // refresh_every decisions have passed). The caller owns the feed:
+  //   if (selector.NeedsRefresh())
+  //     selector.Refresh(obs::QueryLog::Get().Records(),
+  //                      obs::MetricsRegistry::Get().Snapshot());
+  bool NeedsRefresh() const;
+
+  // Refits the per-route models and the per-query-key memory from the
+  // newest `options().window` records of `records`, refreshes the prior
+  // from `snapshot`, and re-evaluates the closure lifecycle advice.
+  // Bumps wdr.auto.model_refreshes.
+  void Refresh(const std::vector<obs::QueryLogRecord>& records,
+               const obs::MetricsSnapshot& snapshot);
+
+  // Routes one query. `query_key` is the canonical query-log key (the
+  // per-key memory joins on it); `closure_available` gates the saturation
+  // route; `store_size` feeds the closure build-cost heuristic when no
+  // measured build exists. Bumps wdr.auto.decisions.<route>.
+  RouteDecision Decide(const std::string& query_key,
+                       const QueryFeatures& features, bool closure_available,
+                       size_t store_size);
+
+  // Signals one store-level update (maintenance pressure for the advisor's
+  // forecast; drives the materialize/drop lifecycle).
+  void NoteUpdate();
+
+  // Called by the store after it materialized / dropped the closure on
+  // this selector's advice, so the advice resets.
+  void ClosureMaterialized();
+  void ClosureDropped();
+
+  uint64_t model_version() const { return model_version_; }
+  const Options& options() const { return options_; }
+  const CostProfile& prior() const { return prior_; }
+  const std::array<RouteModel, kRouteCount>& route_models() const {
+    return route_models_;
+  }
+
+ private:
+  // Per-route estimate for one query, infinity when unpriceable. Sets
+  // `per_key` when the per-key memory supplied the value.
+  double EstimateRoute(Route route, const std::string& query_key,
+                       const QueryFeatures& features, bool* per_key) const;
+
+  Options options_;
+  CostProfile prior_;
+  bool has_prior_ = false;
+
+  std::array<RouteModel, kRouteCount> route_models_{};
+  // Canonical query key -> mean observed seconds per route (and sample
+  // count), over the last fitted window. Repeated queries — the common
+  // case the paper's Fig. 3 thresholds are about — route on their own
+  // measured history, which is exactly the per-query oracle once every
+  // route has been seen.
+  struct KeyStats {
+    std::array<double, kRouteCount> mean_seconds{};
+    std::array<uint32_t, kRouteCount> samples{};
+  };
+  std::unordered_map<std::string, KeyStats> per_key_;
+
+  uint64_t model_version_ = 0;
+  size_t decisions_since_refresh_ = 0;
+  uint64_t updates_since_refresh_ = 0;
+
+  // Closure lifecycle state.
+  double forgone_sat_savings_seconds_ = 0;
+  double estimated_build_seconds_ = 0;
+  bool advisor_prefers_saturation_ = false;
+  int drop_votes_ = 0;  // consecutive refreshes pricing maintenance out
+};
+
+// Records one estimated-vs-actual outcome for a routed query: bumps the
+// dimensionless wdr.auto.est_error_pct histogram (absolute relative error
+// in percent, bucketed base-2 like every histogram) and the per-route
+// actual-latency histogram wdr.auto.actual.<route>. Lock-free; safe from
+// concurrent Execute threads.
+void RecordEstimateError(Route route, double estimated_seconds,
+                         double actual_seconds);
+
+}  // namespace wdr::analysis
+
+#endif  // WDR_ANALYSIS_STRATEGY_SELECTOR_H_

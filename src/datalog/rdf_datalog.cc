@@ -3,6 +3,8 @@
 #include <set>
 #include <string>
 
+#include "datalog/magic.h"
+
 namespace wdr::datalog {
 namespace {
 
@@ -187,6 +189,110 @@ Result<query::ResultSet> AnswerViaDatalog(const RdfDatalogTranslation& xlat,
         std::vector<Tuple> rows,
         EvaluateQuery(xlat.program, db, body, effective, plan));
     for (const Tuple& tuple : rows) {
+      query::Row row(projection.size(), rdf::kNullTermId);
+      for (size_t i = 0; i < effective_cols.size(); ++i) {
+        row[effective_cols[i]] = xlat.term_of_sym[tuple[i]];
+      }
+      for (const auto& [col, value] : fixed) row[col] = value;
+      if (seen.insert(row).second) result.rows.push_back(std::move(row));
+    }
+  }
+  query::ApplySolutionModifiers(q, result);
+  return result;
+}
+
+Result<query::ResultSet> AnswerViaMagicUnion(const RdfDatalogTranslation& xlat,
+                                             const query::UnionQuery& q,
+                                             EvalStats* stats) {
+  query::ResultSet result;
+  std::set<query::Row> seen;
+  for (const BgpQuery& branch : q.branches()) {
+    if (result.var_names.empty()) {
+      result.var_names = branch.ProjectionNames();
+    }
+    std::vector<DlAtom> body;
+    bool impossible = false;
+    auto translate = [&](const PatternTerm& t) -> DlTerm {
+      if (t.is_var()) return DlTerm::Variable(t.var);
+      if (t.id >= xlat.sym_of_term.size()) {
+        impossible = true;
+        return DlTerm::Constant(0);
+      }
+      return DlTerm::Constant(xlat.sym_of_term[t.id]);
+    };
+    for (const TriplePattern& atom : branch.atoms()) {
+      DlAtom dl;
+      dl.pred = xlat.triple_pred;
+      dl.args = {translate(atom.s), translate(atom.p), translate(atom.o)};
+      body.push_back(std::move(dl));
+    }
+    if (impossible) continue;
+    // Preset bindings become constants, as in AnswerViaDatalog.
+    for (DlAtom& atom : body) {
+      for (DlTerm& term : atom.args) {
+        if (!term.is_var) continue;
+        auto it = branch.preset().find(term.id);
+        if (it != branch.preset().end()) {
+          term = DlTerm::Constant(xlat.sym_of_term[it->second]);
+        }
+      }
+    }
+
+    const std::vector<DlVarId> projection(branch.projection().begin(),
+                                          branch.projection().end());
+    std::vector<std::pair<size_t, rdf::TermId>> fixed;  // (column, value)
+    std::vector<DlVarId> effective;
+    std::vector<size_t> effective_cols;
+    for (size_t i = 0; i < projection.size(); ++i) {
+      auto it = branch.preset().find(projection[i]);
+      if (it != branch.preset().end()) {
+        fixed.emplace_back(i, it->second);
+      } else {
+        effective.push_back(projection[i]);
+        effective_cols.push_back(i);
+      }
+    }
+
+    // Wrap the branch in a fresh answer predicate so the magic transform
+    // has an IDB query atom to adorn; its all-free query atom then asks
+    // for the distinct projections.
+    DlProgram program = xlat.program;
+    const PredId answer =
+        program.InternPred("__magic_answer", effective.size());
+    DlRule rule;
+    rule.head.pred = answer;
+    uint32_t max_var = 0;
+    for (DlVarId v : effective) {
+      rule.head.args.push_back(DlTerm::Variable(v));
+      if (static_cast<uint32_t>(v) > max_var) max_var = v;
+    }
+    for (const DlAtom& atom : body) {
+      for (const DlTerm& term : atom.args) {
+        if (term.is_var && term.id > max_var) max_var = term.id;
+      }
+    }
+    rule.body = std::move(body);
+    for (uint32_t v = 0; v <= max_var; ++v) {
+      rule.var_names.push_back("v" + std::to_string(v));
+    }
+    program.AddRule(std::move(rule));
+
+    DlAtom query_atom;
+    query_atom.pred = answer;
+    for (size_t i = 0; i < effective.size(); ++i) {
+      query_atom.args.push_back(DlTerm::Variable(static_cast<DlVarId>(i)));
+    }
+    EvalStats branch_stats;
+    WDR_ASSIGN_OR_RETURN(
+        std::vector<Tuple> tuples,
+        AnswerWithMagic(program, query_atom,
+                        stats != nullptr ? &branch_stats : nullptr));
+    if (stats != nullptr) {
+      stats->derived_tuples += branch_stats.derived_tuples;
+      stats->iterations += branch_stats.iterations;
+      stats->rule_evaluations += branch_stats.rule_evaluations;
+    }
+    for (const Tuple& tuple : tuples) {
       query::Row row(projection.size(), rdf::kNullTermId);
       for (size_t i = 0; i < effective_cols.size(); ++i) {
         row[effective_cols[i]] = xlat.term_of_sym[tuple[i]];

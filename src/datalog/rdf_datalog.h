@@ -64,6 +64,19 @@ Result<query::ResultSet> AnswerViaDatalog(const RdfDatalogTranslation& xlat,
                                           const query::UnionQuery& q,
                                           const BodyPlanOptions* plan = nullptr);
 
+// Answers a BGP / union query through Datalog + magic sets, with NO prior
+// materialization: each branch is wrapped in a fresh answer predicate whose
+// single defining rule is the branch body, and magic-sets evaluation
+// (datalog/magic.h) derives only the closure fragment relevant to that
+// branch. This is the store's kDatalog route — reasoning cost is paid per
+// query, focused by the query's constants, against the always-fresh base
+// facts baked into `xlat`. Preset bindings are substituted as constants
+// (same convention as AnswerViaDatalog). `stats`, when non-null,
+// accumulates the per-branch materialization stats.
+Result<query::ResultSet> AnswerViaMagicUnion(const RdfDatalogTranslation& xlat,
+                                             const query::UnionQuery& q,
+                                             EvalStats* stats = nullptr);
+
 }  // namespace wdr::datalog
 
 #endif  // WDR_DATALOG_RDF_DATALOG_H_

@@ -58,6 +58,8 @@ std::string QueryLogRecord::ToJsonLine() const {
          ",\"rewrite_steps\":" + std::to_string(rewrite_steps) +
          ",\"pruned_cqs\":" + std::to_string(pruned_cqs) +
          ",\"range_collapses\":" + std::to_string(range_collapses) +
+         ",\"fanout\":" + std::to_string(fanout) + ",\"auto\":" +
+         (via_auto ? "true" : "false") +
          ",\"est_rows\":" + std::to_string(est_rows) +
          ",\"rows\":" + std::to_string(rows) +
          ",\"scan_cache_hits\":" + std::to_string(scan_cache_hits) +

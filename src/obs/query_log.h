@@ -40,6 +40,17 @@ struct QueryLogRecord {
   uint64_t pruned_cqs = 0;       // subsumption-pruned disjuncts
   uint64_t range_collapses = 0;  // hierarchy-encoding interval collapses
 
+  // Estimated reformulation fan-out (Reformulator::EstimateFanout) the
+  // auto-mode selector computed for this query; 0 when no probe ran. The
+  // per-mode cost models divide observed wall time by this, so it is
+  // logged in every routed mode, not just reformulation.
+  uint64_t fanout = 0;
+  // True when the mode above was chosen by the kAuto strategy selector
+  // rather than configured statically. The record's `mode` is always the
+  // mode that actually evaluated — that keeps the query log a valid
+  // training feed for the selector's own cost model.
+  bool via_auto = false;
+
   // Plan summary: estimated-vs-actual cardinality. est_rows is the sum of
   // the planner's per-branch row estimates (-1 when not planned); rows is
   // the actual answer count.

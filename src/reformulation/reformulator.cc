@@ -194,6 +194,18 @@ class AtomRewriter {
   mutable size_t range_collapses_ = 0;
 };
 
+// Saturating arithmetic for fan-out estimates: products over atoms can
+// overflow size_t long before the rewriting itself would hit its CQ cap.
+constexpr size_t kFanoutCap = size_t{1} << 60;
+
+size_t SatAdd(size_t a, size_t b) {
+  return (a > kFanoutCap - b) ? kFanoutCap : a + b;
+}
+size_t SatMul(size_t a, size_t b) {
+  if (a == 0 || b == 0) return 0;
+  return (a > kFanoutCap / b) ? kFanoutCap : a * b;
+}
+
 // Memo key for a BGP. CanonicalKey renames variables positionally, so two
 // queries that differ only in variable *names* would collide — append the
 // projection names (result-set headers travel with the memoized branches)
@@ -280,6 +292,112 @@ Result<UnionQuery> Reformulator::Reformulate(const BgpQuery& q,
     memo_.emplace(std::move(memo_key), std::make_pair(result, run_stats));
   }
   return result;
+}
+
+FanoutEstimate Reformulator::EstimateFanout(const BgpQuery& q) const {
+  if (auto it = memo_.find(MemoKey(q)); it != memo_.end()) {
+    FanoutEstimate exact;
+    exact.branches = it->second.second.conjunctive_queries;
+    exact.range_collapses = it->second.second.range_collapses;
+    exact.exact = true;
+    return exact;
+  }
+
+  const rdf::HierEncoding* encoding = options_.encoding;
+  auto class_collapses = [&](TermId c) {
+    if (encoding == nullptr) return false;
+    const rdf::HierInterval* iv = encoding->ClassInterval(c);
+    return iv != nullptr && iv->valid && iv->width() >= 2;
+  };
+  auto property_collapses = [&](TermId p) {
+    if (encoding == nullptr) return false;
+    const rdf::HierInterval* iv = encoding->PropertyInterval(p);
+    return iv != nullptr && iv->valid && iv->width() >= 2;
+  };
+
+  FanoutEstimate est;
+
+  // Rewriting-set size of one non-type atom with constant property p:
+  // its subproperty closure enumerated, or one range atom when the
+  // encoding collapses it.
+  auto property_atom = [&](TermId p) -> size_t {
+    if (property_collapses(p)) {
+      est.range_collapses = SatAdd(est.range_collapses, 1);
+      return 1;
+    }
+    return schema_->SubPropertiesOf(p).empty()
+               ? 1
+               : schema_->SubPropertiesOf(p).size();
+  };
+
+  // Rewriting-set size of (s rdf:type c): the subclass closure (collapsed
+  // to a range atom under the encoding), plus the rdfs2/rdfs3 riders —
+  // domain/range properties of every subclass, each dragging in its own
+  // subproperty closure. The riders are emitted for the whole closure
+  // even when the class enumeration collapses (range atoms are terminal),
+  // mirroring AtomRewriter::RewriteTypeAtom exactly.
+  auto type_atom = [&](TermId c) -> size_t {
+    size_t n;
+    if (class_collapses(c)) {
+      est.range_collapses = SatAdd(est.range_collapses, 1);
+      n = 1;
+    } else {
+      n = schema_->SubClassesOf(c).empty() ? 1
+                                           : schema_->SubClassesOf(c).size();
+    }
+    for (TermId c1 : schema_->SubClassesOf(c)) {
+      for (TermId p : schema_->PropertiesWithDomain(c1)) {
+        n = SatAdd(n, property_atom(p));
+      }
+      for (TermId p : schema_->PropertiesWithRange(c1)) {
+        n = SatAdd(n, property_atom(p));
+      }
+    }
+    return n;
+  };
+
+  for (const TriplePattern& atom : q.atoms()) {
+    if (atom.s.is_range() || atom.p.is_range() || atom.o.is_range()) continue;
+    size_t n = 1;
+    if (atom.p.is_const() && atom.p.id == vocab_.type) {
+      if (atom.o.is_const()) {
+        n = type_atom(atom.o.id);
+      } else {
+        // Class variable: grounded over every schema class, each grounding
+        // rewritten as a constant-class type atom; the variable form
+        // itself stays a branch.
+        n = 1;
+        for (TermId c : schema_->classes()) n = SatAdd(n, type_atom(c));
+      }
+    } else if (atom.p.is_const()) {
+      n = property_atom(atom.p.id);
+    } else {
+      // Property variable: grounded over every non-constraint schema
+      // property plus rdf:type, each continuing with its own rewriting.
+      n = 1;
+      for (TermId p : schema_->properties()) {
+        if (vocab_.IsSchemaProperty(p)) continue;
+        n = SatAdd(n, property_atom(p));
+      }
+      n = SatAdd(n, atom.o.is_const() ? type_atom(atom.o.id) : size_t{1});
+    }
+    est.branches = SatMul(est.branches, n);
+  }
+  return est;
+}
+
+FanoutEstimate Reformulator::EstimateFanout(const UnionQuery& q) const {
+  FanoutEstimate total;
+  total.branches = 0;
+  total.exact = true;
+  for (const BgpQuery& branch : q.branches()) {
+    FanoutEstimate e = EstimateFanout(branch);
+    total.branches = SatAdd(total.branches, e.branches);
+    total.range_collapses = SatAdd(total.range_collapses, e.range_collapses);
+    total.exact = total.exact && e.exact;
+  }
+  if (total.branches == 0) total.branches = 1;
+  return total;
 }
 
 Result<UnionQuery> Reformulator::Reformulate(const UnionQuery& q,

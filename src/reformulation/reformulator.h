@@ -34,6 +34,23 @@ struct ReformulationOptions {
   const rdf::HierEncoding* encoding = nullptr;
 };
 
+// A cheap prediction of a query's reformulation size, computed from the
+// schema closures alone — no branch is ever materialized. The auto-mode
+// strategy selector calls this on every query, so it must stay O(closure
+// sizes), not O(|UCQ|).
+struct FanoutEstimate {
+  // Estimated |UCQ| (conjunctive queries, original included): the product
+  // over atoms of each atom's rewriting-set size. An upper bound — the
+  // fixpoint's canonical-form dedup can only shrink it. Saturating.
+  size_t branches = 1;
+  // Interval collapses the hierarchy encoding would apply (enumerations
+  // replaced by one range atom); already reflected in `branches`.
+  size_t range_collapses = 0;
+  // True when the estimate was read off a memoized rewriting and is the
+  // exact post-dedup size.
+  bool exact = false;
+};
+
 struct ReformulationStats {
   size_t conjunctive_queries = 0;  // |UCQ| including the original query
   size_t total_atoms = 0;
@@ -97,6 +114,13 @@ class Reformulator {
   // Reformulates each branch and concatenates the results.
   Result<query::UnionQuery> Reformulate(const query::UnionQuery& q,
                                         ReformulationStats* stats = nullptr) const;
+
+  // Estimates the fan-out Reformulate(q) would produce, without expanding:
+  // exact (from the memo) when this query was already rewritten under the
+  // current schema version, an O(closure) upper bound otherwise.
+  FanoutEstimate EstimateFanout(const query::BgpQuery& q) const;
+  // Sum over branches; exact iff every branch hit the memo.
+  FanoutEstimate EstimateFanout(const query::UnionQuery& q) const;
 
  private:
   // Bounds the per-instance memo (each entry holds a whole UCQ, which can

@@ -72,6 +72,10 @@ Status ApplySetting(SessionStateImpl& session, std::string_view key,
       session.read_options.mode = store::ReasoningMode::kReformulation;
     } else if (value == "backward") {
       session.read_options.mode = store::ReasoningMode::kBackward;
+    } else if (value == "datalog") {
+      session.read_options.mode = store::ReasoningMode::kDatalog;
+    } else if (value == "auto") {
+      session.read_options.mode = store::ReasoningMode::kAuto;
     } else {
       return InvalidArgumentError("unknown mode: " + std::string(value));
     }
@@ -380,6 +384,9 @@ bool Server::HandleFrame(int fd, uint64_t session_id, std::string_view payload,
   }
 
   if (request.verb == "INFO") {
+    const auto counter = [&](const char* name) {
+      return std::to_string(metrics.GetCounter(name).value());
+    };
     std::string head =
         "epoch=" + std::to_string(store_.epoch()) +
         " size=" + std::to_string(store_.size()) +
@@ -389,8 +396,33 @@ bool Server::HandleFrame(int fd, uint64_t session_id, std::string_view payload,
         " sessions=" + std::to_string(active_sessions()) +
         " session=" + std::to_string(session_id) +
         " plan_hits=" + std::to_string(session.plan_cache.hits()) +
-        " plan_misses=" + std::to_string(session.plan_cache.misses());
+        " plan_misses=" + std::to_string(session.plan_cache.misses()) +
+        " auto_saturation=" + counter("wdr.auto.decisions.saturation") +
+        " auto_reformulation=" + counter("wdr.auto.decisions.reformulation") +
+        " auto_backward=" + counter("wdr.auto.decisions.backward") +
+        " auto_datalog=" + counter("wdr.auto.decisions.datalog") +
+        " auto_fallbacks=" + counter("wdr.auto.fallbacks") +
+        " auto_refreshes=" + counter("wdr.auto.model_refreshes");
     return WriteFrame(fd, OkResponse(head));
+  }
+
+  if (request.verb == "WHY") {
+    // The last kAuto routing decision on the published side — the wire
+    // counterpart of the shell's `.why`.
+    const std::optional<analysis::RouteDecision> decision =
+        store_.LastAutoDecision();
+    if (!decision.has_value()) {
+      return WriteFrame(fd, ErrResponse(NotFoundError(
+                                "no auto-routed query yet (SET mode=auto, "
+                                "then QUERY)")));
+    }
+    const std::string head =
+        std::string("route=") + analysis::RouteName(decision->route) +
+        " fallback=" + (decision->fallback ? "1" : "0") +
+        " per_key=" + (decision->per_key ? "1" : "0") +
+        " closure=" + (decision->closure_available ? "1" : "0") +
+        " model_version=" + std::to_string(decision->model_version);
+    return WriteFrame(fd, OkResponse(head, decision->rationale + "\n"));
   }
 
   if (request.verb == "BYE") {

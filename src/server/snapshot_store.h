@@ -113,6 +113,13 @@ class SnapshotStore {
   store::ReasoningMode mode() const { return sides_[0].store.mode(); }
   rdf::StorageBackend backend() const { return sides_[0].store.backend(); }
 
+  // Last kAuto routing decision on the published side (the side queries
+  // run on), or nullopt before any auto-routed query. Thread-safe.
+  std::optional<analysis::RouteDecision> LastAutoDecision() const {
+    return sides_[published_.load(std::memory_order_acquire)]
+        .store.LastAutoDecision();
+  }
+
   // Test hook: the published side's underlying StoreView (epoch-pin and
   // compaction-deferral assertions).
   const rdf::StoreView& published_store_view() const;

@@ -1,7 +1,9 @@
 #include "store/reasoning_store.h"
 
 #include <cstdlib>
+#include <cstring>
 
+#include "analysis/live_profile.h"
 #include "backward/backward_evaluator.h"
 #include "common/timer.h"
 #include "io/ntriples.h"
@@ -30,6 +32,35 @@ obs::Histogram& UpdateHistogram(bool is_schema, bool is_insert) {
   return obs::MetricsRegistry::Get().GetHistogram(name);
 }
 
+// The selector's Route for an executed static mode (kAuto routes only to
+// the four reasoning techniques; kNone never goes through the selector).
+analysis::Route RouteOf(ReasoningMode mode) {
+  switch (mode) {
+    case ReasoningMode::kSaturation:
+      return analysis::Route::kSaturation;
+    case ReasoningMode::kBackward:
+      return analysis::Route::kBackward;
+    case ReasoningMode::kDatalog:
+      return analysis::Route::kDatalog;
+    default:
+      return analysis::Route::kReformulation;
+  }
+}
+
+ReasoningMode ModeOf(analysis::Route route) {
+  switch (route) {
+    case analysis::Route::kSaturation:
+      return ReasoningMode::kSaturation;
+    case analysis::Route::kReformulation:
+      return ReasoningMode::kReformulation;
+    case analysis::Route::kBackward:
+      return ReasoningMode::kBackward;
+    case analysis::Route::kDatalog:
+      return ReasoningMode::kDatalog;
+  }
+  return ReasoningMode::kReformulation;
+}
+
 }  // namespace
 
 bool EncodingModeDefault() {
@@ -50,8 +81,28 @@ const char* ReasoningModeName(ReasoningMode mode) {
       return "reformulation";
     case ReasoningMode::kBackward:
       return "backward";
+    case ReasoningMode::kDatalog:
+      return "datalog";
+    case ReasoningMode::kAuto:
+      return "auto";
   }
   return "unknown";
+}
+
+ReasoningMode ReasoningModeDefault() {
+  static const ReasoningMode value = [] {
+    const char* env = std::getenv("WDR_MODE");
+    if (env == nullptr) return ReasoningMode::kSaturation;
+    if (std::strcmp(env, "none") == 0) return ReasoningMode::kNone;
+    if (std::strcmp(env, "saturation") == 0) return ReasoningMode::kSaturation;
+    if (std::strcmp(env, "reformulation") == 0)
+      return ReasoningMode::kReformulation;
+    if (std::strcmp(env, "backward") == 0) return ReasoningMode::kBackward;
+    if (std::strcmp(env, "datalog") == 0) return ReasoningMode::kDatalog;
+    if (std::strcmp(env, "auto") == 0) return ReasoningMode::kAuto;
+    return ReasoningMode::kSaturation;
+  }();
+  return value;
 }
 
 ReasoningStore::ReasoningStore(ReasoningStoreOptions options)
@@ -73,9 +124,17 @@ void ReasoningStore::SetMode(ReasoningMode mode) {
   if (mode == options_.mode) return;
   options_.mode = mode;
   stats_cache_.reset();  // statistics follow the mode's queried store
+  closure_stats_cache_.reset();
   if (mode == ReasoningMode::kSaturation) {
-    saturated_.emplace(graph_, vocab_, /*enable_owl=*/false,
-                       options_.saturation);
+    if (!saturated_.has_value()) {
+      saturated_.emplace(graph_, vocab_, /*enable_owl=*/false,
+                         options_.saturation);
+    }
+  } else if (mode == ReasoningMode::kAuto) {
+    // Inherit whatever closure exists (a warm start from kSaturation);
+    // from here its lifecycle belongs to the selector's lazy
+    // materialization / drop policy.
+    EnsureSelector();
   } else {
     saturated_.reset();
   }
@@ -85,6 +144,7 @@ void ReasoningStore::SetBackend(rdf::StorageBackend backend) {
   if (backend == options_.backend) return;
   options_.backend = backend;
   stats_cache_.reset();
+  closure_stats_cache_.reset();
   graph_.SetBackend(backend);
   // The closure store follows the base graph's backend; rebuild it.
   if (saturated_.has_value()) {
@@ -121,6 +181,10 @@ void ReasoningStore::RecloseSchema() {
 
 void ReasoningStore::OnUpdate(bool schema_changed) {
   stats_cache_.reset();
+  closure_stats_cache_.reset();
+  // The Datalog translation bakes the facts in; any update invalidates it.
+  datalog_cache_.reset();
+  if (selector_ != nullptr) selector_->NoteUpdate();
   if (schema_changed) {
     RecloseSchema();
     schema_cache_.reset();
@@ -173,6 +237,9 @@ void ReasoningStore::RebuildEncoding() {
   }
   schema_cache_.reset();
   stats_cache_.reset();
+  closure_stats_cache_.reset();
+  // The permutation moved every id the translation's sym tables bake in.
+  datalog_cache_.reset();
   reformulator_cache_.reset();
   // The schema version is unchanged by a rebuild, so the plain cache's
   // version check would wrongly pass — reset it explicitly (its baked-in
@@ -217,18 +284,50 @@ const schema::Schema& ReasoningStore::CachedSchema() {
   return *schema_cache_;
 }
 
-const exec::Statistics& ReasoningStore::CachedStats() {
-  if (!stats_cache_.has_value()) {
-    // Build over the store Dispatch queries: the closure in saturation
-    // mode, the base graph everywhere else (saturated_ exists exactly in
-    // kSaturation mode).
-    if (saturated_.has_value()) {
-      stats_cache_ = exec::Statistics::Build(saturated_->closure());
-    } else {
-      stats_cache_ = exec::Statistics::Build(graph_.store());
+const exec::Statistics& ReasoningStore::CachedStats(bool over_closure) {
+  // One flavor per queried store, so a saturation-routed query plans over
+  // closure statistics while a reformulation-routed one (same store, auto
+  // mode or a per-read override) plans over base-graph statistics.
+  if (over_closure && saturated_.has_value()) {
+    if (!closure_stats_cache_.has_value()) {
+      closure_stats_cache_ = exec::Statistics::Build(saturated_->closure());
     }
+    return *closure_stats_cache_;
+  }
+  if (!stats_cache_.has_value()) {
+    stats_cache_ = exec::Statistics::Build(graph_.store());
   }
   return *stats_cache_;
+}
+
+const datalog::RdfDatalogTranslation& ReasoningStore::CachedDatalog() {
+  if (!datalog_cache_.has_value()) {
+    Timer timer;
+    datalog_cache_ = datalog::TranslateGraph(graph_, vocab_);
+    obs::MetricsRegistry::Get()
+        .GetHistogram("wdr.store.datalog.translate")
+        .RecordSeconds(timer.ElapsedSeconds());
+  }
+  return *datalog_cache_;
+}
+
+analysis::StrategySelector& ReasoningStore::EnsureSelector() {
+  if (selector_ == nullptr) {
+    selector_ = std::make_unique<analysis::StrategySelector>();
+    // Cold-start prior: whatever the process-global histograms already
+    // know (possibly nothing — the selector then falls back statically
+    // until the first window refresh).
+    selector_->SetPrior(analysis::CostProfileFromMetrics(
+        obs::MetricsRegistry::Get().Snapshot()));
+  }
+  return *selector_;
+}
+
+std::optional<analysis::RouteDecision> ReasoningStore::LastAutoDecision()
+    const {
+  std::lock_guard<std::mutex> lock(*decisions_mu_);
+  if (decisions_.empty()) return std::nullopt;
+  return decisions_.back();
 }
 
 Result<size_t> ReasoningStore::LoadTurtle(std::string_view text) {
@@ -300,10 +399,7 @@ Status ReadInterrupted(const query::EvaluatorOptions& eval) {
 
 Result<query::ResultSet> ReasoningStore::Query(std::string_view sparql,
                                                QueryInfo* info) {
-  obs::Histogram& latency = obs::MetricsRegistry::Get().GetHistogram(
-      std::string("wdr.store.query.") + ReasoningModeName(options_.mode));
-  obs::Span span("wdr.store.query", &latency);
-  span.AddAttr("mode", ReasoningModeName(options_.mode));
+  obs::Span span("wdr.store.query");
   WDR_COUNTER_INC("wdr.store.queries");
 
   Timer timer;
@@ -318,14 +414,24 @@ Result<query::ResultSet> ReasoningStore::Query(std::string_view sparql,
   QueryInfo& qinfo = info != nullptr ? *info : local_info;
   query::EvalStats eval_stats;
 
+  // In kAuto mode the executed mode is only known after PrepareInternal
+  // routed the query; the latency histogram and diagnostics follow the
+  // routed mode so the online cost model trains on real route costs.
+  ReasoningMode executed_mode = options_.mode;
+  bool via_auto = false;
+  double est_seconds = -1;
+
   Result<query::ResultSet> result = [&]() -> Result<query::ResultSet> {
     WDR_ASSIGN_OR_RETURN(PreparedQuery prepared,
                          PrepareInternal(sparql, ReadOptions{}, &record));
+    executed_mode = prepared.mode;
+    via_auto = prepared.via_auto;
+    est_seconds = prepared.est_seconds;
     std::shared_ptr<obs::ProfileNode> profile;
     if (profiling_ && info != nullptr) {
       profile = std::make_shared<obs::ProfileNode>();
-      profile->label =
-          std::string("query [mode=") + ReasoningModeName(options_.mode) + "]";
+      profile->label = std::string("query [mode=") +
+                       ReasoningModeName(prepared.mode) + "]";
     }
     Result<query::ResultSet> r =
         ExecuteInternal(prepared, &qinfo, profile.get(), &eval_stats);
@@ -333,8 +439,17 @@ Result<query::ResultSet> ReasoningStore::Query(std::string_view sparql,
     return r;
   }();
 
-  qinfo.mode = options_.mode;
+  span.AddAttr("mode", ReasoningModeName(executed_mode));
+  qinfo.mode = executed_mode;
   qinfo.seconds = timer.ElapsedSeconds();
+  obs::MetricsRegistry::Get()
+      .GetHistogram(std::string("wdr.store.query.") +
+                    ReasoningModeName(executed_mode))
+      .RecordSeconds(qinfo.seconds);
+  if (via_auto) {
+    analysis::RecordEstimateError(RouteOf(executed_mode), est_seconds,
+                                  qinfo.seconds);
+  }
   CompleteRecord(record, qinfo, eval_stats, result);
   obs::QueryLog::Get().Append(std::move(record));
   return result;
@@ -385,6 +500,10 @@ Result<query::ResultSet> ReasoningStore::Execute(const PreparedQuery& prepared,
   qinfo.profile = std::move(profile);
   qinfo.mode = prepared.mode;
   qinfo.seconds = prepared.prepare_seconds + timer.ElapsedSeconds();
+  if (prepared.via_auto) {
+    analysis::RecordEstimateError(RouteOf(prepared.mode),
+                                  prepared.est_seconds, qinfo.seconds);
+  }
 
   obs::QueryLogRecord record = prepared.record;
   record.trace_id = span.trace_id();
@@ -396,7 +515,8 @@ Result<query::ResultSet> ReasoningStore::Execute(const PreparedQuery& prepared,
 void ReasoningStore::Warm() {
   if (options_.encoding) CachedEncoding();
   CachedSchema();
-  CachedStats();
+  CachedStats(/*over_closure=*/false);
+  if (saturated_.has_value()) CachedStats(/*over_closure=*/true);
   CachedReformulator();
   // The plain flavor only differs when the encoding is on (it IS the
   // plain one otherwise).
@@ -411,8 +531,8 @@ Result<PreparedQuery> ReasoningStore::PrepareInternal(
   prepared.mode = ropts.mode.value_or(options_.mode);
   if (prepared.mode == ReasoningMode::kSaturation && !saturated_.has_value()) {
     return FailedPreconditionError(
-        "saturation mode needs a maintained closure: the store's configured "
-        "mode is not kSaturation");
+        "saturation mode needs a materialized closure: the store's mode is "
+        "neither kSaturation nor kAuto-with-closure");
   }
   const bool want_encoding = ropts.encoding.value_or(options_.encoding);
   if (want_encoding && !options_.encoding) {
@@ -445,11 +565,6 @@ Result<PreparedQuery> ReasoningStore::PrepareInternal(
   }
   eval.cancel = ropts.cancel;
   eval.deadline_nanos = ropts.deadline_nanos;
-  if (eval.plan && eval.stats == nullptr) {
-    // Hand the planner cached statistics so it never pays the O(store)
-    // build per query and never degrades on a fresh store.
-    eval.stats = &CachedStats();
-  }
 
   // Prefill the log record before parsing so failures carry full context.
   record->query = obs::CanonicalQueryKey(sparql);
@@ -460,6 +575,88 @@ Result<PreparedQuery> ReasoningStore::PrepareInternal(
 
   WDR_ASSIGN_OR_RETURN(query::UnionQuery q,
                        query::ParseSparql(sparql, graph_.dict()));
+
+  if (prepared.mode == ReasoningMode::kAuto) {
+    analysis::StrategySelector& selector = EnsureSelector();
+    if (selector.NeedsRefresh()) {
+      selector.Refresh(obs::QueryLog::Get().Records(),
+                       obs::MetricsRegistry::Get().Snapshot());
+    }
+
+    // Cheap per-query features: the reformulation fan-out probe (exact on
+    // a memo hit, an O(closure) bound otherwise) and a statistics bound on
+    // the query's smallest scan.
+    reformulation::Reformulator& probe =
+        (options_.encoding && !use_encoding) ? CachedPlainReformulator()
+                                             : CachedReformulator();
+    const reformulation::FanoutEstimate fanout = probe.EstimateFanout(q);
+    analysis::QueryFeatures features;
+    features.fanout = static_cast<double>(fanout.branches);
+    features.fanout_exact = fanout.exact;
+    features.atoms = q.TotalAtoms();
+    const exec::Statistics& base_stats = CachedStats(/*over_closure=*/false);
+    if (!base_stats.empty()) {
+      double best = -1;
+      for (const query::BgpQuery& branch : q.branches()) {
+        for (const query::TriplePattern& atom : branch.atoms()) {
+          const double est = base_stats.Estimate(
+              atom.s.is_var() ? exec::BoundMode::kWild
+                              : exec::BoundMode::kConst,
+              atom.p.is_var() ? exec::BoundMode::kWild
+                              : exec::BoundMode::kConst,
+              atom.p.is_var() ? 0 : atom.p.id,
+              atom.o.is_var() ? exec::BoundMode::kWild
+                              : exec::BoundMode::kConst);
+          if (best < 0 || est < best) best = est;
+        }
+      }
+      features.est_rows = best;
+    }
+
+    analysis::RouteDecision decision = selector.Decide(
+        record->query, features, saturated_.has_value(), graph_.size());
+
+    // Closure lifecycle advice. Materializing is safe even under the
+    // server's frozen prepares: it fills an empty optional no concurrent
+    // Execute can be referencing, and permutes no ids. Dropping is not —
+    // concurrent saturation-routed Executes may hold cursors into the
+    // closure — so it only happens on non-frozen (externally synchronized)
+    // prepares.
+    if (decision.materialize_closure && !saturated_.has_value()) {
+      saturated_.emplace(graph_, vocab_, /*enable_owl=*/false,
+                         options_.saturation);
+      closure_stats_cache_.reset();
+      selector.ClosureMaterialized();
+      decision.closure_available = true;
+    } else if (decision.drop_closure && saturated_.has_value() &&
+               !ropts.frozen && options_.mode == ReasoningMode::kAuto &&
+               !ropts.mode.has_value()) {
+      saturated_.reset();
+      closure_stats_cache_.reset();
+      selector.ClosureDropped();
+    }
+
+    prepared.mode = ModeOf(decision.route);
+    prepared.via_auto = true;
+    prepared.est_seconds =
+        decision.est_seconds[static_cast<size_t>(decision.route)];
+    record->mode = ReasoningModeName(prepared.mode);
+    record->fanout = fanout.branches;
+    record->via_auto = true;
+    {
+      std::lock_guard<std::mutex> lock(*decisions_mu_);
+      decisions_.push_back(std::move(decision));
+      if (decisions_.size() > 8) decisions_.pop_front();
+    }
+  }
+
+  if (eval.plan && eval.stats == nullptr) {
+    // Hand the planner cached statistics so it never pays the O(store)
+    // build per query and never degrades on a fresh store. The flavor
+    // follows the (routed) mode's queried store.
+    eval.stats =
+        &CachedStats(prepared.mode == ReasoningMode::kSaturation);
+  }
 
   if (prepared.mode == ReasoningMode::kReformulation) {
     // Rewriting happens at prepare time: the reformulator's memo is shared
@@ -488,6 +685,9 @@ Result<PreparedQuery> ReasoningStore::PrepareInternal(
   }
   if (prepared.mode == ReasoningMode::kBackward) {
     prepared.schema = &CachedSchema();
+  }
+  if (prepared.mode == ReasoningMode::kDatalog) {
+    prepared.datalog = &CachedDatalog();
   }
   prepared.eval = eval;
   prepared.prepare_seconds = timer.ElapsedSeconds();
@@ -564,6 +764,37 @@ Result<query::ResultSet> ReasoningStore::ExecuteInternal(
         }
         return result;
       }
+      case ReasoningMode::kDatalog: {
+        if (prepared.datalog == nullptr) {
+          return FailedPreconditionError(
+              "datalog translation missing from the prepared query");
+        }
+        datalog::EvalStats dstats;
+        double seconds = 0;
+        Result<query::ResultSet> result = [&] {
+          ScopedTimer<> eval_timer(seconds);
+          return datalog::AnswerViaMagicUnion(
+              *prepared.datalog, prepared.query,
+              profile != nullptr ? &dstats : nullptr);
+        }();
+        if (profile != nullptr) {
+          obs::ProfileNode& node = profile->AddChild(
+              "datalog_magic (" + std::to_string(dstats.derived_tuples) +
+              " derived, " + std::to_string(dstats.iterations) +
+              " iterations)");
+          node.seconds = seconds;
+          profile->seconds += seconds;
+          if (result.ok()) {
+            node.rows = result.value().rows.size();
+            profile->rows = result.value().rows.size();
+          }
+        }
+        return result;
+      }
+      case ReasoningMode::kAuto:
+        // Prepare always routes kAuto to a static mode; reaching Execute
+        // with it is a programming error.
+        return InternalError("kAuto must be routed at prepare time");
     }
     return InternalError("unknown reasoning mode");
   }();

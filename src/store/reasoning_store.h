@@ -3,13 +3,17 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "analysis/strategy_selector.h"
 #include "common/status.h"
+#include "datalog/rdf_datalog.h"
 #include "exec/statistics.h"
 #include "obs/profile.h"
 #include "obs/query_log.h"
@@ -23,8 +27,9 @@
 
 namespace wdr::store {
 
-// How the store answers queries with respect to RDF entailment — the three
-// technique families the paper classifies (§II-B, §II-C).
+// How the store answers queries with respect to RDF entailment — the
+// technique families the paper classifies (§II-B, §II-C), plus the online
+// selector that picks among them per query (§II-D's open issue).
 enum class ReasoningMode {
   // No reasoning: plain evaluation over explicit triples only.
   kNone,
@@ -37,6 +42,15 @@ enum class ReasoningMode {
   // Run-time backward chaining: per-atom expansion inside the join
   // (AllegroGraph / Virtuoso style). Zero maintenance.
   kBackward,
+  // Datalog translation + magic sets, evaluated per query against the
+  // base facts (§II-D: "translation to Datalog"). Zero maintenance; the
+  // translation is cached between updates.
+  kDatalog,
+  // Adaptive: every query is routed to one of the four static techniques
+  // above by an online-fitted cost model (analysis::StrategySelector).
+  // Queries never execute "in kAuto" — Prepare resolves the route, so a
+  // PreparedQuery always carries a static mode.
+  kAuto,
 };
 
 const char* ReasoningModeName(ReasoningMode mode);
@@ -47,8 +61,15 @@ const char* ReasoningModeName(ReasoningMode mode);
 // encoding-on without touching call sites).
 bool EncodingModeDefault();
 
+// Process-wide default reasoning mode: the WDR_MODE environment variable
+// when it names a mode exactly ("none", "saturation", "reformulation",
+// "backward", "datalog", "auto"), kSaturation otherwise. Same pattern as
+// WDR_PLAN / WDR_ENCODING: the whole test suite can be flipped onto a mode
+// (CI runs WDR_MODE=auto) without touching call sites.
+ReasoningMode ReasoningModeDefault();
+
 struct ReasoningStoreOptions {
-  ReasoningMode mode = ReasoningMode::kSaturation;
+  ReasoningMode mode = ReasoningModeDefault();
   // Storage engine for the base graph and (in saturation mode) the closure.
   rdf::StorageBackend backend = rdf::StorageBackend::kOrdered;
   // Passed through to the reformulation engine (kReformulation mode).
@@ -77,9 +98,11 @@ struct ReasoningStoreOptions {
 // settings can share one store.
 struct ReadOptions {
   // Reasoning-mode override. kSaturation is only accepted when the store
-  // itself maintains a closure (its configured mode is kSaturation);
-  // otherwise Prepare returns FailedPrecondition — building a closure per
-  // query would be neither cheap nor the technique the caller asked for.
+  // has a materialized closure (configured kSaturation, or kAuto after the
+  // selector materialized one); otherwise Prepare returns
+  // FailedPrecondition — building a closure per query would be neither
+  // cheap nor the technique the caller asked for. kAuto routes this one
+  // query through the strategy selector.
   std::optional<ReasoningMode> mode;
   // Plan-based evaluation override (see SetPlanMode).
   std::optional<bool> plan;
@@ -124,6 +147,14 @@ struct PreparedQuery {
   // Schema snapshot for kBackward (null in other modes). Borrowed from the
   // store's cache; valid until the next update.
   const schema::Schema* schema = nullptr;
+  // Datalog translation for kDatalog (null in other modes). Borrowed from
+  // the store's cache; valid until the next update.
+  const datalog::RdfDatalogTranslation* datalog = nullptr;
+  // Set when kAuto routed this query: `mode` above is the routed static
+  // mode, and Execute scores the selector's estimate against the actual
+  // wall time (wdr.auto.est_error_pct).
+  bool via_auto = false;
+  double est_seconds = -1;  // selector's estimate for the routed mode
   // Rewrite diagnostics captured at prepare time (kReformulation).
   size_t union_size = 1;
   reformulation::ReformulationStats reformulation;
@@ -243,8 +274,21 @@ class ReasoningStore {
   ReasoningMode mode() const { return options_.mode; }
 
   // Switches technique at run time: entering kSaturation builds the
-  // closure; leaving it drops the closure.
+  // closure; leaving it drops the closure — except into kAuto, which
+  // inherits whatever closure exists and hands its lifecycle to the
+  // selector (lazy materialization / drop; see DESIGN.md).
   void SetMode(ReasoningMode mode);
+
+  // The most recent kAuto routing decision (the shell's `.why`), or
+  // nullopt if no auto-routed query ran yet. Thread-safe against
+  // concurrent Prepares.
+  std::optional<analysis::RouteDecision> LastAutoDecision() const;
+
+  // The auto-mode selector, created lazily at the first kAuto-routed
+  // Prepare (null before that). Exposed for tests and diagnostics.
+  const analysis::StrategySelector* selector() const {
+    return selector_.get();
+  }
 
   rdf::StorageBackend backend() const { return options_.backend; }
 
@@ -321,8 +365,10 @@ class ReasoningStore {
 
   const schema::Schema& CachedSchema();
 
-  // Statistics over the store Dispatch queries in the current mode.
-  const exec::Statistics& CachedStats();
+  // Statistics over the queried store: the maintained closure when
+  // `over_closure` (the saturation route; requires saturated_), the base
+  // graph otherwise. Cached per flavor, invalidated on every update.
+  const exec::Statistics& CachedStats(bool over_closure);
 
   // The encoding for the current schema version (building or rebuilding it
   // if needed), or null when the toggle is off. Rebuilding permutes the
@@ -330,6 +376,14 @@ class ReasoningStore {
   // outside the store (Query() calls it before parsing).
   const rdf::HierEncoding* CachedEncoding();
   void RebuildEncoding();
+
+  // Datalog translation of the current base graph (kDatalog route),
+  // rebuilt lazily after updates.
+  const datalog::RdfDatalogTranslation& CachedDatalog();
+
+  // Creates the auto-mode selector on first use, seeded with a
+  // metrics-derived cost prior.
+  analysis::StrategySelector& EnsureSelector();
 
   // Reformulator snapshot for the current schema version; carries the
   // memoized per-query rewritings until the schema version moves.
@@ -362,14 +416,33 @@ class ReasoningStore {
   // Schema edges present only by entailment (kept closed in graph_).
   std::vector<rdf::Triple> derived_schema_;
 
-  // kSaturation state.
+  // kSaturation state; in kAuto mode present iff the selector's lazy
+  // materialization policy built it.
   std::optional<reasoning::SaturatedGraph> saturated_;
 
   // Lazily rebuilt constraint view for the rewriting modes.
   std::optional<schema::Schema> schema_cache_;
 
-  // Lazily rebuilt planner statistics (plan mode only; see SetPlanMode).
-  std::optional<exec::Statistics> stats_cache_;
+  // Lazily rebuilt planner statistics, one flavor per queried store (see
+  // CachedStats).
+  std::optional<exec::Statistics> stats_cache_;          // base graph
+  std::optional<exec::Statistics> closure_stats_cache_;  // closure
+
+  // kAuto state: the online selector (lazily created at the first
+  // auto-routed Prepare; mutated only on the externally-serialized
+  // Prepare/update path) and a short ring of recent routing decisions for
+  // `.why` / WHY, behind its own mutex because const readers
+  // (LastAutoDecision) run concurrently with Prepares. unique_ptrs keep
+  // the store movable.
+  std::unique_ptr<analysis::StrategySelector> selector_;
+  std::unique_ptr<std::mutex> decisions_mu_ =
+      std::make_unique<std::mutex>();
+  std::deque<analysis::RouteDecision> decisions_;
+
+  // kDatalog state: the translation of the current base graph (facts baked
+  // in), built lazily at the first kDatalog-routed Prepare after each
+  // update.
+  std::optional<datalog::RdfDatalogTranslation> datalog_cache_;
 
   // Hierarchy-aware encoding state (see SetEncoding). The version counter
   // starts at 1 so a default-constructed HierEncoding (version 0) always

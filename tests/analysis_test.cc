@@ -199,5 +199,42 @@ TEST(LiveProfileTest, CostProfileFromQueryLogAveragesPerMode) {
   EXPECT_DOUBLE_EQ(clamped.eval_reformulated_seconds, 0.0);
 }
 
+TEST(LiveProfileTest, CostProfileFromQueryLogKeepsMetricsForUnseenModes) {
+  // Cold-start: a window that observed only ONE mode must not make the
+  // other look free — the unobserved mode keeps its metrics-derived mean
+  // (the bug this guards against zeroed it, so anything ranking the
+  // techniques by this profile would always pick the unobserved one).
+  obs::MetricsSnapshot snapshot;
+  obs::HistogramData sat;
+  sat.name = "wdr.store.query.saturation";
+  sat.count = 2;
+  sat.sum_nanos = 4'000'000;  // 2ms mean from the process histograms
+  snapshot.histograms.push_back(sat);
+  obs::HistogramData ref;
+  ref.name = "wdr.store.query.reformulation";
+  ref.count = 1;
+  ref.sum_nanos = 50'000'000;  // 50ms mean — stale, superseded by the window
+  snapshot.histograms.push_back(ref);
+
+  std::vector<obs::QueryLogRecord> records;
+  obs::QueryLogRecord r;
+  r.mode = "reformulation";
+  r.wall_nanos = 8'000'000;
+  records.push_back(r);
+  r.wall_nanos = 12'000'000;
+  records.push_back(r);
+
+  CostProfile costs = CostProfileFromQueryLog(records, snapshot);
+  // Saturation: no window records -> the 2ms histogram mean survives.
+  EXPECT_DOUBLE_EQ(costs.eval_saturated_seconds, 0.002);
+  // Reformulation: the window mean (10ms) wins over the 50ms histogram.
+  EXPECT_DOUBLE_EQ(costs.eval_reformulated_seconds, 0.010);
+
+  // Fully empty window: both sides fall back to the histograms.
+  CostProfile empty = CostProfileFromQueryLog({}, snapshot);
+  EXPECT_DOUBLE_EQ(empty.eval_saturated_seconds, 0.002);
+  EXPECT_DOUBLE_EQ(empty.eval_reformulated_seconds, 0.050);
+}
+
 }  // namespace
 }  // namespace wdr::analysis

@@ -1,0 +1,428 @@
+// Tests for the adaptive strategy selection stack: the
+// analysis::StrategySelector unit behavior (routing follows fitted costs,
+// per-key history, cold-model fallback, closure lifecycle advice) and the
+// store::ReasoningMode::kAuto integration (routing at prepare time, the
+// decision ring behind `.why`, the via_auto training loop, lazy closure
+// rules for per-read overrides).
+#include "analysis/strategy_selector.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "analysis/thresholds.h"
+#include "obs/metrics.h"
+#include "obs/query_log.h"
+#include "store/reasoning_store.h"
+
+namespace wdr::analysis {
+namespace {
+
+// One successful query-log record in `mode` with the given wall time and
+// estimated fan-out, keyed by `key`.
+obs::QueryLogRecord Rec(const std::string& mode, double millis, double fanout,
+                        const std::string& key) {
+  obs::QueryLogRecord r;
+  r.mode = mode;
+  r.wall_nanos = static_cast<uint64_t>(millis * 1e6);
+  r.fanout = static_cast<uint64_t>(fanout);
+  r.query = key;
+  return r;
+}
+
+TEST(StrategySelectorTest, RoutingFollowsFittedCosts) {
+  StrategySelector selector;
+  EXPECT_TRUE(selector.NeedsRefresh());  // never fitted
+
+  // Window A: saturation answers in 1ms flat, reformulation costs 10ms per
+  // rewriting branch.
+  std::vector<obs::QueryLogRecord> window = {
+      Rec("saturation", 1, 1, "s1"), Rec("saturation", 1, 1, "s2"),
+      Rec("saturation", 1, 1, "s3"), Rec("reformulation", 30, 3, "r1"),
+      Rec("reformulation", 30, 3, "r2"), Rec("reformulation", 30, 3, "r3")};
+  selector.Refresh(window, obs::MetricsSnapshot{});
+  EXPECT_FALSE(selector.NeedsRefresh());
+  EXPECT_EQ(selector.model_version(), 1u);
+
+  QueryFeatures features;
+  features.fanout = 2;
+  RouteDecision a = selector.Decide("fresh-key", features,
+                                    /*closure_available=*/true, 100);
+  EXPECT_EQ(a.route, Route::kSaturation);
+  EXPECT_FALSE(a.fallback);
+  EXPECT_FALSE(a.per_key);
+  EXPECT_DOUBLE_EQ(a.est_seconds[static_cast<size_t>(Route::kSaturation)],
+                   0.001);
+  // 10ms/branch * fanout 2.
+  EXPECT_DOUBLE_EQ(a.est_seconds[static_cast<size_t>(Route::kReformulation)],
+                   0.020);
+  EXPECT_FALSE(a.rationale.empty());
+
+  // Window B: costs flip — saturation 50ms flat, reformulation 1ms/branch.
+  window = {Rec("saturation", 50, 1, "s1"), Rec("saturation", 50, 1, "s2"),
+            Rec("saturation", 50, 1, "s3"), Rec("reformulation", 3, 3, "r1"),
+            Rec("reformulation", 3, 3, "r2"), Rec("reformulation", 3, 3, "r3")};
+  selector.Refresh(window, obs::MetricsSnapshot{});
+  RouteDecision b = selector.Decide("fresh-key", features,
+                                    /*closure_available=*/true, 100);
+  EXPECT_EQ(b.route, Route::kReformulation);
+  EXPECT_DOUBLE_EQ(b.est_seconds[static_cast<size_t>(Route::kReformulation)],
+                   0.002);
+  EXPECT_EQ(b.model_version, 2u);
+}
+
+TEST(StrategySelectorTest, SaturationNotRoutableWithoutClosure) {
+  StrategySelector selector;
+  std::vector<obs::QueryLogRecord> window = {
+      Rec("saturation", 1, 1, "s1"), Rec("saturation", 1, 1, "s2"),
+      Rec("reformulation", 100, 1, "r1"), Rec("reformulation", 100, 1, "r2")};
+  selector.Refresh(window, obs::MetricsSnapshot{});
+  RouteDecision d = selector.Decide("q", QueryFeatures{},
+                                    /*closure_available=*/false, 100);
+  // Saturation would win (1ms vs 100ms) but there is no closure to query.
+  EXPECT_EQ(d.route, Route::kReformulation);
+  EXPECT_TRUE(
+      std::isinf(d.est_seconds[static_cast<size_t>(Route::kSaturation)]));
+}
+
+TEST(StrategySelectorTest, PerKeyHistoryBeatsParametricModel) {
+  StrategySelector selector;
+  // Globally saturation looks cheaper (mean 17ms vs 50ms/branch), but the
+  // specific query K measured the other way around: 50ms saturated, 1ms
+  // reformulated. K must route on its own history.
+  std::vector<obs::QueryLogRecord> window = {
+      Rec("saturation", 50, 1, "K"),      Rec("saturation", 50, 1, "K"),
+      Rec("reformulation", 1, 1, "K"),    Rec("reformulation", 1, 1, "K"),
+      Rec("saturation", 1, 1, "other1"),  Rec("saturation", 1, 1, "other2"),
+      Rec("saturation", 1, 1, "other3"),  Rec("saturation", 1, 1, "other4"),
+      Rec("reformulation", 100, 1, "o5"), Rec("reformulation", 100, 1, "o6")};
+  selector.Refresh(window, obs::MetricsSnapshot{});
+
+  RouteDecision k = selector.Decide("K", QueryFeatures{},
+                                    /*closure_available=*/true, 100);
+  EXPECT_EQ(k.route, Route::kReformulation);
+  EXPECT_TRUE(k.per_key);
+  EXPECT_DOUBLE_EQ(k.est_seconds[static_cast<size_t>(Route::kReformulation)],
+                   0.001);
+
+  RouteDecision fresh = selector.Decide("never-seen", QueryFeatures{},
+                                        /*closure_available=*/true, 100);
+  EXPECT_EQ(fresh.route, Route::kSaturation);
+  EXPECT_FALSE(fresh.per_key);
+}
+
+TEST(StrategySelectorTest, ColdModelFallsBackToSafeStatic) {
+  StrategySelector selector;
+  // No prior, empty window: every route is unpriceable.
+  selector.Refresh({}, obs::MetricsSnapshot{});
+
+  RouteDecision no_closure = selector.Decide("q", QueryFeatures{},
+                                             /*closure_available=*/false, 100);
+  EXPECT_TRUE(no_closure.fallback);
+  EXPECT_EQ(no_closure.route, Route::kReformulation);
+  EXPECT_NE(no_closure.rationale.find("fallback"), std::string::npos);
+
+  RouteDecision with_closure = selector.Decide("q", QueryFeatures{},
+                                               /*closure_available=*/true, 100);
+  EXPECT_TRUE(with_closure.fallback);
+  // With a maintained closure the safe answer is to use it.
+  EXPECT_EQ(with_closure.route, Route::kSaturation);
+}
+
+TEST(StrategySelectorTest, PriorPricesRoutesBeforeFirstRefresh) {
+  // A cold selector seeded only with the static/metrics-derived prior must
+  // already discriminate (that is the whole point of SetPrior).
+  StrategySelector sat_cheap;
+  CostProfile prior;
+  prior.eval_saturated_seconds = 0.001;
+  prior.reformulation_seconds = 0.002;
+  prior.eval_reformulated_seconds = 0.008;
+  sat_cheap.SetPrior(prior);
+  RouteDecision a = sat_cheap.Decide("q", QueryFeatures{},
+                                     /*closure_available=*/true, 100);
+  EXPECT_FALSE(a.fallback);
+  EXPECT_EQ(a.route, Route::kSaturation);
+  EXPECT_TRUE(sat_cheap.route_models()[0].from_prior);
+
+  StrategySelector ref_cheap;
+  prior = CostProfile{};
+  prior.eval_saturated_seconds = 0.1;
+  prior.eval_reformulated_seconds = 0.001;
+  ref_cheap.SetPrior(prior);
+  RouteDecision b = ref_cheap.Decide("q", QueryFeatures{},
+                                     /*closure_available=*/true, 100);
+  EXPECT_EQ(b.route, Route::kReformulation);
+}
+
+TEST(StrategySelectorTest, AdvisesMaterializationOnceSavingsCoverBuild) {
+  StrategySelector selector;
+  CostProfile prior;
+  prior.saturation_seconds = 0.001;  // estimated closure build cost
+  prior.eval_saturated_seconds = 0.001;
+  selector.SetPrior(prior);
+
+  // A query-heavy window answered only by reformulation at 100ms each:
+  // the advisor concludes saturation would pay for itself.
+  std::vector<obs::QueryLogRecord> window = {Rec("reformulation", 100, 1, "a"),
+                                             Rec("reformulation", 100, 1, "b"),
+                                             Rec("reformulation", 100, 1, "c")};
+  selector.Refresh(window, obs::MetricsSnapshot{});
+
+  // First closure-less decision: reformulation runs (no closure), but the
+  // ~99ms of forgone savings already exceed the 1ms estimated build.
+  RouteDecision d = selector.Decide("q", QueryFeatures{},
+                                    /*closure_available=*/false, 1000);
+  EXPECT_EQ(d.route, Route::kReformulation);
+  EXPECT_TRUE(d.materialize_closure);
+
+  // After the store acts on the advice, the advice resets and saturation
+  // becomes the routed choice.
+  selector.ClosureMaterialized();
+  RouteDecision e = selector.Decide("q", QueryFeatures{},
+                                    /*closure_available=*/true, 1000);
+  EXPECT_EQ(e.route, Route::kSaturation);
+  EXPECT_FALSE(e.materialize_closure);
+  EXPECT_FALSE(e.drop_closure);
+}
+
+TEST(StrategySelectorTest, AdvisesDropAfterTwoConsecutiveBadRefreshes) {
+  StrategySelector selector;
+  CostProfile prior;
+  prior.saturation_seconds = 0.5;  // expensive maintained closure
+  selector.SetPrior(prior);
+
+  // Saturation observed 100x slower than reformulation. One refresh is a
+  // vote, not a drop (hysteresis against flapping).
+  std::vector<obs::QueryLogRecord> window = {
+      Rec("saturation", 100, 1, "s1"), Rec("saturation", 100, 1, "s2"),
+      Rec("reformulation", 1, 1, "r1"), Rec("reformulation", 1, 1, "r2")};
+  selector.Refresh(window, obs::MetricsSnapshot{});
+  RouteDecision first = selector.Decide("q", QueryFeatures{},
+                                        /*closure_available=*/true, 100);
+  EXPECT_FALSE(first.drop_closure);
+
+  selector.Refresh(window, obs::MetricsSnapshot{});
+  RouteDecision second = selector.Decide("q", QueryFeatures{},
+                                         /*closure_available=*/true, 100);
+  EXPECT_EQ(second.route, Route::kReformulation);
+  EXPECT_TRUE(second.drop_closure);
+
+  selector.ClosureDropped();
+  RouteDecision third = selector.Decide("q", QueryFeatures{},
+                                        /*closure_available=*/false, 100);
+  EXPECT_FALSE(third.drop_closure);
+  EXPECT_FALSE(third.materialize_closure);  // advisor state was reset
+}
+
+TEST(StrategySelectorTest, RecordEstimateErrorFeedsMetrics) {
+  auto count = [](const char* name) -> uint64_t {
+    for (const auto& h : obs::MetricsRegistry::Get().Snapshot().histograms) {
+      if (h.name == name) return h.count;
+    }
+    return 0;
+  };
+  const uint64_t err_before = count("wdr.auto.est_error_pct");
+  const uint64_t actual_before = count("wdr.auto.actual.saturation");
+  RecordEstimateError(Route::kSaturation, 0.001, 0.002);
+  EXPECT_EQ(count("wdr.auto.est_error_pct"), err_before + 1);
+  EXPECT_EQ(count("wdr.auto.actual.saturation"), actual_before + 1);
+  // Fallback decisions carry no estimate: nothing is recorded.
+  RecordEstimateError(Route::kSaturation,
+                      std::numeric_limits<double>::infinity(), 0.002);
+  EXPECT_EQ(count("wdr.auto.est_error_pct"), err_before + 1);
+}
+
+}  // namespace
+}  // namespace wdr::analysis
+
+namespace wdr::store {
+namespace {
+
+constexpr const char* kData = R"(
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix ex: <http://ex.org/> .
+ex:Cat rdfs:subClassOf ex:Mammal .
+ex:Mammal rdfs:subClassOf ex:Animal .
+ex:hasPet rdfs:range ex:Animal .
+ex:tom a ex:Cat .
+ex:anne ex:hasPet ex:tom .
+)";
+
+constexpr const char* kMammalQuery =
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+    "PREFIX ex: <http://ex.org/>\n"
+    "SELECT ?x WHERE { ?x rdf:type ex:Mammal }";
+
+constexpr const char* kAnimalQuery =
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+    "PREFIX ex: <http://ex.org/>\n"
+    "SELECT ?x WHERE { ?x rdf:type ex:Animal }";
+
+bool IsStaticReasoningMode(ReasoningMode mode) {
+  return mode == ReasoningMode::kSaturation ||
+         mode == ReasoningMode::kReformulation ||
+         mode == ReasoningMode::kBackward || mode == ReasoningMode::kDatalog;
+}
+
+TEST(AutoModeStoreTest, RoutesToAStaticModeAndAnswersEntailed) {
+  obs::QueryLog::Get().Clear();
+  ReasoningStoreOptions options;
+  options.mode = ReasoningMode::kAuto;
+  ReasoningStore store(options);
+  ASSERT_TRUE(store.LoadTurtle(kData).ok());
+  EXPECT_EQ(store.LastAutoDecision(), std::nullopt);  // nothing routed yet
+
+  QueryInfo info;
+  auto result = store.Query(kMammalQuery, &info);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 1u);
+  // kAuto never executes: the query ran under the routed static mode.
+  EXPECT_TRUE(IsStaticReasoningMode(info.mode))
+      << ReasoningModeName(info.mode);
+
+  auto decision = store.LastAutoDecision();
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_FALSE(decision->rationale.empty());
+  ASSERT_NE(store.selector(), nullptr);
+  EXPECT_GE(store.selector()->model_version(), 1u);
+
+  // The query log carries the routed mode plus the via_auto marker — the
+  // training feed for the selector's own cost model.
+  auto records = obs::QueryLog::Get().Records();
+  ASSERT_FALSE(records.empty());
+  EXPECT_TRUE(records.back().via_auto);
+  EXPECT_EQ(records.back().mode, ReasoningModeName(info.mode));
+  EXPECT_GE(records.back().fanout, 1u);
+
+  // Entailed answers stay correct whatever the route.
+  auto animals = store.Query(kAnimalQuery);
+  ASSERT_TRUE(animals.ok());
+  EXPECT_EQ(animals->rows.size(), 1u);
+}
+
+TEST(AutoModeStoreTest, ColdClosurelessStoreRoutesToReformulation) {
+  obs::QueryLog::Get().Clear();
+  ReasoningStoreOptions options;
+  options.mode = ReasoningMode::kAuto;
+  ReasoningStore store(options);
+  ASSERT_TRUE(store.LoadTurtle(kData).ok());
+
+  QueryInfo info;
+  ASSERT_TRUE(store.Query(kMammalQuery, &info).ok());
+  // No closure exists and the first refresh saw an empty window, so the
+  // only viable (or fallback) route is reformulation.
+  EXPECT_EQ(info.mode, ReasoningMode::kReformulation);
+  auto decision = store.LastAutoDecision();
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_FALSE(decision->closure_available);
+}
+
+TEST(AutoModeStoreTest, SaturationOverrideNeedsMaterializedClosure) {
+  obs::QueryLog::Get().Clear();
+  ReasoningStoreOptions options;
+  options.mode = ReasoningMode::kAuto;
+  ReasoningStore store(options);
+  ASSERT_TRUE(store.LoadTurtle(kData).ok());
+
+  ReadOptions ro;
+  ro.mode = ReasoningMode::kSaturation;
+  // kAuto store without a materialized closure: the per-read saturation
+  // override has nothing to query.
+  EXPECT_FALSE(store.Prepare(kMammalQuery, ro).ok());
+
+  // Entering kSaturation materializes; switching back to kAuto inherits
+  // the closure instead of dropping it.
+  store.SetMode(ReasoningMode::kSaturation);
+  store.SetMode(ReasoningMode::kAuto);
+  auto prepared = store.Prepare(kMammalQuery, ro);
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  EXPECT_EQ(prepared->mode, ReasoningMode::kSaturation);
+  auto result = store.Execute(*prepared);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 1u);
+}
+
+TEST(AutoModeStoreTest, AutoOverrideRoutesOneQueryOnStaticStore) {
+  obs::QueryLog::Get().Clear();
+  // Pinned static saturation store (explicit, so WDR_MODE=auto cannot turn
+  // this into auto-on-auto): closure is materialized.
+  ReasoningStoreOptions options;
+  options.mode = ReasoningMode::kSaturation;
+  ReasoningStore store(options);
+  ASSERT_TRUE(store.LoadTurtle(kData).ok());
+
+  ReadOptions ro;
+  ro.mode = ReasoningMode::kAuto;
+  auto prepared = store.Prepare(kMammalQuery, ro);
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  EXPECT_TRUE(prepared->via_auto);
+  EXPECT_TRUE(IsStaticReasoningMode(prepared->mode));
+  auto result = store.Execute(*prepared);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 1u);
+
+  auto decision = store.LastAutoDecision();
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_TRUE(decision->closure_available);
+  // The store itself stays in its configured mode.
+  EXPECT_EQ(store.mode(), ReasoningMode::kSaturation);
+}
+
+TEST(AutoModeStoreTest, RepeatedQueriesRefreshTheModelFromOwnTraffic) {
+  obs::QueryLog::Get().Clear();
+  ReasoningStoreOptions options;
+  options.mode = ReasoningMode::kAuto;
+  ReasoningStore store(options);
+  ASSERT_TRUE(store.LoadTurtle(kData).ok());
+
+  // More queries than the selector's refresh period: the second refresh
+  // fits from records this store's own routed queries appended.
+  const size_t refresh_every =
+      analysis::StrategySelector::Options{}.refresh_every;
+  for (size_t i = 0; i < refresh_every + 4; ++i) {
+    auto result = store.Query(i % 2 == 0 ? kMammalQuery : kAnimalQuery);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->rows.size(), 1u);
+  }
+  ASSERT_NE(store.selector(), nullptr);
+  EXPECT_GE(store.selector()->model_version(), 2u);
+
+  for (const auto& record : obs::QueryLog::Get().Records()) {
+    EXPECT_TRUE(record.via_auto);
+    EXPECT_TRUE(record.mode == "saturation" ||
+                record.mode == "reformulation" || record.mode == "backward" ||
+                record.mode == "datalog")
+        << record.mode;
+  }
+}
+
+TEST(AutoModeStoreTest, DatalogModeAnswersEntailedAndTracksUpdates) {
+  ReasoningStoreOptions options;
+  options.mode = ReasoningMode::kDatalog;
+  ReasoningStore store(options);
+  ASSERT_TRUE(store.LoadTurtle(kData).ok());
+
+  QueryInfo info;
+  auto result = store.Query(kMammalQuery, &info);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(info.mode, ReasoningMode::kDatalog);
+  auto animals = store.Query(kAnimalQuery);
+  ASSERT_TRUE(animals.ok());
+  EXPECT_EQ(animals->rows.size(), 1u);  // subclass chain + range, deduped
+
+  // Updates invalidate the cached translation.
+  ASSERT_TRUE(store
+                  .Update("PREFIX ex: <http://ex.org/>\n"
+                          "PREFIX rdf: "
+                          "<http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+                          "INSERT DATA { ex:felix rdf:type ex:Cat }")
+                  .ok());
+  auto mammals = store.Query(kMammalQuery);
+  ASSERT_TRUE(mammals.ok());
+  EXPECT_EQ(mammals->rows.size(), 2u);
+}
+
+}  // namespace
+}  // namespace wdr::store

@@ -53,6 +53,20 @@ TEST(DifferentialTest, AllModesAgreeOnDenseCyclicInstances) {
   }
 }
 
+// Store-level lock: through the ReasoningStore front door, every per-read
+// mode override — saturation, reformulation, backward, Datalog + magic,
+// and the kAuto strategy selector — answers identically on every seed,
+// backend, and encoding flag. Whatever route the online cost model picks,
+// it can only change performance, never answers.
+TEST(DifferentialTest, StoreModeOverridesAgreeOnRandomInstances) {
+  const uint64_t base_seed = test::EnvU64("WDR_SEED", kDefaultBaseSeed);
+  const uint64_t instances =
+      test::EnvU64("WDR_DIFF_INSTANCES", kDefaultInstances);
+  for (uint64_t i = 0; i < instances; ++i) {
+    EXPECT_TRUE(test::RunStoreDifferentialInstance(base_seed + i));
+  }
+}
+
 // Contract check for the bug fixed alongside the parallel saturator:
 // SaturateInto used to silently mix a non-empty closure into the result;
 // now it must refuse.

@@ -33,11 +33,13 @@
 #include "datalog/magic.h"
 #include "exec/statistics.h"
 #include "datalog/rdf_datalog.h"
+#include "io/turtle_writer.h"
 #include "query/evaluator.h"
 #include "rdf/hier_encoding.h"
 #include "reasoning/saturated_graph.h"
 #include "reformulation/reformulator.h"
 #include "schema/schema.h"
+#include "store/reasoning_store.h"
 #include "tests/test_util.h"
 
 namespace wdr::test {
@@ -417,6 +419,117 @@ inline ::testing::AssertionResult RunDifferentialInstance(
         canonical.push_back(expected);
       } else if (expected != canonical[static_cast<size_t>(k)]) {
         return fail(label + ": flat backend differs from ordered backend");
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Serializes one random BGP query as SPARQL text for the store front door;
+// constants print as N-Triples terms (the random workload only produces
+// IRI constants).
+inline std::string ToSparql(const query::BgpQuery& q, const rdf::Graph& g) {
+  std::string text = "SELECT";
+  if (q.distinct()) text += " DISTINCT";
+  for (query::VarId v : q.projection()) text += " ?" + q.var_name(v);
+  text += " WHERE {";
+  bool first = true;
+  for (const query::TriplePattern& atom : q.atoms()) {
+    if (!first) text += " .";
+    first = false;
+    for (const query::PatternTerm* term : {&atom.s, &atom.p, &atom.o}) {
+      text += ' ';
+      text += term->is_var() ? "?" + q.var_name(term->var)
+                             : g.dict().term(term->id).ToNTriples();
+    }
+  }
+  text += " }";
+  return text;
+}
+
+// Store-level differential check for one seed: the same random instance is
+// serialized to Turtle, loaded through the ReasoningStore front door, and
+// every per-read mode override — saturation, reformulation, backward,
+// Datalog + magic, and the kAuto strategy selector — must decode identical
+// answer sets, across both storage backends and with the hierarchy-aware
+// encoding off and on. This is the lock that makes kAuto a pure
+// performance feature: whatever the selector routes, answers never change.
+inline ::testing::AssertionResult RunStoreDifferentialInstance(
+    uint64_t seed, const DifferentialConfig& config = {}) {
+  auto fail = [&](const std::string& what) {
+    return ::testing::AssertionFailure()
+           << what << " [seed=" << seed << " — rerun with WDR_SEED=" << seed
+           << "]";
+  };
+
+  Rng graph_rng(seed);
+  RandomGraph rg = MakeRandomGraph(graph_rng, config.graph);
+  reformulation::CloseSchema(rg.graph, rg.vocab);
+  const std::string turtle = io::WriteTurtle(rg.graph);
+
+  // SPARQL texts derived from the seed only, identical for every store
+  // configuration below (same stream as the engine-level instance).
+  std::vector<std::string> sparql;
+  Rng query_rng(seed ^ 0x9e3779b97f4a7c15ull);
+  for (int k = 0; k < config.queries_per_instance; ++k) {
+    sparql.push_back(ToSparql(MakeRandomQuery(query_rng, rg), rg.graph));
+  }
+
+  const std::optional<store::ReasoningMode> overrides[] = {
+      store::ReasoningMode::kSaturation, store::ReasoningMode::kReformulation,
+      store::ReasoningMode::kBackward, store::ReasoningMode::kDatalog,
+      store::ReasoningMode::kAuto};
+
+  // Canonical decoded answers per query, from the first configuration.
+  std::vector<std::set<std::vector<std::string>>> canonical;
+
+  for (rdf::StorageBackend backend :
+       {rdf::StorageBackend::kOrdered, rdf::StorageBackend::kFlat}) {
+    for (bool encoding : {false, true}) {
+      store::ReasoningStoreOptions options;
+      options.mode = store::ReasoningMode::kSaturation;  // closure for all
+      options.backend = backend;
+      options.encoding = encoding;
+      store::ReasoningStore store(options);
+      Result<size_t> loaded = store.LoadTurtle(turtle);
+      if (!loaded.ok()) {
+        return fail("store LoadTurtle failed: " + loaded.status().ToString());
+      }
+      const std::string store_label =
+          std::string(" (backend=") + rdf::StorageBackendName(backend) +
+          ", encoding=" + (encoding ? "on" : "off") + ")";
+
+      for (size_t k = 0; k < sparql.size(); ++k) {
+        const std::string label =
+            "store query " + std::to_string(k) + store_label;
+        for (const auto& mode : overrides) {
+          store::ReadOptions ro;
+          ro.mode = mode;
+          Result<store::PreparedQuery> prepared =
+              store.Prepare(sparql[k], ro);
+          if (!prepared.ok()) {
+            return fail(label + " mode=" +
+                        store::ReasoningModeName(*mode) +
+                        ": Prepare failed: " + prepared.status().ToString());
+          }
+          Result<query::ResultSet> result = store.Execute(*prepared);
+          if (!result.ok()) {
+            return fail(label + " mode=" +
+                        store::ReasoningModeName(*mode) +
+                        ": Execute failed: " + result.status().ToString());
+          }
+          std::set<std::vector<std::string>> rows;
+          for (const query::Row& row : result->rows) {
+            rows.insert(store.DecodeRow(row));
+          }
+          if (canonical.size() <= k) {
+            canonical.push_back(rows);  // first override of first config
+          } else if (rows != canonical[k]) {
+            return fail(label + ": mode=" +
+                        store::ReasoningModeName(*mode) +
+                        " differs from the canonical saturation answers");
+          }
+        }
       }
     }
   }

@@ -65,7 +65,16 @@ class ServerProtocolTest : public ::testing::Test {
     EXPECT_EQ(server_->active_sessions(), 0u);
   }
 
-  SnapshotStore store_;
+  // The protocol assertions read saturation observables (INFO mode=,
+  // per-read saturation overrides), so the store is pinned explicitly;
+  // WDR_MODE=auto coverage comes from the SET mode=auto session test.
+  static store::ReasoningStoreOptions SaturationOptions() {
+    store::ReasoningStoreOptions options;
+    options.mode = store::ReasoningMode::kSaturation;
+    return options;
+  }
+
+  SnapshotStore store_{SaturationOptions()};
   std::unique_ptr<Server> server_;
 };
 
@@ -146,6 +155,47 @@ TEST_F(ServerProtocolTest, SessionSettingsChangeBehavior) {
   auto alive = client.Call("PING\n");
   ASSERT_TRUE(alive.ok());
   EXPECT_TRUE(alive.value().ok);
+}
+
+TEST_F(ServerProtocolTest, AutoModeSessionRoutesAndExplainsViaWhy) {
+  StartServer();
+  Client client;
+  ASSERT_TRUE(client.Connect(server_->port()).ok());
+
+  // Before any auto-routed query, WHY has nothing to explain.
+  auto why = client.Call("WHY\n");
+  ASSERT_TRUE(why.ok());
+  EXPECT_FALSE(why.value().ok);
+
+  // The new modes are valid session settings.
+  for (const char* mode : {"datalog", "auto"}) {
+    auto set = client.Set(std::string("mode=") + mode);
+    ASSERT_TRUE(set.ok());
+    EXPECT_TRUE(set.value().ok) << mode << ": " << set.value().head;
+    auto result = client.Query(std::string(kPrefixes) +
+                               "SELECT ?x WHERE { ?x rdf:type ex:Animal }");
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.value().ok) << mode << ": " << result.value().head;
+    EXPECT_NE(result.value().head.find("rows=1"), std::string::npos)
+        << mode << ": " << result.value().head;
+  }
+
+  // The auto-routed query above left a decision for WHY to render.
+  why = client.Call("WHY\n");
+  ASSERT_TRUE(why.ok());
+  EXPECT_TRUE(why.value().ok) << why.value().head;
+  EXPECT_NE(why.value().head.find("route="), std::string::npos)
+      << why.value().head;
+  EXPECT_NE(why.value().head.find("model_version="), std::string::npos);
+  EXPECT_FALSE(why.value().body.empty());  // the rationale line
+
+  // INFO surfaces the wdr.auto.* routing counters.
+  auto info = client.Call("INFO\n");
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info.value().ok);
+  EXPECT_NE(info.value().head.find("auto_fallbacks="), std::string::npos)
+      << info.value().head;
+  EXPECT_NE(info.value().head.find("auto_refreshes="), std::string::npos);
 }
 
 TEST_F(ServerProtocolTest, MalformedRequestsGetErrorsNotDisconnects) {

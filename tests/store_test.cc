@@ -84,7 +84,11 @@ TEST(ReasoningStoreTest, SchemaStaysClosedForRewritingModes) {
 }
 
 TEST(ReasoningStoreTest, InsertDataMaintainsClosure) {
-  ReasoningStore store;  // saturation by default
+  // Pinned to saturation: closure_delta is a saturation-maintenance
+  // observable (WDR_MODE=auto would leave the closure unmaterialized).
+  ReasoningStoreOptions options;
+  options.mode = ReasoningMode::kSaturation;
+  ReasoningStore store(options);
   ASSERT_TRUE(store.LoadTurtle(kData).ok());
   auto info = store.Update(
       "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
@@ -159,7 +163,11 @@ TEST(ReasoningStoreTest, SchemaDeleteRetractsDerivedEdges) {
 }
 
 TEST(ReasoningStoreTest, ModeSwitchPreservesAnswers) {
-  ReasoningStore store;
+  // Starts pinned to saturation: the effective_size assertions below are
+  // about the materialized closure, whatever WDR_MODE says.
+  ReasoningStoreOptions options;
+  options.mode = ReasoningMode::kSaturation;
+  ReasoningStore store(options);
   ASSERT_TRUE(store.LoadTurtle(kData).ok());
   size_t saturated_answers = Answers(store, kAnimalQuery);
   EXPECT_GT(store.effective_size(), store.size());
