@@ -31,20 +31,28 @@ Result<size_t> Federation::LoadTurtle(EndpointId id, std::string_view text) {
   // log-structured backends can bulk-load instead of inserting one by one.
   std::vector<rdf::Triple> encoded;
   encoded.reserve(scratch.size());
+  bool any_schema = false;
   scratch.store().Match(0, 0, 0, [&](const rdf::Triple& t) {
     encoded.emplace_back(dict_.Intern(scratch.dict().term(t.s)),
                          dict_.Intern(scratch.dict().term(t.p)),
                          dict_.Intern(scratch.dict().term(t.o)));
+    any_schema |= vocab_.IsSchemaProperty(encoded.back().p);
   });
-  return endpoints_[id].store->InsertBatch(encoded);
+  const size_t added = endpoints_[id].store->InsertBatch(encoded);
+  if (any_schema && added != 0) ++schema_rev_;
+  return added;
 }
 
 bool Federation::Insert(EndpointId id, const rdf::Triple& t) {
-  return endpoints_[id].store->Insert(t);
+  const bool inserted = endpoints_[id].store->Insert(t);
+  if (inserted && vocab_.IsSchemaProperty(t.p)) ++schema_rev_;
+  return inserted;
 }
 
 bool Federation::Erase(EndpointId id, const rdf::Triple& t) {
-  return endpoints_[id].store->Erase(t);
+  const bool erased = endpoints_[id].store->Erase(t);
+  if (erased && vocab_.IsSchemaProperty(t.p)) ++schema_rev_;
+  return erased;
 }
 
 size_t Federation::size() const {
@@ -64,6 +72,16 @@ rdf::TripleStore Federation::ClosedFederatedSchemaStore() const {
   return saturator.Saturate(merged);
 }
 
+Federation::SchemaCache& Federation::CachedSchemaCache() {
+  if (schema_cache_ == nullptr || schema_cache_rev_ != schema_rev_) {
+    schema_cache_ =
+        std::make_unique<SchemaCache>(ClosedFederatedSchemaStore(), vocab_);
+    schema_cache_rev_ = schema_rev_;
+    WDR_COUNTER_INC("wdr.federation.schema_rebuilds");
+  }
+  return *schema_cache_;
+}
+
 Result<query::ResultSet> Federation::Query(std::string_view sparql,
                                            FederationQueryInfo* info) {
   WDR_ASSIGN_OR_RETURN(query::UnionQuery q,
@@ -79,17 +97,17 @@ Result<query::ResultSet> Federation::Query(const query::UnionQuery& q,
   WDR_COUNTER_INC("wdr.federation.queries");
   Timer timer;
   // The schemas of all endpoints combine: constraints from any endpoint
-  // apply to facts from any other. The merged schema is tiny; closing it
-  // per query is the price of endpoint autonomy.
-  rdf::TripleStore closed_schema = ClosedFederatedSchemaStore();
-  schema::Schema schema = schema::Schema::FromStore(closed_schema, vocab_);
-  reformulation::Reformulator reformulator(schema, vocab_);
+  // apply to facts from any other. The closed merged schema is cached
+  // against the schema revision counter: only a schema-triple change
+  // rebuilds it, so instance-heavy workloads stop paying a re-closure and
+  // a fresh reformulator (with a cold memo) on every query.
+  SchemaCache& cache = CachedSchemaCache();
   WDR_ASSIGN_OR_RETURN(query::UnionQuery reformulated,
-                       reformulator.Reformulate(q));
+                       cache.reformulator.Reformulate(q));
 
   // Evaluate over closed schema ∪ endpoints, copying nothing.
   rdf::UnionStore view;
-  view.AddMember(&closed_schema);
+  view.AddMember(&cache.closed_schema);
   for (const Endpoint& endpoint : endpoints_) {
     view.AddMember(endpoint.store.get());
   }

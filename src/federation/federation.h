@@ -12,6 +12,8 @@
 #include "rdf/store_view.h"
 #include "rdf/triple_store.h"
 #include "rdf/union_store.h"
+#include "reformulation/reformulator.h"
+#include "schema/schema.h"
 #include "schema/vocabulary.h"
 
 namespace wdr::federation {
@@ -107,11 +109,36 @@ class Federation {
   void SetPlanMode(bool on) { query_options_.plan = on; }
   bool plan_mode() const { return query_options_.plan; }
 
+  // Bumped whenever a schema triple (an RDFS constraint predicate) is
+  // inserted into or erased from any endpoint; the cached closed federated
+  // schema below is valid iff its recorded revision equals this counter.
+  uint64_t schema_revision() const { return schema_rev_; }
+
  private:
   struct Endpoint {
     std::string name;
     std::unique_ptr<rdf::StoreView> store;
   };
+
+  // Everything Query derives from the merged endpoint schemas, rebuilt
+  // only when the schema revision moves: the closed schema store (held by
+  // stable address — queries use it as a UnionStore member), the
+  // constraint view over it, and the reformulator (whose per-query memo
+  // now survives across queries). Instance-only updates leave all of it
+  // untouched.
+  struct SchemaCache {
+    rdf::TripleStore closed_schema;
+    schema::Schema schema;
+    reformulation::Reformulator reformulator;  // points into `schema`
+
+    SchemaCache(rdf::TripleStore closed, const schema::Vocabulary& vocab)
+        : closed_schema(std::move(closed)),
+          schema(schema::Schema::FromStore(closed_schema, vocab)),
+          reformulator(schema, vocab) {}
+  };
+
+  // The cache for the current schema revision, (re)building it if stale.
+  SchemaCache& CachedSchemaCache();
 
   // The union of all endpoints' schema triples, closed (rdfs5/rdfs11).
   rdf::TripleStore ClosedFederatedSchemaStore() const;
@@ -121,6 +148,9 @@ class Federation {
   rdf::StorageBackend backend_;
   query::EvaluatorOptions query_options_;
   std::vector<Endpoint> endpoints_;
+  uint64_t schema_rev_ = 1;
+  uint64_t schema_cache_rev_ = 0;  // 0 = never built
+  std::unique_ptr<SchemaCache> schema_cache_;
 };
 
 }  // namespace wdr::federation

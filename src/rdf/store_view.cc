@@ -1,6 +1,7 @@
 #include "rdf/store_view.h"
 
 #include "rdf/flat_triple_store.h"
+#include "rdf/sharded_store.h"
 #include "rdf/triple_store.h"
 
 namespace wdr::rdf {
@@ -11,6 +12,8 @@ const char* StorageBackendName(StorageBackend backend) {
       return "ordered";
     case StorageBackend::kFlat:
       return "flat";
+    case StorageBackend::kSharded:
+      return "sharded";
   }
   return "unknown";
 }
@@ -20,6 +23,8 @@ bool ParseStorageBackend(std::string_view name, StorageBackend* backend) {
     *backend = StorageBackend::kOrdered;
   } else if (name == "flat") {
     *backend = StorageBackend::kFlat;
+  } else if (name == "sharded") {
+    *backend = StorageBackend::kSharded;
   } else {
     return false;
   }
@@ -77,12 +82,18 @@ std::vector<Triple> StoreView::ToVector() const {
   return out;
 }
 
+std::unique_ptr<StoreView> StoreView::MakeEmpty() const {
+  return MakeStore(backend());
+}
+
 std::unique_ptr<StoreView> MakeStore(StorageBackend backend) {
   switch (backend) {
     case StorageBackend::kOrdered:
       return std::make_unique<TripleStore>();
     case StorageBackend::kFlat:
       return std::make_unique<FlatTripleStore>();
+    case StorageBackend::kSharded:
+      return std::make_unique<ShardedStore>();
   }
   return std::make_unique<TripleStore>();
 }
